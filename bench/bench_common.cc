@@ -1,0 +1,39 @@
+#include "bench_common.h"
+
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace moche {
+namespace bench {
+
+std::vector<DatasetAggregates> RunStandardExperiment() {
+  std::vector<DatasetAggregates> out;
+  const std::vector<ts::Dataset> datasets =
+      ts::MakeAllNabLikeDatasets(kExperimentSeed, kExperimentScale);
+  const harness::CollectOptions collect = StandardCollect();
+  MethodRoster roster;
+
+  for (const ts::Dataset& ds : datasets) {
+    auto instances = harness::CollectFailedInstances(ds, collect);
+    if (!instances.ok()) {
+      std::fprintf(stderr, "collect failed for %s: %s\n", ds.name.c_str(),
+                   instances.status().ToString().c_str());
+      continue;
+    }
+    DatasetAggregates agg;
+    agg.dataset = ds.name;
+    agg.instances = instances->size();
+    const auto results = harness::RunMethods(*instances, roster.All());
+    agg.aggregates = harness::Aggregate(results);
+    out.push_back(std::move(agg));
+  }
+  return out;
+}
+
+std::string Fmt(double value, int precision) {
+  return StrFormat("%.*f", precision, value);
+}
+
+}  // namespace bench
+}  // namespace moche

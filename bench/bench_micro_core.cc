@@ -1,0 +1,172 @@
+// google-benchmark micro suite for the core primitives and the two
+// DESIGN.md ablations:
+//  * KS statistic (sorted-merge) and RemovalKs re-evaluation,
+//  * Theorem 1 existence check and Theorem 2 condition,
+//  * phase 1 with/without the binary-searched lower bound (MOCHE vs
+//    MOCHE_ns),
+//  * phase 2 with incremental vs paper-faithful full Theorem 3 checks,
+//  * end-to-end Explain.
+
+#include <benchmark/benchmark.h>
+
+#include "core/bounds.h"
+#include "core/builder.h"
+#include "core/moche.h"
+#include "core/size_search.h"
+#include "datasets/synthetic.h"
+#include "ks/ks_test.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace moche;
+
+// One failing instance per size, shared across iterations.
+const KsInstance& InstanceForSize(size_t w) {
+  static std::map<size_t, KsInstance> cache;
+  auto it = cache.find(w);
+  if (it == cache.end()) {
+    datasets::DriftOptions opt;
+    opt.size = w;
+    opt.contamination = 0.05;
+    opt.seed = 42 + w;
+    auto inst = datasets::MakeKiferDriftInstance(opt);
+    it = cache.emplace(w, inst.ok() ? *inst : KsInstance{}).first;
+  }
+  return it->second;
+}
+
+const PreferenceList& PreferenceForSize(size_t w) {
+  static std::map<size_t, PreferenceList> cache;
+  auto it = cache.find(w);
+  if (it == cache.end()) {
+    Rng rng(7 + w);
+    it = cache.emplace(w, RandomPreference(w, &rng)).first;
+  }
+  return it->second;
+}
+
+void BM_KsStatistic(benchmark::State& state) {
+  const size_t w = static_cast<size_t>(state.range(0));
+  const KsInstance& inst = InstanceForSize(w);
+  std::vector<double> r = inst.reference;
+  std::vector<double> t = inst.test;
+  std::sort(r.begin(), r.end());
+  std::sort(t.begin(), t.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ks::StatisticSorted(r, t));
+  }
+}
+BENCHMARK(BM_KsStatistic)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_RemovalKsReevaluate(benchmark::State& state) {
+  const size_t w = static_cast<size_t>(state.range(0));
+  const KsInstance& inst = InstanceForSize(w);
+  RemovalKs removal(inst.reference, inst.test, inst.alpha);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(removal.CurrentOutcome().statistic);
+  }
+}
+BENCHMARK(BM_RemovalKsReevaluate)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_Theorem1Check(benchmark::State& state) {
+  const size_t w = static_cast<size_t>(state.range(0));
+  const KsInstance& inst = InstanceForSize(w);
+  auto frame = CumulativeFrame::Build(inst.reference, inst.test);
+  BoundsEngine engine(*frame, inst.alpha);
+  size_t h = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.ExistsQualified(h));
+    h = h % (w / 2) + 1;
+  }
+}
+BENCHMARK(BM_Theorem1Check)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_Theorem2Condition(benchmark::State& state) {
+  const size_t w = static_cast<size_t>(state.range(0));
+  const KsInstance& inst = InstanceForSize(w);
+  auto frame = CumulativeFrame::Build(inst.reference, inst.test);
+  BoundsEngine engine(*frame, inst.alpha);
+  size_t h = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.NecessaryCondition(h));
+    h = h % (w / 2) + 1;
+  }
+}
+BENCHMARK(BM_Theorem2Condition)->Arg(1000)->Arg(10000)->Arg(100000);
+
+// Ablation: phase 1 with the Theorem 2 lower bound...
+void BM_Phase1WithLowerBound(benchmark::State& state) {
+  const size_t w = static_cast<size_t>(state.range(0));
+  const KsInstance& inst = InstanceForSize(w);
+  auto frame = CumulativeFrame::Build(inst.reference, inst.test);
+  BoundsEngine engine(*frame, inst.alpha);
+  SizeSearcher searcher(engine);
+  for (auto _ : state) {
+    auto result = searcher.FindSize(true);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_Phase1WithLowerBound)->Arg(1000)->Arg(10000)->Arg(50000);
+
+// ...and the MOCHE_ns scan from h = 1.
+void BM_Phase1WithoutLowerBound(benchmark::State& state) {
+  const size_t w = static_cast<size_t>(state.range(0));
+  const KsInstance& inst = InstanceForSize(w);
+  auto frame = CumulativeFrame::Build(inst.reference, inst.test);
+  BoundsEngine engine(*frame, inst.alpha);
+  SizeSearcher searcher(engine);
+  for (auto _ : state) {
+    auto result = searcher.FindSize(false);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_Phase1WithoutLowerBound)->Arg(1000)->Arg(10000)->Arg(50000);
+
+// Ablation: phase 2 with incremental Theorem 3 checks...
+void BM_Phase2Incremental(benchmark::State& state) {
+  const size_t w = static_cast<size_t>(state.range(0));
+  const KsInstance& inst = InstanceForSize(w);
+  auto frame = CumulativeFrame::Build(inst.reference, inst.test);
+  BoundsEngine engine(*frame, inst.alpha);
+  auto size = SizeSearcher(engine).FindSize();
+  const PreferenceList& pref = PreferenceForSize(w);
+  for (auto _ : state) {
+    auto expl = BuildMostComprehensible(engine, size->k, inst.test, pref,
+                                        /*incremental_check=*/true);
+    benchmark::DoNotOptimize(expl.ok());
+  }
+}
+BENCHMARK(BM_Phase2Incremental)->Arg(1000)->Arg(10000);
+
+// ...and with the paper-faithful full O(q) recursion per candidate.
+void BM_Phase2FullCheck(benchmark::State& state) {
+  const size_t w = static_cast<size_t>(state.range(0));
+  const KsInstance& inst = InstanceForSize(w);
+  auto frame = CumulativeFrame::Build(inst.reference, inst.test);
+  BoundsEngine engine(*frame, inst.alpha);
+  auto size = SizeSearcher(engine).FindSize();
+  const PreferenceList& pref = PreferenceForSize(w);
+  for (auto _ : state) {
+    auto expl = BuildMostComprehensible(engine, size->k, inst.test, pref,
+                                        /*incremental_check=*/false);
+    benchmark::DoNotOptimize(expl.ok());
+  }
+}
+BENCHMARK(BM_Phase2FullCheck)->Arg(1000)->Arg(10000);
+
+void BM_ExplainEndToEnd(benchmark::State& state) {
+  const size_t w = static_cast<size_t>(state.range(0));
+  const KsInstance& inst = InstanceForSize(w);
+  const PreferenceList& pref = PreferenceForSize(w);
+  Moche engine;
+  for (auto _ : state) {
+    auto report = engine.Explain(inst, pref);
+    benchmark::DoNotOptimize(report.ok());
+  }
+}
+BENCHMARK(BM_ExplainEndToEnd)->Arg(1000)->Arg(10000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Two-dimensional drift explanation — a working prototype of the paper's
+// future-work direction ("extend MOCHE to interpret failed KS tests
+// conducted on multidimensional data points").
+//
+// Scenario: a service tracks (request_size, latency) pairs. The joint
+// distribution drifts because a new client sends large-and-slow requests.
+// The marginals barely move, so two 1-D KS tests stay quiet, but the 2-D
+// Fasano-Franceschini test fires — and the greedy 2-D explainer isolates
+// the offending points.
+//
+// Run: ./build/examples/multidim_drift
+
+#include <cstdio>
+
+#include "ks/ks_test.h"
+#include "mdks/explain.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace moche;
+  Rng rng(42);
+
+  // Reference: sizes and latencies anti-correlated (big requests hit the
+  // cache-friendly bulk path).
+  auto draw_normal_pair = [&]() {
+    const double size = rng.Normal(0.0, 1.0);
+    const double latency = -0.6 * size + 0.8 * rng.Normal(0.0, 1.0);
+    return mdks::Point2{size, latency};
+  };
+  std::vector<mdks::Point2> reference;
+  for (int i = 0; i < 500; ++i) reference.push_back(draw_normal_pair());
+
+  // Test batch: 255 normal pairs + 45 from the new client: large AND slow
+  // (positively correlated corner), with near-unchanged marginals.
+  std::vector<mdks::Point2> test;
+  for (int i = 0; i < 255; ++i) test.push_back(draw_normal_pair());
+  const size_t new_client_begin = test.size();
+  for (int i = 0; i < 45; ++i) {
+    const double size = rng.Normal(1.2, 0.4);
+    test.push_back({size, 0.9 * size + 0.3 * rng.Normal(0.0, 1.0)});
+  }
+
+  // 1-D KS tests on each marginal.
+  std::vector<double> ref_x, ref_y, test_x, test_y;
+  for (const auto& p : reference) {
+    ref_x.push_back(p.x);
+    ref_y.push_back(p.y);
+  }
+  for (const auto& p : test) {
+    test_x.push_back(p.x);
+    test_y.push_back(p.y);
+  }
+  auto kx = ks::Run(ref_x, test_x, 0.05);
+  auto ky = ks::Run(ref_y, test_y, 0.05);
+  std::printf("1-D KS on size:    D=%.4f vs p=%.4f -> %s\n", kx->statistic,
+              kx->threshold, kx->reject ? "reject" : "pass");
+  std::printf("1-D KS on latency: D=%.4f vs p=%.4f -> %s\n", ky->statistic,
+              ky->threshold, ky->reject ? "reject" : "pass");
+
+  // The 2-D test sees the dependence change.
+  auto joint = mdks::Test2D(reference, test, 0.05);
+  if (!joint.ok()) return 1;
+  std::printf("2-D FF KS:         D=%.4f, p-value=%.2e -> %s\n\n",
+              joint->statistic, joint->p_value,
+              joint->reject ? "REJECT" : "pass");
+  if (!joint->reject) return 0;
+
+  // Preference: most atypical points first (distance from the reference
+  // centroid in the whitened-ish sense; any domain order works).
+  std::vector<double> scores(test.size());
+  for (size_t i = 0; i < test.size(); ++i) {
+    scores[i] = test[i].x * test[i].y;  // positive quadrant correlation
+  }
+  auto expl = mdks::ExplainGreedy2D(reference, test, 0.05,
+                                    PreferenceByScoreDesc(scores));
+  if (!expl.ok()) {
+    std::printf("explanation failed: %s\n", expl.status().ToString().c_str());
+    return 1;
+  }
+
+  size_t from_new_client = 0;
+  for (size_t idx : expl->indices) {
+    if (idx >= new_client_begin) ++from_new_client;
+  }
+  std::printf("2-D explanation: %zu of %zu points removed; %zu (%.0f%%) "
+              "belong to the new client's traffic\n",
+              expl->size(), test.size(), from_new_client,
+              100.0 * static_cast<double>(from_new_client) /
+                  static_cast<double>(expl->size()));
+  std::printf("\n(The exact minimal-and-lexicographic guarantee is 1-D "
+              "MOCHE's; the 2-D explainer\nis the heuristic prototype of "
+              "the paper's future-work direction.)\n");
+  return 0;
+}

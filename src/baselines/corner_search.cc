@@ -1,0 +1,86 @@
+#include "baselines/corner_search.h"
+
+#include <algorithm>
+
+#include "ks/ks_test.h"
+#include "util/string_util.h"
+
+namespace moche {
+namespace baselines {
+
+Result<Explanation> CornerSearchExplainer::Explain(
+    const KsInstance& instance, const PreferenceList& preference) {
+  MOCHE_RETURN_IF_ERROR(ValidatePreference(preference, instance.test.size()));
+  const size_t m = instance.test.size();
+  RemovalKs removal(instance.reference, instance.test, instance.alpha);
+  if (removal.Passes()) {
+    return Status::AlreadyPasses("the KS test already passes");
+  }
+  Rng rng(options_.seed);
+
+  // Candidate pool: top-K of the preference list, optionally re-ranked by
+  // single-removal effect (CornerSearch's one-pixel importance scores).
+  std::vector<size_t> pool(
+      preference.begin(),
+      preference.begin() +
+          static_cast<long>(std::min(options_.top_k, preference.size())));
+  if (options_.rank_by_effect) {
+    const double base = removal.CurrentOutcome().statistic;
+    std::vector<double> effect(pool.size());
+    for (size_t c = 0; c < pool.size(); ++c) {
+      MOCHE_RETURN_IF_ERROR(removal.RemoveValue(instance.test[pool[c]]));
+      effect[c] = base - removal.CurrentOutcome().statistic;
+      MOCHE_RETURN_IF_ERROR(removal.UnremoveValue(instance.test[pool[c]]));
+    }
+    std::vector<size_t> order(pool.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return effect[a] > effect[b];
+    });
+    std::vector<size_t> ranked;
+    ranked.reserve(pool.size());
+    for (size_t i : order) ranked.push_back(pool[i]);
+    pool = std::move(ranked);
+  }
+
+  // Rank-biased sampling weights (top candidates are sampled most often),
+  // following CornerSearch's preference for top-ranked coordinates.
+  std::vector<double> weights(pool.size());
+  for (size_t c = 0; c < pool.size(); ++c) {
+    weights[c] = 1.0 / static_cast<double>(c + 1);
+  }
+
+  size_t budget = options_.max_samples;
+  const size_t max_size = std::min(pool.size(), m - 1);
+  for (size_t size = 1; size <= max_size; ++size) {
+    const size_t tries = std::min(options_.samples_per_size, budget);
+    for (size_t trial = 0; trial < tries; ++trial) {
+      // Draw `size` distinct pool positions with rank bias.
+      std::vector<size_t> picked;
+      std::vector<bool> used(pool.size(), false);
+      while (picked.size() < size) {
+        const size_t c = rng.WeightedIndex(weights);
+        if (used[c]) continue;
+        used[c] = true;
+        picked.push_back(pool[c]);
+      }
+      removal.Reset();
+      for (size_t idx : picked) {
+        MOCHE_RETURN_IF_ERROR(removal.RemoveValue(instance.test[idx]));
+      }
+      if (removal.Passes()) {
+        Explanation expl;
+        expl.indices = std::move(picked);
+        return expl;
+      }
+    }
+    budget -= tries;
+    if (budget == 0) break;
+  }
+  return Status::ResourceExhausted(
+      StrFormat("no explanation within %zu samples over the top-%zu pool",
+                options_.max_samples, options_.top_k));
+}
+
+}  // namespace baselines
+}  // namespace moche

@@ -1,0 +1,51 @@
+// Extended-CornerSearch (CS), after Croce & Hein, "Sparse and imperceivable
+// adversarial attacks" (ICCV 2019), as extended in Section 6.1.2: rank test
+// points by their single-removal effect on the KS statistic, then randomly
+// sample subsets of increasing size from the top-K candidates (biased
+// towards the top ranks) until one reverses the test. Aborts with
+// ResourceExhausted when the sampling budget runs out — the behaviour the
+// paper's reverse-factor experiment (Table 2) measures.
+
+#ifndef MOCHE_BASELINES_CORNER_SEARCH_H_
+#define MOCHE_BASELINES_CORNER_SEARCH_H_
+
+#include "baselines/explainer.h"
+#include "util/rng.h"
+
+namespace moche {
+namespace baselines {
+
+struct CornerSearchOptions {
+  /// Candidate pool: only the top-K single-effect points are sampled
+  /// (the paper constrains CS to the top 100 preference-ranked points).
+  size_t top_k = 100;
+  /// Total random subsets tried across all sizes (the paper's setting
+  /// allows 150,000; benches shrink this, see EXPERIMENTS.md).
+  size_t max_samples = 20000;
+  /// Samples tried per subset size before moving to a larger size.
+  size_t samples_per_size = 500;
+  uint64_t seed = 99;
+  /// When true, candidates are ranked by single-removal effect on the KS
+  /// statistic; when false the given preference order is used directly.
+  bool rank_by_effect = true;
+};
+
+class CornerSearchExplainer : public Explainer {
+ public:
+  explicit CornerSearchExplainer(CornerSearchOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "CS"; }
+  bool uses_preference() const override { return true; }
+
+  Result<Explanation> Explain(const KsInstance& instance,
+                              const PreferenceList& preference) override;
+
+ private:
+  CornerSearchOptions options_;
+};
+
+}  // namespace baselines
+}  // namespace moche
+
+#endif  // MOCHE_BASELINES_CORNER_SEARCH_H_

@@ -1,0 +1,57 @@
+#include "baselines/d3.h"
+
+#include <cmath>
+
+#include "density/empirical_pmf.h"
+
+namespace moche {
+namespace baselines {
+
+namespace {
+
+bool AllIntegral(const std::vector<double>& v) {
+  for (double x : v) {
+    if (x != std::floor(x)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<Explanation> D3Explainer::Explain(const KsInstance& instance,
+                                         const PreferenceList& preference) {
+  (void)preference;  // D3 cannot take user preferences (Section 6.1.2)
+
+  bool use_pmf = options_.mode == D3Options::DensityMode::kPmf;
+  if (options_.mode == D3Options::DensityMode::kAuto) {
+    use_pmf = AllIntegral(instance.reference) && AllIntegral(instance.test);
+  }
+
+  // density ratio f_T / f_R per test point (descending = most anomalous
+  // w.r.t. the reference distribution while typical for the test set)
+  std::vector<double> ratio(instance.test.size());
+  constexpr double kEps = 1e-9;
+  if (use_pmf) {
+    MOCHE_ASSIGN_OR_RETURN(const density::EmpiricalPmf f_r,
+                           density::EmpiricalPmf::Fit(instance.reference));
+    MOCHE_ASSIGN_OR_RETURN(const density::EmpiricalPmf f_t,
+                           density::EmpiricalPmf::Fit(instance.test));
+    for (size_t i = 0; i < instance.test.size(); ++i) {
+      ratio[i] = f_t.Evaluate(instance.test[i]) /
+                 (f_r.Evaluate(instance.test[i]) + kEps);
+    }
+  } else {
+    MOCHE_ASSIGN_OR_RETURN(const density::Kde f_r,
+                           density::Kde::Fit(instance.reference, options_.kde));
+    MOCHE_ASSIGN_OR_RETURN(const density::Kde f_t,
+                           density::Kde::Fit(instance.test, options_.kde));
+    for (size_t i = 0; i < instance.test.size(); ++i) {
+      ratio[i] = f_t.Evaluate(instance.test[i]) /
+                 (f_r.Evaluate(instance.test[i]) + kEps);
+    }
+  }
+  return GreedyPrefixExplanation(instance, PreferenceByScoreDesc(ratio));
+}
+
+}  // namespace baselines
+}  // namespace moche

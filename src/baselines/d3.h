@@ -1,0 +1,40 @@
+// Extended-D3 (Section 6.1.2), built on Subramaniam et al.'s density
+// estimation: rank test points by the estimated density ratio
+// f_T(t) / f_R(t) (descending) and greedily remove until the test passes.
+// Continuous data uses KDE; discrete data (all values integral) uses
+// empirical PMFs, exactly as the paper does for the COVID dataset.
+// D3 cannot consume a preference list.
+
+#ifndef MOCHE_BASELINES_D3_H_
+#define MOCHE_BASELINES_D3_H_
+
+#include "baselines/explainer.h"
+#include "density/kde.h"
+
+namespace moche {
+namespace baselines {
+
+struct D3Options {
+  enum class DensityMode { kAuto, kKde, kPmf };
+  DensityMode mode = DensityMode::kAuto;
+  density::KdeOptions kde;
+};
+
+class D3Explainer : public Explainer {
+ public:
+  explicit D3Explainer(D3Options options = {}) : options_(options) {}
+
+  std::string name() const override { return "D3"; }
+  bool uses_preference() const override { return false; }
+
+  Result<Explanation> Explain(const KsInstance& instance,
+                              const PreferenceList& preference) override;
+
+ private:
+  D3Options options_;
+};
+
+}  // namespace baselines
+}  // namespace moche
+
+#endif  // MOCHE_BASELINES_D3_H_

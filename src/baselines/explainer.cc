@@ -1,0 +1,26 @@
+#include "baselines/explainer.h"
+
+#include "ks/ks_test.h"
+
+namespace moche {
+namespace baselines {
+
+Result<Explanation> GreedyPrefixExplanation(const KsInstance& instance,
+                                            const std::vector<size_t>& order) {
+  RemovalKs removal(instance.reference, instance.test, instance.alpha);
+  if (removal.Passes()) {
+    return Status::AlreadyPasses("the KS test already passes");
+  }
+  Explanation expl;
+  for (size_t idx : order) {
+    if (removal.num_removed() + 1 >= instance.test.size()) break;
+    MOCHE_RETURN_IF_ERROR(removal.RemoveValue(instance.test[idx]));
+    expl.indices.push_back(idx);
+    if (removal.Passes()) return expl;
+  }
+  return Status::Internal(
+      "greedy prefix exhausted the test set without passing");
+}
+
+}  // namespace baselines
+}  // namespace moche

@@ -1,0 +1,50 @@
+// The common interface all explainers implement (MOCHE, the brute force and
+// the six baselines of Section 6.1.2), plus the greedy-prefix helper most
+// baselines share.
+
+#ifndef MOCHE_BASELINES_EXPLAINER_H_
+#define MOCHE_BASELINES_EXPLAINER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/explanation.h"
+#include "core/instance.h"
+#include "core/preference.h"
+#include "util/status.h"
+
+namespace moche {
+namespace baselines {
+
+/// A method that produces a counterfactual explanation for a failed KS test.
+///
+/// Implementations may ignore `preference` (the paper notes D3, STMP and
+/// S2G cannot take user preferences and hence cannot produce comprehensible
+/// explanations). Implementations with sampling/optimization budgets return
+/// ResourceExhausted when they abort, mirroring the paper's RF experiment.
+class Explainer {
+ public:
+  virtual ~Explainer() = default;
+
+  /// Short display name used in the result tables ("M", "GRD", "CS", ...).
+  virtual std::string name() const = 0;
+
+  /// Whether the method consumes the preference list (Table: only MOCHE,
+  /// GRD, CS and GRC are preference-aware).
+  virtual bool uses_preference() const = 0;
+
+  virtual Result<Explanation> Explain(const KsInstance& instance,
+                                      const PreferenceList& preference) = 0;
+};
+
+/// Shared helper: walk test-point indices in `order` and keep removing until
+/// R and T \ I pass the KS test. Returns the removed prefix as an
+/// explanation, or Internal if even removing all but one point fails.
+Result<Explanation> GreedyPrefixExplanation(const KsInstance& instance,
+                                            const std::vector<size_t>& order);
+
+}  // namespace baselines
+}  // namespace moche
+
+#endif  // MOCHE_BASELINES_EXPLAINER_H_

@@ -1,0 +1,76 @@
+#include "baselines/grace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ks/ks_test.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace moche {
+namespace baselines {
+
+Result<Explanation> GraceExplainer::Explain(const KsInstance& instance,
+                                            const PreferenceList& preference) {
+  MOCHE_RETURN_IF_ERROR(ValidatePreference(preference, instance.test.size()));
+  const size_t m = instance.test.size();
+  const double n = static_cast<double>(instance.reference.size());
+  RemovalKs removal(instance.reference, instance.test, instance.alpha);
+  if (removal.Passes()) {
+    return Status::AlreadyPasses("the KS test already passes");
+  }
+
+  const size_t k = std::min(options_.top_k, m - 1);
+  std::vector<size_t> candidates(preference.begin(),
+                                 preference.begin() + static_cast<long>(k));
+
+  // x in [0,1]^k; rounding to the nearest 0-1 vector, x_i < 0.5 puts the
+  // i-th candidate into the removal set S.
+  auto select = [&](const std::vector<double>& x) {
+    std::vector<size_t> s;
+    for (size_t i = 0; i < x.size(); ++i) {
+      if (x[i] < 0.5) s.push_back(candidates[i]);
+    }
+    return s;
+  };
+
+  auto objective = [&](const std::vector<double>& x) {
+    const std::vector<size_t> s = select(x);
+    if (s.size() >= m) return 1e9;  // cannot empty the test set
+    removal.Reset();
+    for (size_t idx : s) {
+      const Status st = removal.RemoveValue(instance.test[idx]);
+      MOCHE_CHECK(st.ok());
+    }
+    const double m_rem = static_cast<double>(m - s.size());
+    const double scale = std::sqrt(n * m_rem / (n + m_rem));
+    return scale * removal.CurrentOutcome().statistic;
+  };
+
+  const double c_alpha = ks::CriticalValue(instance.alpha);
+  optimize::ZerothOrderOptions opt = options_.optimizer;
+  opt.target = c_alpha;
+  opt.project_unit_box = true;
+
+  Rng rng(options_.seed);
+  // Start just above the 0.5 rounding threshold ("remove nothing", but
+  // within probe reach of the boundary): g is piecewise constant in x, so
+  // starting deep inside a flat region (e.g. all ones) would give zero
+  // gradient estimates and no progress.
+  std::vector<double> x0(k, 0.55);
+  const optimize::ZerothOrderResult result =
+      optimize::MinimizeRgf(objective, std::move(x0), opt, &rng);
+
+  if (!result.reached_target) {
+    return Status::ResourceExhausted(
+        StrFormat("g(x)=%.4f did not drop below c_alpha=%.4f within %zu "
+                  "iterations",
+                  result.value, c_alpha, opt.max_iterations));
+  }
+  Explanation expl;
+  expl.indices = select(result.x);
+  return expl;
+}
+
+}  // namespace baselines
+}  // namespace moche

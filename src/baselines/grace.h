@@ -1,0 +1,48 @@
+// Extended-GRACE (GRC), after Le et al., "GRACE" (KDD 2020), extended as in
+// Section 6.1.2: relax the subset choice to a 0-1 vector x over the top-K
+// preference-ranked test points (x_i = 0 means "t_i removed"), and minimize
+//   g(x) = sqrt( n (m - |S|) / (n + m - |S|) ) * D(R, T \ S)
+// with the zeroth-order RGF optimizer (the objective is not
+// differentiable). S explains the failed test as soon as g(x) < c_alpha.
+// Aborts with ResourceExhausted when the iteration budget runs out.
+
+#ifndef MOCHE_BASELINES_GRACE_H_
+#define MOCHE_BASELINES_GRACE_H_
+
+#include "baselines/explainer.h"
+#include "optimize/zeroth_order.h"
+
+namespace moche {
+namespace baselines {
+
+struct GraceOptions {
+  /// Only the top-K preference-ranked points may be perturbed (the paper
+  /// constrains GRC to the top 100 to bound its runtime).
+  size_t top_k = 100;
+  optimize::ZerothOrderOptions optimizer{
+      .max_iterations = 300,
+      .num_directions = 10,
+      .smoothing = 0.3,
+      .step_size = 0.25,
+  };
+  uint64_t seed = 7;
+};
+
+class GraceExplainer : public Explainer {
+ public:
+  explicit GraceExplainer(GraceOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "GRC"; }
+  bool uses_preference() const override { return true; }
+
+  Result<Explanation> Explain(const KsInstance& instance,
+                              const PreferenceList& preference) override;
+
+ private:
+  GraceOptions options_;
+};
+
+}  // namespace baselines
+}  // namespace moche
+
+#endif  // MOCHE_BASELINES_GRACE_H_

@@ -1,0 +1,14 @@
+#include "baselines/greedy.h"
+
+namespace moche {
+namespace baselines {
+
+Result<Explanation> GreedyExplainer::Explain(const KsInstance& instance,
+                                             const PreferenceList& preference) {
+  MOCHE_RETURN_IF_ERROR(
+      ValidatePreference(preference, instance.test.size()));
+  return GreedyPrefixExplanation(instance, preference);
+}
+
+}  // namespace baselines
+}  // namespace moche

@@ -1,0 +1,26 @@
+// Greedy (GRD): take the preference list's top points until the failed test
+// reverses (Section 6.1.2). With an outlier-score preference list this is
+// "an extension of the outlier detection method to interpret failed KS
+// tests".
+
+#ifndef MOCHE_BASELINES_GREEDY_H_
+#define MOCHE_BASELINES_GREEDY_H_
+
+#include "baselines/explainer.h"
+
+namespace moche {
+namespace baselines {
+
+class GreedyExplainer : public Explainer {
+ public:
+  std::string name() const override { return "GRD"; }
+  bool uses_preference() const override { return true; }
+
+  Result<Explanation> Explain(const KsInstance& instance,
+                              const PreferenceList& preference) override;
+};
+
+}  // namespace baselines
+}  // namespace moche
+
+#endif  // MOCHE_BASELINES_GREEDY_H_

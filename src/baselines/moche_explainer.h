@@ -1,0 +1,44 @@
+// Adapter exposing MOCHE (and its MOCHE_ns ablation) through the baseline
+// Explainer interface so the experiment harness treats all methods
+// uniformly.
+
+#ifndef MOCHE_BASELINES_MOCHE_EXPLAINER_H_
+#define MOCHE_BASELINES_MOCHE_EXPLAINER_H_
+
+#include "baselines/explainer.h"
+#include "core/moche.h"
+
+namespace moche {
+namespace baselines {
+
+class MocheExplainer : public Explainer {
+ public:
+  explicit MocheExplainer(MocheOptions options = {}, std::string name = "M")
+      : engine_(options), name_(std::move(name)) {}
+
+  /// The paper's lower-bound ablation (Figure 5's "Mns").
+  static MocheExplainer WithoutLowerBound() {
+    MocheOptions opt;
+    opt.use_lower_bound = false;
+    return MocheExplainer(opt, "Mns");
+  }
+
+  std::string name() const override { return name_; }
+  bool uses_preference() const override { return true; }
+
+  Result<Explanation> Explain(const KsInstance& instance,
+                              const PreferenceList& preference) override {
+    auto report = engine_.Explain(instance, preference);
+    MOCHE_RETURN_IF_ERROR(report.status());
+    return std::move(report).value().explanation;
+  }
+
+ private:
+  Moche engine_;
+  std::string name_;
+};
+
+}  // namespace baselines
+}  // namespace moche
+
+#endif  // MOCHE_BASELINES_MOCHE_EXPLAINER_H_

@@ -1,0 +1,51 @@
+#include "baselines/s2g_explainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "timeseries/series2graph.h"
+
+namespace moche {
+namespace baselines {
+
+Result<Explanation> S2gExplainer::Explain(const KsInstance& instance,
+                                          const PreferenceList& preference) {
+  (void)preference;  // shape-based detector; no user preference input
+  const size_t m = instance.test.size();
+  size_t sub_len = static_cast<size_t>(
+      std::llround(options_.subsequence_fraction * static_cast<double>(m)));
+  sub_len = std::max(sub_len, options_.min_subsequence);
+  sub_len = std::min(sub_len, m);
+
+  ts::Series2GraphOptions s2g_opt;
+  s2g_opt.pattern_length = sub_len;
+  s2g_opt.num_sectors = options_.num_sectors;
+  MOCHE_ASSIGN_OR_RETURN(const ts::Series2Graph graph,
+                         ts::Series2Graph::Fit(instance.reference, s2g_opt));
+  MOCHE_ASSIGN_OR_RETURN(const std::vector<double> scores,
+                         graph.AnomalyScores(instance.test));
+
+  // Most anomalous subsequences first; list their points in temporal order.
+  std::vector<size_t> sub_order(scores.size());
+  for (size_t i = 0; i < sub_order.size(); ++i) sub_order[i] = i;
+  std::stable_sort(sub_order.begin(), sub_order.end(),
+                   [&](size_t a, size_t b) { return scores[a] > scores[b]; });
+  std::vector<size_t> order;
+  order.reserve(m);
+  std::vector<bool> listed(m, false);
+  for (size_t s : sub_order) {
+    for (size_t t = s; t < std::min(m, s + sub_len); ++t) {
+      if (!listed[t]) {
+        listed[t] = true;
+        order.push_back(t);
+      }
+    }
+  }
+  for (size_t t = 0; t < m; ++t) {
+    if (!listed[t]) order.push_back(t);
+  }
+  return GreedyPrefixExplanation(instance, order);
+}
+
+}  // namespace baselines
+}  // namespace moche

@@ -1,0 +1,37 @@
+// Extended-Series2Graph (S2G): like Extended-STOMP but with Series2Graph's
+// graph-based subsequence anomaly scores (Section 6.1.2). The graph is
+// learned on the reference window and scores the test window's
+// q-subsequences; q defaults to 5% of |T| per the paper's tuning.
+
+#ifndef MOCHE_BASELINES_S2G_EXPLAINER_H_
+#define MOCHE_BASELINES_S2G_EXPLAINER_H_
+
+#include "baselines/explainer.h"
+
+namespace moche {
+namespace baselines {
+
+struct S2gOptions {
+  double subsequence_fraction = 0.05;
+  size_t min_subsequence = 6;
+  size_t num_sectors = 36;
+};
+
+class S2gExplainer : public Explainer {
+ public:
+  explicit S2gExplainer(S2gOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "S2G"; }
+  bool uses_preference() const override { return false; }
+
+  Result<Explanation> Explain(const KsInstance& instance,
+                              const PreferenceList& preference) override;
+
+ private:
+  S2gOptions options_;
+};
+
+}  // namespace baselines
+}  // namespace moche
+
+#endif  // MOCHE_BASELINES_S2G_EXPLAINER_H_

@@ -1,0 +1,63 @@
+#include "baselines/stomp_explainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "timeseries/matrix_profile.h"
+
+namespace moche {
+namespace baselines {
+
+namespace {
+
+// Turns per-subsequence anomaly scores into a point removal order: walk
+// subsequences from most to least anomalous, appending their not-yet-listed
+// point indices in temporal order.
+std::vector<size_t> SubsequenceScoreOrder(const std::vector<double>& scores,
+                                          size_t sub_len, size_t m) {
+  std::vector<size_t> sub_order(scores.size());
+  for (size_t i = 0; i < sub_order.size(); ++i) sub_order[i] = i;
+  std::stable_sort(sub_order.begin(), sub_order.end(),
+                   [&](size_t a, size_t b) { return scores[a] > scores[b]; });
+  std::vector<size_t> order;
+  order.reserve(m);
+  std::vector<bool> listed(m, false);
+  for (size_t s : sub_order) {
+    for (size_t t = s; t < std::min(m, s + sub_len); ++t) {
+      if (!listed[t]) {
+        listed[t] = true;
+        order.push_back(t);
+      }
+    }
+  }
+  for (size_t t = 0; t < m; ++t) {  // points not covered by any subsequence
+    if (!listed[t]) order.push_back(t);
+  }
+  return order;
+}
+
+}  // namespace
+
+Result<Explanation> StompExplainer::Explain(const KsInstance& instance,
+                                            const PreferenceList& preference) {
+  (void)preference;  // shape-based detector; no user preference input
+  const size_t m = instance.test.size();
+  size_t sub_len = static_cast<size_t>(
+      std::llround(options_.subsequence_fraction * static_cast<double>(m)));
+  sub_len = std::max(sub_len, options_.min_subsequence);
+  sub_len = std::min(sub_len, m);
+  if (sub_len < 2 || instance.reference.size() < sub_len) {
+    return Status::InvalidArgument(
+        "windows too short for the configured subsequence length");
+  }
+
+  MOCHE_ASSIGN_OR_RETURN(
+      const ts::MatrixProfile profile,
+      ts::StompAbJoin(instance.test, instance.reference, sub_len));
+  const std::vector<size_t> order =
+      SubsequenceScoreOrder(profile.distances, sub_len, m);
+  return GreedyPrefixExplanation(instance, order);
+}
+
+}  // namespace baselines
+}  // namespace moche

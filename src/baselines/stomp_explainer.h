@@ -1,0 +1,41 @@
+// Extended-STOMP (STMP): score the q-subsequences of the test window with
+// the STOMP matrix profile against the reference window, then greedily
+// remove the points of the most anomalous subsequences until the KS test
+// passes (Section 6.1.2). q defaults to 5% of |T| — the setting the paper
+// selects after trying {5, 10, 20, 40}%. STMP cannot consume a preference
+// list; it needs the temporal order of the windows, which KsInstance
+// preserves.
+
+#ifndef MOCHE_BASELINES_STOMP_EXPLAINER_H_
+#define MOCHE_BASELINES_STOMP_EXPLAINER_H_
+
+#include "baselines/explainer.h"
+
+namespace moche {
+namespace baselines {
+
+struct StompOptions {
+  /// Subsequence length as a fraction of |T|.
+  double subsequence_fraction = 0.05;
+  /// Hard floor so tiny windows still get a meaningful profile.
+  size_t min_subsequence = 4;
+};
+
+class StompExplainer : public Explainer {
+ public:
+  explicit StompExplainer(StompOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "STMP"; }
+  bool uses_preference() const override { return false; }
+
+  Result<Explanation> Explain(const KsInstance& instance,
+                              const PreferenceList& preference) override;
+
+ private:
+  StompOptions options_;
+};
+
+}  // namespace baselines
+}  // namespace moche
+
+#endif  // MOCHE_BASELINES_STOMP_EXPLAINER_H_

@@ -1,0 +1,151 @@
+#include "core/bounds.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "ks/ks_test.h"
+#include "util/logging.h"
+
+namespace moche {
+
+namespace {
+// Absolute + relative slack absorbing the rounding difference between the
+// Lemma 1 algebra and the direct KS comparison.
+constexpr double kAbsTol = 1e-9;
+constexpr double kRelTol = 1e-12;
+
+double TolFor(double x) { return kAbsTol + kRelTol * std::fabs(x); }
+}  // namespace
+
+int64_t CeilTol(double x) {
+  return static_cast<int64_t>(std::ceil(x - TolFor(x)));
+}
+
+int64_t FloorTol(double x) {
+  return static_cast<int64_t>(std::floor(x + TolFor(x)));
+}
+
+BoundsEngine::BoundsEngine(const CumulativeFrame& frame, double alpha)
+    : frame_(frame), alpha_(alpha), c_alpha_(ks::CriticalValue(alpha)) {}
+
+double BoundsEngine::Omega(size_t h) const {
+  MOCHE_DCHECK(h < frame_.m());
+  const double rem = static_cast<double>(frame_.m() - h);
+  const double n = static_cast<double>(frame_.n());
+  return c_alpha_ * std::sqrt(rem + rem * rem / n);
+}
+
+double BoundsEngine::Gamma(size_t i, size_t h) const {
+  const double rem = static_cast<double>(frame_.m() - h);
+  const double n = static_cast<double>(frame_.n());
+  return static_cast<double>(frame_.CT(i)) -
+         (rem / n) * static_cast<double>(frame_.CR(i));
+}
+
+BoundsVectors BoundsEngine::ComputeBounds(size_t h) const {
+  const size_t q = frame_.q();
+  const int64_t hh = static_cast<int64_t>(h);
+  const int64_t m = static_cast<int64_t>(frame_.m());
+  const double omega = Omega(h);
+
+  BoundsVectors b;
+  b.lower.assign(q + 1, 0);
+  b.upper.assign(q + 1, 0);
+  double running_max_gamma = -std::numeric_limits<double>::infinity();
+  for (size_t i = 1; i <= q; ++i) {
+    const double gamma = Gamma(i, h);
+    running_max_gamma = std::max(running_max_gamma, gamma);
+    const int64_t lo =
+        std::max({CeilTol(running_max_gamma - omega), hh - m + frame_.CT(i),
+                  int64_t{0}});
+    const int64_t hi = std::min({FloorTol(gamma + omega), frame_.CT(i), hh});
+    b.lower[i] = lo;
+    b.upper[i] = hi;
+  }
+  return b;
+}
+
+bool BoundsEngine::ExistsQualified(size_t h) const {
+  const size_t q = frame_.q();
+  const int64_t hh = static_cast<int64_t>(h);
+  const int64_t m = static_cast<int64_t>(frame_.m());
+  const double omega = Omega(h);
+
+  double running_max_gamma = -std::numeric_limits<double>::infinity();
+  for (size_t i = 1; i <= q; ++i) {
+    const double gamma = Gamma(i, h);
+    running_max_gamma = std::max(running_max_gamma, gamma);
+    const int64_t lo =
+        std::max({CeilTol(running_max_gamma - omega), hh - m + frame_.CT(i),
+                  int64_t{0}});
+    const int64_t hi = std::min({FloorTol(gamma + omega), frame_.CT(i), hh});
+    if (lo > hi) return false;
+  }
+  return true;
+}
+
+bool BoundsEngine::NecessaryCondition(size_t h) const {
+  const size_t q = frame_.q();
+  const int64_t hh = static_cast<int64_t>(h);
+  const double omega = Omega(h);
+
+  double running_max_gamma = -std::numeric_limits<double>::infinity();
+  for (size_t i = 1; i <= q; ++i) {
+    const double gamma = Gamma(i, h);
+    running_max_gamma = std::max(running_max_gamma, gamma);
+    // Equation 5a: 0 <= floor(Gamma + Omega)
+    if (FloorTol(gamma + omega) < 0) return false;
+    // Equation 5b: ceil(M - Omega) <= h
+    if (CeilTol(running_max_gamma - omega) > hh) return false;
+    // Equation 5c: M - Omega <= Gamma + Omega (real-valued, with slack)
+    if (running_max_gamma - omega > gamma + omega + TolFor(gamma)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<std::vector<int64_t>> BoundsEngine::ConstructQualifiedVector(
+    size_t h) const {
+  const size_t q = frame_.q();
+  const BoundsVectors b = ComputeBounds(h);
+  for (size_t i = 1; i <= q; ++i) {
+    if (b.lower[i] > b.upper[i]) {
+      return Status::NotFound("no qualified cumulative vector at this size");
+    }
+  }
+  // Theorem 1 sufficiency: start from C[q] = u_q and walk down, keeping
+  // 0 <= C[i] - C[i-1] <= C_T[i] - C_T[i-1].
+  std::vector<int64_t> cum(q + 1, 0);
+  cum[q] = b.upper[q];
+  for (size_t i = q; i >= 1; --i) {
+    const int64_t lo_step = cum[i] - frame_.CountT(i);  // C[i-1] >= this
+    const int64_t lo = std::max(b.lower[i - 1], lo_step);
+    const int64_t hi = std::min(b.upper[i - 1], cum[i]);
+    if (lo > hi) {
+      return Status::Internal(
+          "Theorem 1 construction failed; bounds are inconsistent");
+    }
+    cum[i - 1] = lo;
+  }
+  if (cum[0] != 0) {
+    return Status::Internal("constructed vector does not start at 0");
+  }
+  if (cum[q] != static_cast<int64_t>(h)) {
+    return Status::Internal("constructed vector has the wrong cardinality");
+  }
+  return cum;
+}
+
+std::vector<double> BoundsEngine::VectorToSubset(
+    const std::vector<int64_t>& cum) const {
+  std::vector<double> out;
+  for (size_t i = 1; i <= frame_.q(); ++i) {
+    for (int64_t c = cum[i - 1]; c < cum[i]; ++c) {
+      out.push_back(frame_.Value(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace moche

@@ -1,0 +1,79 @@
+// The bounds engine: Lemma 1, Equation 4, Theorem 1 and Theorem 2.
+//
+// For a subset size h, Omega(h) = c_alpha * sqrt(m-h + (m-h)^2/n) and
+// Gamma(i,h) = C_T[i] - ((m-h)/n) * C_R[i] define per-coordinate lower and
+// upper bounds on any qualified h-cumulative vector (Equation 4):
+//   l_i^h = max(ceil(M(i,h) - Omega(h)), h - m + C_T[i], 0)
+//   u_i^h = min(floor(Gamma(i,h) + Omega(h)), C_T[i], h)
+// with M(i,h) = max_{j<=i} Gamma(j,h). Theorem 1: a qualified h-subset exists
+// iff l_i^h <= u_i^h for every i. Theorem 2 relaxes this to a condition
+// monotone in h, enabling the binary-searched lower bound of Section 4.4.
+
+#ifndef MOCHE_CORE_BOUNDS_H_
+#define MOCHE_CORE_BOUNDS_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/cumulative.h"
+#include "util/status.h"
+
+namespace moche {
+
+/// Floating-point guard for the ceilings/floors of Lemma 1: values within a
+/// tiny tolerance of an integer round to that integer, so that boundary-exact
+/// instances agree with the direct KS comparison (see DESIGN.md §7).
+int64_t CeilTol(double x);
+int64_t FloorTol(double x);
+
+/// Per-coordinate bounds of Equation 4 for one subset size h.
+/// Entry 0 is the constant C[0] = 0 (l[0] = u[0] = 0).
+struct BoundsVectors {
+  std::vector<int64_t> lower;  // length q+1
+  std::vector<int64_t> upper;  // length q+1
+};
+
+class BoundsEngine {
+ public:
+  /// The frame must outlive the engine. alpha in (0, 2).
+  BoundsEngine(const CumulativeFrame& frame, double alpha);
+
+  /// Omega(h) = c_alpha * sqrt(m-h + (m-h)^2/n), h in [0, m-1].
+  double Omega(size_t h) const;
+
+  /// Gamma(i,h) = C_T[i] - ((m-h)/n) * C_R[i], i in [1, q].
+  double Gamma(size_t i, size_t h) const;
+
+  /// The closed-form bounds of Equation 4 for subset size h.
+  BoundsVectors ComputeBounds(size_t h) const;
+
+  /// Theorem 1: true iff a qualified h-cumulative vector (equivalently a
+  /// qualified h-subset) exists. O(n + m) with early exit.
+  bool ExistsQualified(size_t h) const;
+
+  /// Theorem 2's necessary condition (Equation 5); monotone in h.
+  bool NecessaryCondition(size_t h) const;
+
+  /// Constructs an actual qualified h-cumulative vector via the Theorem 1
+  /// sufficiency argument, or NotFound when none exists. Used by tests and
+  /// by callers that want a witness subset rather than just the size.
+  Result<std::vector<int64_t>> ConstructQualifiedVector(size_t h) const;
+
+  /// Expands a cumulative vector into the multiset of values it denotes
+  /// (x_i repeated C[i]-C[i-1] times).
+  std::vector<double> VectorToSubset(const std::vector<int64_t>& cum) const;
+
+  const CumulativeFrame& frame() const { return frame_; }
+  double alpha() const { return alpha_; }
+  double critical_value() const { return c_alpha_; }
+
+ private:
+  const CumulativeFrame& frame_;
+  double alpha_;
+  double c_alpha_;
+};
+
+}  // namespace moche
+
+#endif  // MOCHE_CORE_BOUNDS_H_

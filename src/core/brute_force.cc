@@ -1,0 +1,119 @@
+#include "core/brute_force.h"
+
+#include <numeric>
+
+#include "ks/ks_test.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace moche {
+
+namespace {
+
+// Calls `visit` on every h-combination of [0, m) in lexicographic order
+// until it returns true; returns whether any visit succeeded.
+// Combinations are emitted as increasing index sequences, which is exactly
+// the (size-fixed) lexicographic order of Definition 2 when the indices are
+// positions in the preference list.
+template <typename Visitor>
+bool ForEachCombination(size_t m, size_t h, Visitor&& visit) {
+  std::vector<size_t> c(h);
+  std::iota(c.begin(), c.end(), size_t{0});
+  while (true) {
+    if (visit(c)) return true;
+    // advance to the next combination
+    size_t i = h;
+    bool advanced = false;
+    while (i-- > 0) {
+      if (c[i] != i + m - h) {
+        ++c[i];
+        for (size_t j = i + 1; j < h; ++j) c[j] = c[j - 1] + 1;
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) return false;
+  }
+}
+
+}  // namespace
+
+Result<Explanation> BruteForceExplainer::Explain(
+    const KsInstance& instance, const PreferenceList& preference) const {
+  const size_t m = instance.test.size();
+  if (m > options_.max_m) {
+    return Status::InvalidArgument(
+        StrFormat("test set too large for brute force (m=%zu > %zu)", m,
+                  options_.max_m));
+  }
+  MOCHE_RETURN_IF_ERROR(ValidatePreference(preference, m));
+  MOCHE_ASSIGN_OR_RETURN(const KsOutcome original, RunInstance(instance));
+  if (!original.reject) {
+    return Status::AlreadyPasses(
+        "R and T pass the KS test; there is nothing to explain");
+  }
+
+  RemovalKs removal(instance.reference, instance.test, instance.alpha);
+  for (size_t h = 1; h <= m - 1; ++h) {
+    Explanation found;
+    const bool any = ForEachCombination(
+        m, h, [&](const std::vector<size_t>& combo) {
+          removal.Reset();
+          for (size_t pos : combo) {
+            const Status st =
+                removal.RemoveValue(instance.test[preference[pos]]);
+            MOCHE_CHECK(st.ok());
+          }
+          if (!removal.Passes()) return false;
+          found.indices.clear();
+          for (size_t pos : combo) found.indices.push_back(preference[pos]);
+          return true;
+        });
+    if (any) return found;
+  }
+  return Status::NotFound("no subset reverses the failed KS test");
+}
+
+Result<size_t> BruteForceExplainer::MinimalSize(
+    const KsInstance& instance) const {
+  const size_t m = instance.test.size();
+  if (m > options_.max_m) {
+    return Status::InvalidArgument(
+        StrFormat("test set too large for brute force (m=%zu > %zu)", m,
+                  options_.max_m));
+  }
+  MOCHE_ASSIGN_OR_RETURN(const KsOutcome original, RunInstance(instance));
+  if (!original.reject) {
+    return Status::AlreadyPasses("R and T pass the KS test");
+  }
+  for (size_t h = 1; h <= m - 1; ++h) {
+    MOCHE_ASSIGN_OR_RETURN(const bool exists,
+                           ExistsQualifiedSubset(instance, h));
+    if (exists) return h;
+  }
+  return Status::NotFound("no subset reverses the failed KS test");
+}
+
+Result<bool> BruteForceExplainer::ExistsQualifiedSubset(
+    const KsInstance& instance, size_t h) const {
+  const size_t m = instance.test.size();
+  if (m > options_.max_m) {
+    return Status::InvalidArgument(
+        StrFormat("test set too large for brute force (m=%zu > %zu)", m,
+                  options_.max_m));
+  }
+  if (h == 0 || h >= m) {
+    return Status::InvalidArgument("subset size out of range");
+  }
+  RemovalKs removal(instance.reference, instance.test, instance.alpha);
+  return ForEachCombination(m, h, [&](const std::vector<size_t>& combo) {
+    removal.Reset();
+    for (size_t idx : combo) {
+      const Status st = removal.RemoveValue(instance.test[idx]);
+      MOCHE_CHECK(st.ok());
+    }
+    return removal.Passes();
+  });
+}
+
+}  // namespace moche

@@ -1,0 +1,48 @@
+// The brute-force explainer of Section 3.5: BFS over the set-enumeration
+// tree ordered first by subset size, then by lexicographic order under the
+// preference list. Exponential — usable only for small test sets — but it is
+// the ground truth the property tests compare MOCHE against.
+
+#ifndef MOCHE_CORE_BRUTE_FORCE_H_
+#define MOCHE_CORE_BRUTE_FORCE_H_
+
+#include <cstddef>
+
+#include "core/explanation.h"
+#include "core/instance.h"
+#include "core/preference.h"
+#include "util/status.h"
+
+namespace moche {
+
+struct BruteForceOptions {
+  /// Refuse instances with a larger test set (the subset count explodes).
+  size_t max_m = 25;
+};
+
+class BruteForceExplainer {
+ public:
+  explicit BruteForceExplainer(BruteForceOptions options = {})
+      : options_(options) {}
+
+  /// The most comprehensible explanation by exhaustive search: the first
+  /// subset, in (size, lexicographic-under-L) order, whose removal passes
+  /// the KS test. AlreadyPasses / NotFound semantics match Moche::Explain.
+  Result<Explanation> Explain(const KsInstance& instance,
+                              const PreferenceList& preference) const;
+
+  /// The smallest h such that some h-subset's removal passes the test.
+  Result<size_t> MinimalSize(const KsInstance& instance) const;
+
+  /// Exhaustively decides whether a qualified h-subset exists (the oracle
+  /// for Theorem 1 in the property tests).
+  Result<bool> ExistsQualifiedSubset(const KsInstance& instance,
+                                     size_t h) const;
+
+ private:
+  BruteForceOptions options_;
+};
+
+}  // namespace moche
+
+#endif  // MOCHE_CORE_BRUTE_FORCE_H_

@@ -1,0 +1,54 @@
+#include "core/builder.h"
+
+#include "core/partial.h"
+#include "util/string_util.h"
+
+namespace moche {
+
+Result<Explanation> BuildMostComprehensible(const BoundsEngine& engine,
+                                            size_t k,
+                                            const std::vector<double>& test,
+                                            const PreferenceList& pref,
+                                            bool incremental_check,
+                                            BuildStats* stats) {
+  const CumulativeFrame& frame = engine.frame();
+  if (test.size() != frame.m()) {
+    return Status::InvalidArgument("test set does not match the frame");
+  }
+  MOCHE_RETURN_IF_ERROR(ValidatePreference(pref, test.size()));
+
+  // Map each test point to its 1-based base-vector index once.
+  std::vector<size_t> value_index(test.size());
+  for (size_t i = 0; i < test.size(); ++i) {
+    MOCHE_ASSIGN_OR_RETURN(value_index[i], frame.IndexOfValue(test[i]));
+  }
+
+  MOCHE_ASSIGN_OR_RETURN(PartialExplanationChecker checker,
+                         PartialExplanationChecker::Create(engine, k));
+
+  Explanation expl;
+  expl.indices.reserve(k);
+  for (size_t pos = 0; pos < pref.size(); ++pos) {
+    const size_t t_idx = pref[pos];
+    const size_t v = value_index[t_idx];
+    if (stats != nullptr) ++stats->candidates_checked;
+    const bool feasible = incremental_check
+                              ? checker.CandidateFeasible(v)
+                              : checker.CandidateFeasibleFull(v);
+    if (feasible) {
+      checker.Accept(v);
+      expl.indices.push_back(t_idx);
+      if (checker.accepted_count() == k) {
+        if (stats != nullptr) stats->recursion_steps = checker.steps();
+        return expl;
+      }
+    }
+  }
+  if (stats != nullptr) stats->recursion_steps = checker.steps();
+  return Status::Internal(
+      StrFormat("scan exhausted after accepting %zu of %zu points; "
+                "phase 1 and phase 2 disagree",
+                checker.accepted_count(), k));
+}
+
+}  // namespace moche

@@ -1,0 +1,37 @@
+// Phase 2 of MOCHE: Algorithm 1 — constructing the most comprehensible
+// explanation by one scan of the test set in preference order, keeping each
+// point iff the grown set is still a partial explanation (Theorem 3).
+
+#ifndef MOCHE_CORE_BUILDER_H_
+#define MOCHE_CORE_BUILDER_H_
+
+#include <vector>
+
+#include "core/bounds.h"
+#include "core/explanation.h"
+#include "core/preference.h"
+#include "util/status.h"
+
+namespace moche {
+
+/// Counters for the construction scan (reported by the micro benches).
+struct BuildStats {
+  size_t candidates_checked = 0;  ///< Theorem 3 evaluations performed
+  size_t recursion_steps = 0;     ///< total backward-recursion steps
+};
+
+/// Runs Algorithm 1. `test` is the instance's test set in original order;
+/// `pref` the preference list; `k` the size found by phase 1.
+/// With `incremental_check` false, every Theorem 3 evaluation uses the
+/// paper-faithful full O(q) recursion.
+/// Returns the explanation as indices into `test`, listed in `pref` order.
+Result<Explanation> BuildMostComprehensible(const BoundsEngine& engine,
+                                            size_t k,
+                                            const std::vector<double>& test,
+                                            const PreferenceList& pref,
+                                            bool incremental_check = true,
+                                            BuildStats* stats = nullptr);
+
+}  // namespace moche
+
+#endif  // MOCHE_CORE_BUILDER_H_

@@ -1,0 +1,65 @@
+#include "core/cumulative.h"
+
+#include <algorithm>
+
+#include "ks/ks_test.h"
+#include "util/string_util.h"
+
+namespace moche {
+
+Result<CumulativeFrame> CumulativeFrame::Build(const std::vector<double>& r,
+                                               const std::vector<double>& t) {
+  MOCHE_RETURN_IF_ERROR(ks::ValidateSample(r, "reference set"));
+  MOCHE_RETURN_IF_ERROR(ks::ValidateSample(t, "test set"));
+
+  std::vector<double> rs = r;
+  std::vector<double> ts = t;
+  std::sort(rs.begin(), rs.end());
+  std::sort(ts.begin(), ts.end());
+
+  CumulativeFrame frame;
+  frame.n_ = r.size();
+  frame.m_ = t.size();
+  frame.cum_r_.push_back(0);
+  frame.cum_t_.push_back(0);
+
+  size_t i = 0;
+  size_t j = 0;
+  while (i < rs.size() || j < ts.size()) {
+    double x;
+    if (j >= ts.size() || (i < rs.size() && rs[i] <= ts[j])) {
+      x = rs[i];
+    } else {
+      x = ts[j];
+    }
+    while (i < rs.size() && rs[i] == x) ++i;
+    while (j < ts.size() && ts[j] == x) ++j;
+    frame.values_.push_back(x);
+    frame.cum_r_.push_back(static_cast<int64_t>(i));
+    frame.cum_t_.push_back(static_cast<int64_t>(j));
+  }
+  return frame;
+}
+
+Result<size_t> CumulativeFrame::IndexOfValue(double value) const {
+  const auto it = std::lower_bound(values_.begin(), values_.end(), value);
+  if (it == values_.end() || *it != value) {
+    return Status::NotFound(
+        StrFormat("value %g not in the base vector", value));
+  }
+  return static_cast<size_t>(it - values_.begin()) + 1;  // 1-based
+}
+
+Result<std::vector<int64_t>> CumulativeFrame::CumulativeOf(
+    const std::vector<double>& subset) const {
+  std::vector<int64_t> counts(q() + 1, 0);
+  for (double v : subset) {
+    MOCHE_ASSIGN_OR_RETURN(const size_t idx, IndexOfValue(v));
+    ++counts[idx];
+  }
+  // prefix-sum the per-value multiplicities into a cumulative vector
+  for (size_t i = 1; i <= q(); ++i) counts[i] += counts[i - 1];
+  return counts;
+}
+
+}  // namespace moche

@@ -1,0 +1,46 @@
+// Enumerating the j MOST comprehensible explanations.
+//
+// The paper motivates MOCHE with the Rashomon effect (Section 3.3): a
+// failed KS test can have up to C(|T|, k) distinct explanations, and
+// presenting all of them overwhelms the user — so MOCHE returns the single
+// lexicographically smallest one. In practice an analyst often wants the
+// top few alternatives ("show me three different stories"). This module
+// generalises Algorithm 1 into a lexicographic DFS: at every preference
+// position the include branch (feasible by Theorem 3) is explored before
+// the exclude branch, which emits explanations in exactly the
+// comprehensibility order of Definition 2.
+//
+// Worst-case exponential like any enumeration, so a check budget caps the
+// work; the first result always equals Moche::Explain's output.
+
+#ifndef MOCHE_CORE_ENUMERATE_H_
+#define MOCHE_CORE_ENUMERATE_H_
+
+#include <vector>
+
+#include "core/bounds.h"
+#include "core/explanation.h"
+#include "core/preference.h"
+#include "util/status.h"
+
+namespace moche {
+
+struct EnumerateOptions {
+  /// How many explanations to return (in comprehensibility order).
+  size_t count = 3;
+  /// Budget on Theorem 3 feasibility checks; ResourceExhausted if it runs
+  /// out before `count` explanations are found (the ones found so far are
+  /// reported in the error-free case only).
+  size_t max_checks = 1000000;
+};
+
+/// Returns up to `options.count` explanations of the failed test, smallest
+/// lexicographic (most comprehensible) first. `k` must come from phase 1.
+/// Returns fewer than `count` when the instance has fewer explanations.
+Result<std::vector<Explanation>> EnumerateTopExplanations(
+    const BoundsEngine& engine, size_t k, const std::vector<double>& test,
+    const PreferenceList& preference, const EnumerateOptions& options = {});
+
+}  // namespace moche
+
+#endif  // MOCHE_CORE_ENUMERATE_H_

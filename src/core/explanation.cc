@@ -1,0 +1,57 @@
+#include "core/explanation.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace moche {
+
+std::vector<double> ExplanationValues(const KsInstance& inst,
+                                      const Explanation& expl) {
+  std::vector<double> out;
+  out.reserve(expl.indices.size());
+  for (size_t idx : expl.indices) out.push_back(inst.test[idx]);
+  return out;
+}
+
+std::vector<double> RemoveExplanation(const KsInstance& inst,
+                                      const Explanation& expl) {
+  std::vector<bool> removed(inst.test.size(), false);
+  for (size_t idx : expl.indices) removed[idx] = true;
+  std::vector<double> out;
+  out.reserve(inst.test.size() - expl.indices.size());
+  for (size_t i = 0; i < inst.test.size(); ++i) {
+    if (!removed[i]) out.push_back(inst.test[i]);
+  }
+  return out;
+}
+
+Status ValidateExplanation(const KsInstance& inst, const Explanation& expl) {
+  const size_t m = inst.test.size();
+  std::vector<bool> seen(m, false);
+  for (size_t idx : expl.indices) {
+    if (idx >= m) {
+      return Status::OutOfRange(
+          StrFormat("explanation index %zu out of range (m=%zu)", idx, m));
+    }
+    if (seen[idx]) {
+      return Status::InvalidArgument(
+          StrFormat("explanation index %zu repeated", idx));
+    }
+    seen[idx] = true;
+  }
+  if (expl.indices.size() >= m) {
+    return Status::InvalidArgument("explanation removes the whole test set");
+  }
+  auto outcome = ks::Run(inst.reference, RemoveExplanation(inst, expl),
+                         inst.alpha);
+  MOCHE_RETURN_IF_ERROR(outcome.status());
+  if (outcome->reject) {
+    return Status::InvalidArgument(
+        StrFormat("removal does not reverse the test: D=%.6f > p=%.6f",
+                  outcome->statistic, outcome->threshold));
+  }
+  return Status::OK();
+}
+
+}  // namespace moche

@@ -1,0 +1,40 @@
+// The output type of every explainer, plus validation helpers.
+
+#ifndef MOCHE_CORE_EXPLANATION_H_
+#define MOCHE_CORE_EXPLANATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/instance.h"
+#include "util/status.h"
+
+namespace moche {
+
+/// A counterfactual explanation: indices into the instance's test set whose
+/// removal reverses the failed KS test (Definition 1). For MOCHE the indices
+/// are listed in preference-list order.
+struct Explanation {
+  std::vector<size_t> indices;
+
+  size_t size() const { return indices.size(); }
+  bool empty() const { return indices.empty(); }
+};
+
+/// The values the explanation removes, in the order of `indices`.
+std::vector<double> ExplanationValues(const KsInstance& inst,
+                                      const Explanation& expl);
+
+/// The test set with the explanation removed (arbitrary order).
+std::vector<double> RemoveExplanation(const KsInstance& inst,
+                                      const Explanation& expl);
+
+/// Verifies the contract of Definition 1 mechanically: indices are valid and
+/// distinct, at least one test point remains, and R vs T \ I passes the KS
+/// test at the instance's alpha. (It does NOT verify minimality; use the
+/// brute-force explainer for that.)
+Status ValidateExplanation(const KsInstance& inst, const Explanation& expl);
+
+}  // namespace moche
+
+#endif  // MOCHE_CORE_EXPLANATION_H_

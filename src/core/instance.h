@@ -1,0 +1,30 @@
+// A single failed-KS-test instance: the unit of work every explainer
+// (MOCHE, brute force, and all six baselines) consumes.
+
+#ifndef MOCHE_CORE_INSTANCE_H_
+#define MOCHE_CORE_INSTANCE_H_
+
+#include <vector>
+
+#include "ks/ks_test.h"
+#include "util/status.h"
+
+namespace moche {
+
+/// A reference set R, a test set T (kept in their original order so that
+/// explanation indices and preference lists are meaningful) and the
+/// significance level of the KS test.
+struct KsInstance {
+  std::vector<double> reference;
+  std::vector<double> test;
+  double alpha = 0.05;
+};
+
+/// Runs the KS test on the instance (validates shapes and alpha).
+inline Result<KsOutcome> RunInstance(const KsInstance& inst) {
+  return ks::Run(inst.reference, inst.test, inst.alpha);
+}
+
+}  // namespace moche
+
+#endif  // MOCHE_CORE_INSTANCE_H_

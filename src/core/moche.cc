@@ -1,0 +1,70 @@
+#include "core/moche.h"
+
+#include "core/bounds.h"
+#include "core/cumulative.h"
+#include "util/timer.h"
+
+namespace moche {
+
+Result<MocheReport> Moche::Explain(const std::vector<double>& reference,
+                                   const std::vector<double>& test,
+                                   double alpha,
+                                   const PreferenceList& preference) const {
+  MOCHE_RETURN_IF_ERROR(ValidatePreference(preference, test.size()));
+  MOCHE_ASSIGN_OR_RETURN(const KsOutcome original,
+                         ks::Run(reference, test, alpha));
+  if (!original.reject) {
+    return Status::AlreadyPasses(
+        "R and T pass the KS test; there is nothing to explain");
+  }
+
+  MocheReport report;
+  report.original = original;
+
+  MOCHE_ASSIGN_OR_RETURN(const CumulativeFrame frame,
+                         CumulativeFrame::Build(reference, test));
+  const BoundsEngine engine(frame, alpha);
+
+  WallTimer timer;
+  const SizeSearcher searcher(engine);
+  MOCHE_ASSIGN_OR_RETURN(report.size_stats,
+                         searcher.FindSize(options_.use_lower_bound));
+  report.k = report.size_stats.k;
+  report.k_hat = report.size_stats.k_hat;
+  report.seconds_size_search = timer.Seconds();
+
+  timer.Restart();
+  MOCHE_ASSIGN_OR_RETURN(
+      report.explanation,
+      BuildMostComprehensible(engine, report.k, test, preference,
+                              options_.incremental_partial_check,
+                              &report.build_stats));
+  report.seconds_construction = timer.Seconds();
+
+  KsInstance inst{reference, test, alpha};
+  MOCHE_ASSIGN_OR_RETURN(
+      report.after,
+      ks::Run(reference, RemoveExplanation(inst, report.explanation), alpha));
+  if (options_.validate_result && report.after.reject) {
+    return Status::Internal(
+        "constructed explanation does not reverse the KS test");
+  }
+  return report;
+}
+
+Result<SizeSearchResult> Moche::FindExplanationSize(
+    const std::vector<double>& reference, const std::vector<double>& test,
+    double alpha) const {
+  MOCHE_ASSIGN_OR_RETURN(const KsOutcome original,
+                         ks::Run(reference, test, alpha));
+  if (!original.reject) {
+    return Status::AlreadyPasses(
+        "R and T pass the KS test; there is nothing to explain");
+  }
+  MOCHE_ASSIGN_OR_RETURN(const CumulativeFrame frame,
+                         CumulativeFrame::Build(reference, test));
+  const BoundsEngine engine(frame, alpha);
+  return SizeSearcher(engine).FindSize(options_.use_lower_bound);
+}
+
+}  // namespace moche

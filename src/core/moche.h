@@ -1,0 +1,87 @@
+// The public facade of the library: MOCHE end to end.
+//
+//   moche::Moche engine;
+//   auto report = engine.Explain(reference, test, /*alpha=*/0.05, preference);
+//   if (report.ok()) { /* report->explanation.indices ... */ }
+//
+// Explain returns:
+//  * AlreadyPasses when R and T pass the KS test (nothing to explain),
+//  * NotFound when no explanation exists (possible only for alpha > 2/e^2,
+//    cf. Proposition 1),
+//  * otherwise the unique most comprehensible counterfactual explanation.
+
+#ifndef MOCHE_CORE_MOCHE_H_
+#define MOCHE_CORE_MOCHE_H_
+
+#include <vector>
+
+#include "core/builder.h"
+#include "core/explanation.h"
+#include "core/instance.h"
+#include "core/preference.h"
+#include "core/size_search.h"
+#include "util/status.h"
+
+namespace moche {
+
+/// Tuning knobs; the defaults reproduce the full MOCHE algorithm.
+struct MocheOptions {
+  /// Phase 1 lower bound via Theorem 2 binary search. Disabling reproduces
+  /// the paper's MOCHE_ns ablation (Figure 5).
+  bool use_lower_bound = true;
+
+  /// Incremental Theorem 3 checks in phase 2 (our optimization). Disabling
+  /// uses the paper-faithful O(q)-per-candidate recursion. Both modes return
+  /// identical explanations.
+  bool incremental_partial_check = true;
+
+  /// Re-run the KS test on R vs T \ I before returning (cheap insurance;
+  /// an Internal error here would indicate a bug in the bounds algebra).
+  bool validate_result = true;
+};
+
+/// Everything one Explain call produces.
+struct MocheReport {
+  Explanation explanation;     ///< indices into the test set, in L order
+  size_t k = 0;                ///< explanation size
+  size_t k_hat = 0;            ///< Theorem 2 lower bound (== k start of scan)
+  KsOutcome original;          ///< the failed test being explained
+  KsOutcome after;             ///< outcome on R vs T \ I (passes)
+  double seconds_size_search = 0.0;
+  double seconds_construction = 0.0;
+  SizeSearchResult size_stats;
+  BuildStats build_stats;
+};
+
+class Moche {
+ public:
+  explicit Moche(MocheOptions options = {}) : options_(options) {}
+
+  /// Explains why (reference, test) fail the KS test at `alpha`, returning
+  /// the most comprehensible explanation under `preference`.
+  Result<MocheReport> Explain(const std::vector<double>& reference,
+                              const std::vector<double>& test, double alpha,
+                              const PreferenceList& preference) const;
+
+  /// Convenience overload for a packaged instance.
+  Result<MocheReport> Explain(const KsInstance& instance,
+                              const PreferenceList& preference) const {
+    return Explain(instance.reference, instance.test, instance.alpha,
+                   preference);
+  }
+
+  /// Phase 1 only: the explanation size (and lower bound) without building
+  /// the explanation. Useful when only conciseness is needed.
+  Result<SizeSearchResult> FindExplanationSize(
+      const std::vector<double>& reference, const std::vector<double>& test,
+      double alpha) const;
+
+  const MocheOptions& options() const { return options_; }
+
+ private:
+  MocheOptions options_;
+};
+
+}  // namespace moche
+
+#endif  // MOCHE_CORE_MOCHE_H_

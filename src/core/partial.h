@@ -1,0 +1,82 @@
+// Phase 2 primitive: deciding whether S u {x_v} is a partial explanation
+// (Lemma 2 + Theorem 3).
+//
+// Fix the explanation size k and the Equation-4 bounds l^k, u^k. For a
+// candidate multiset S, define the tightened upper bounds
+//   ubar_q = u^k_q,   ubar_{i-1} = min(u^k_{i-1}, ubar_i - (C_S[i]-C_S[i-1]))
+// and keep lbar_i = l^k_i. Theorem 3: S extends to some (size-k) explanation
+// iff lbar_i <= ubar_i for every i in [0, q].
+//
+// Two check modes are provided:
+//  * Full      — the paper's O(q) backward recursion per candidate.
+//  * Incremental — adding one occurrence of x_v only changes ubar at indices
+//    below v, and the recursion is monotone, so the walk can stop as soon as
+//    the recomputed value matches the cached one. Same answers, usually far
+//    fewer steps; benched as an ablation in bench_micro_core.
+
+#ifndef MOCHE_CORE_PARTIAL_H_
+#define MOCHE_CORE_PARTIAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bounds.h"
+#include "core/cumulative.h"
+#include "util/status.h"
+
+namespace moche {
+
+class PartialExplanationChecker {
+ public:
+  /// Requires that a qualified k-subset exists (i.e. k came from phase 1);
+  /// returns Internal otherwise. The frame and engine must outlive the
+  /// checker.
+  static Result<PartialExplanationChecker> Create(const BoundsEngine& engine,
+                                                  size_t k);
+
+  /// True iff (accepted multiset) u {x_v} is a partial explanation.
+  /// v is the 1-based base-vector index of the candidate value.
+  /// Incremental mode; does not modify the accepted set.
+  bool CandidateFeasible(size_t v);
+
+  /// Paper-faithful full O(q) recomputation; same answer as
+  /// CandidateFeasible. Does not modify the accepted set.
+  bool CandidateFeasibleFull(size_t v);
+
+  /// Commits x_v into the accepted multiset. The candidate must be feasible
+  /// (checked in debug builds).
+  void Accept(size_t v);
+
+  /// Number of accepted points so far.
+  size_t accepted_count() const { return accepted_count_; }
+
+  size_t k() const { return k_; }
+
+  /// Total recursion steps performed across all checks (for the ablation
+  /// bench: full mode pays ~q per candidate, incremental far less).
+  size_t steps() const { return steps_; }
+
+ private:
+  PartialExplanationChecker(const BoundsEngine& engine, size_t k);
+
+  // Walks the recursion downward for candidate v, recording changed ubar
+  // entries in scratch_[scratch_lo_ .. v-1]. Returns feasibility.
+  bool WalkCandidate(size_t v);
+
+  const CumulativeFrame& frame_;
+  size_t k_ = 0;
+  std::vector<int64_t> lk_;      // l^k, length q+1
+  std::vector<int64_t> uk_;      // u^k, length q+1
+  std::vector<int64_t> counts_;  // accepted multiplicity per value index, 1..q
+  std::vector<int64_t> ubar_;    // cached ubar of the accepted set
+  std::vector<int64_t> scratch_;
+  size_t scratch_lo_ = 0;        // lowest index written into scratch_
+  size_t scratch_v_ = 0;         // candidate the scratch corresponds to
+  bool scratch_valid_ = false;
+  size_t accepted_count_ = 0;
+  size_t steps_ = 0;
+};
+
+}  // namespace moche
+
+#endif  // MOCHE_CORE_PARTIAL_H_

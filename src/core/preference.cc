@@ -1,0 +1,71 @@
+#include "core/preference.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/string_util.h"
+
+namespace moche {
+
+Status ValidatePreference(const PreferenceList& pref, size_t m) {
+  if (pref.size() != m) {
+    return Status::InvalidArgument(
+        StrFormat("preference list has %zu entries, test set has %zu",
+                  pref.size(), m));
+  }
+  std::vector<bool> seen(m, false);
+  for (size_t idx : pref) {
+    if (idx >= m) {
+      return Status::OutOfRange(
+          StrFormat("preference entry %zu out of range (m=%zu)", idx, m));
+    }
+    if (seen[idx]) {
+      return Status::InvalidArgument(
+          StrFormat("preference entry %zu repeated", idx));
+    }
+    seen[idx] = true;
+  }
+  return Status::OK();
+}
+
+PreferenceList IdentityPreference(size_t m) {
+  PreferenceList pref(m);
+  std::iota(pref.begin(), pref.end(), size_t{0});
+  return pref;
+}
+
+PreferenceList PreferenceByScoreDesc(const std::vector<double>& scores) {
+  PreferenceList pref = IdentityPreference(scores.size());
+  std::stable_sort(pref.begin(), pref.end(), [&](size_t a, size_t b) {
+    return scores[a] > scores[b];
+  });
+  return pref;
+}
+
+PreferenceList PreferenceByScoreAsc(const std::vector<double>& scores) {
+  PreferenceList pref = IdentityPreference(scores.size());
+  std::stable_sort(pref.begin(), pref.end(), [&](size_t a, size_t b) {
+    return scores[a] < scores[b];
+  });
+  return pref;
+}
+
+PreferenceList PreferenceByValue(const std::vector<double>& values,
+                                 bool descending) {
+  return descending ? PreferenceByScoreDesc(values)
+                    : PreferenceByScoreAsc(values);
+}
+
+PreferenceList RandomPreference(size_t m, Rng* rng) {
+  PreferenceList pref = IdentityPreference(m);
+  rng->Shuffle(&pref);
+  return pref;
+}
+
+std::vector<size_t> PreferenceRanks(const PreferenceList& pref) {
+  std::vector<size_t> rank(pref.size());
+  for (size_t pos = 0; pos < pref.size(); ++pos) rank[pref[pos]] = pos;
+  return rank;
+}
+
+}  // namespace moche

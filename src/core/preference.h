@@ -1,0 +1,45 @@
+// Preference lists: the user-domain-knowledge input of Definition 2.
+//
+// A preference list is a permutation of the test-set indices [0, m); the
+// point at position 0 is the user's most preferred candidate for inclusion
+// in the explanation.
+
+#ifndef MOCHE_CORE_PREFERENCE_H_
+#define MOCHE_CORE_PREFERENCE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace moche {
+
+using PreferenceList = std::vector<size_t>;
+
+/// Checks that `pref` is a permutation of [0, m).
+Status ValidatePreference(const PreferenceList& pref, size_t m);
+
+/// 0, 1, 2, ... — "the user prefers earlier test points".
+PreferenceList IdentityPreference(size_t m);
+
+/// Ranks points by descending score; ties broken by ascending index
+/// (deterministic). Used with outlier scores, e.g. Spectral Residual.
+PreferenceList PreferenceByScoreDesc(const std::vector<double>& scores);
+
+/// Ranks points by ascending score; ties broken by ascending index.
+PreferenceList PreferenceByScoreAsc(const std::vector<double>& scores);
+
+/// Ranks points by their own value (descending when `descending`).
+PreferenceList PreferenceByValue(const std::vector<double>& values,
+                                 bool descending);
+
+/// Uniformly random total order (Section 6.4 synthetic experiments).
+PreferenceList RandomPreference(size_t m, Rng* rng);
+
+/// rank[i] = position of test point i in `pref` (the inverse permutation).
+std::vector<size_t> PreferenceRanks(const PreferenceList& pref);
+
+}  // namespace moche
+
+#endif  // MOCHE_CORE_PREFERENCE_H_

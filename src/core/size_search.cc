@@ -1,0 +1,55 @@
+#include "core/size_search.h"
+
+namespace moche {
+
+Result<size_t> SizeSearcher::LowerBound(size_t* checks) const {
+  const size_t m = engine_.frame().m();
+  if (m < 2) {
+    return Status::InvalidArgument("test set too small to explain");
+  }
+  size_t local_checks = 0;
+  // Invariant: condition holds at `hi`, fails at `lo` (half-open search).
+  size_t hi = m - 1;
+  ++local_checks;
+  if (!engine_.NecessaryCondition(hi)) {
+    if (checks != nullptr) *checks += local_checks;
+    return Status::NotFound(
+        "no subset size satisfies Theorem 2; no explanation exists");
+  }
+  size_t lo = 0;  // sentinel below the valid range
+  while (hi - lo > 1) {
+    const size_t mid = lo + (hi - lo) / 2;
+    ++local_checks;
+    if (engine_.NecessaryCondition(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  if (checks != nullptr) *checks += local_checks;
+  return hi;
+}
+
+Result<SizeSearchResult> SizeSearcher::FindSize(bool use_lower_bound) const {
+  const size_t m = engine_.frame().m();
+  if (m < 2) {
+    return Status::InvalidArgument("test set too small to explain");
+  }
+  SizeSearchResult result;
+  size_t start = 1;
+  if (use_lower_bound) {
+    MOCHE_ASSIGN_OR_RETURN(start, LowerBound(&result.theorem2_checks));
+  }
+  result.k_hat = start;
+  for (size_t h = start; h <= m - 1; ++h) {
+    ++result.theorem1_checks;
+    if (engine_.ExistsQualified(h)) {
+      result.k = h;
+      return result;
+    }
+  }
+  return Status::NotFound(
+      "no qualified subset of any size; no explanation exists");
+}
+
+}  // namespace moche

@@ -1,0 +1,48 @@
+// Phase 1 of MOCHE: finding the explanation size k (paper Section 4).
+//
+// Theorem 2's necessary condition is monotone in h, so the smallest h
+// satisfying it — a lower bound k_hat <= k — is found by binary search in
+// O((n+m) log m). A linear scan with the exact Theorem 1 check from k_hat
+// upward then yields k. Disabling the lower bound (scanning from h = 1)
+// reproduces the paper's MOCHE_ns ablation.
+
+#ifndef MOCHE_CORE_SIZE_SEARCH_H_
+#define MOCHE_CORE_SIZE_SEARCH_H_
+
+#include <cstddef>
+
+#include "core/bounds.h"
+#include "util/status.h"
+
+namespace moche {
+
+/// Outcome of the size search, including the counters the paper's
+/// efficiency study reports (Figure 6's EE = k - k_hat; Figure 5's
+/// MOCHE vs MOCHE_ns gap is driven by theorem1_checks).
+struct SizeSearchResult {
+  size_t k = 0;               ///< the explanation size
+  size_t k_hat = 0;           ///< lower bound from Theorem 2 (== scan start)
+  size_t theorem1_checks = 0; ///< number of O(n+m) Theorem 1 evaluations
+  size_t theorem2_checks = 0; ///< number of O(n+m) Theorem 2 evaluations
+};
+
+class SizeSearcher {
+ public:
+  explicit SizeSearcher(const BoundsEngine& engine) : engine_(engine) {}
+
+  /// Binary-searches the smallest h in [1, m-1] satisfying Theorem 2.
+  /// NotFound when even h = m-1 fails (possible only when alpha > 2/e^2).
+  /// `checks` (optional) accumulates the number of condition evaluations.
+  Result<size_t> LowerBound(size_t* checks = nullptr) const;
+
+  /// Full phase 1. With `use_lower_bound` false the Theorem 1 scan starts
+  /// at h = 1 (the MOCHE_ns ablation).
+  Result<SizeSearchResult> FindSize(bool use_lower_bound = true) const;
+
+ private:
+  const BoundsEngine& engine_;
+};
+
+}  // namespace moche
+
+#endif  // MOCHE_CORE_SIZE_SEARCH_H_

@@ -1,0 +1,173 @@
+#include "datasets/covid.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace moche {
+namespace datasets {
+
+namespace {
+
+constexpr int kNumAgeGroups = 10;
+constexpr int kNumHa = 5;
+
+// Relative August age-group frequencies, shaped after the paper's
+// Figure 1a: the bulk of cases in the 20-40 bins, a thin senior tail.
+constexpr double kAugustAgeFreq[kNumAgeGroups] = {
+    0.040, 0.095, 0.225, 0.175, 0.130, 0.120, 0.105, 0.060, 0.033, 0.017};
+
+// September shifts mass into the middle (30-60) and senior (70-80) groups —
+// the pattern the case study attributes to the Fraser HA outbreak. The
+// shift strength is calibrated so MOCHE's explanation size lands near the
+// paper's 291 points (~8.6 % of |T|); see the covid_test calibration test.
+constexpr double kSeptemberAgeFreq[kNumAgeGroups] = {
+    0.033, 0.079, 0.179, 0.198, 0.157, 0.139, 0.105, 0.063, 0.033, 0.014};
+
+// HA shares of the baseline caseload (population-ordered, FHA largest).
+constexpr double kAugustHaFreq[kNumHa] = {0.42, 0.27, 0.12, 0.11, 0.08};
+
+// In September the excess is concentrated in FHA.
+constexpr double kSeptemberHaFreq[kNumHa] = {0.52, 0.22, 0.10, 0.09, 0.07};
+
+// Deterministically expands target fractions into exact per-bin counts that
+// sum to `total` (largest-remainder rounding), so the KS geometry of the
+// instance — and therefore the explanation size — is stable across runs.
+std::vector<size_t> Apportion(const double* freq, int bins, size_t total) {
+  std::vector<size_t> counts(bins, 0);
+  std::vector<std::pair<double, int>> remainders;
+  size_t assigned = 0;
+  for (int b = 0; b < bins; ++b) {
+    const double exact = freq[b] * static_cast<double>(total);
+    counts[b] = static_cast<size_t>(exact);
+    assigned += counts[b];
+    remainders.push_back({exact - static_cast<double>(counts[b]), b});
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (size_t i = 0; assigned < total; ++i, ++assigned) {
+    ++counts[remainders[i % remainders.size()].second];
+  }
+  return counts;
+}
+
+}  // namespace
+
+const char* HealthAuthorityName(HealthAuthority ha) {
+  switch (ha) {
+    case HealthAuthority::kFHA:
+      return "FHA";
+    case HealthAuthority::kVCHA:
+      return "VCHA";
+    case HealthAuthority::kNHA:
+      return "NHA";
+    case HealthAuthority::kIHA:
+      return "IHA";
+    case HealthAuthority::kVIHA:
+      return "VIHA";
+  }
+  return "?";
+}
+
+CovidData MakeCovidData(const CovidOptions& options) {
+  Rng rng(options.seed);
+  CovidData data;
+
+  auto build_month = [&](const double* age_freq, const double* ha_freq,
+                         size_t total, std::vector<int>* ages,
+                         std::vector<HealthAuthority>* has) {
+    const std::vector<size_t> age_counts =
+        Apportion(age_freq, kNumAgeGroups, total);
+    for (int g = 0; g < kNumAgeGroups; ++g) {
+      const std::vector<size_t> ha_counts =
+          Apportion(ha_freq, kNumHa, age_counts[g]);
+      for (int h = 0; h < kNumHa; ++h) {
+        for (size_t c = 0; c < ha_counts[h]; ++c) {
+          ages->push_back(g + 1);
+          has->push_back(static_cast<HealthAuthority>(h));
+        }
+      }
+    }
+    // Shuffle case order (reporting order is arbitrary); ages/HAs stay
+    // paired.
+    std::vector<size_t> perm(ages->size());
+    std::iota(perm.begin(), perm.end(), size_t{0});
+    rng.Shuffle(&perm);
+    std::vector<int> shuffled_ages(ages->size());
+    std::vector<HealthAuthority> shuffled_has(ages->size());
+    for (size_t i = 0; i < perm.size(); ++i) {
+      shuffled_ages[i] = (*ages)[perm[i]];
+      shuffled_has[i] = (*has)[perm[i]];
+    }
+    *ages = std::move(shuffled_ages);
+    *has = std::move(shuffled_has);
+  };
+
+  build_month(kAugustAgeFreq, kAugustHaFreq, options.august_cases,
+              &data.august_age, &data.august_ha);
+  build_month(kSeptemberAgeFreq, kSeptemberHaFreq, options.september_cases,
+              &data.september_age, &data.september_ha);
+  return data;
+}
+
+KsInstance CovidData::MakeInstance(double alpha) const {
+  KsInstance inst;
+  inst.alpha = alpha;
+  inst.reference.reserve(august_age.size());
+  for (int a : august_age) inst.reference.push_back(static_cast<double>(a));
+  inst.test.reserve(september_age.size());
+  for (int a : september_age) inst.test.push_back(static_cast<double>(a));
+  return inst;
+}
+
+PreferenceList CovidData::PreferenceByHaPopulationDesc() const {
+  // HA enum values are already population-descending.
+  std::vector<double> keys(september_ha.size());
+  for (size_t i = 0; i < september_ha.size(); ++i) {
+    keys[i] = -static_cast<double>(static_cast<int>(september_ha[i]));
+  }
+  return PreferenceByScoreDesc(keys);
+}
+
+PreferenceList CovidData::PreferenceByAgeGroupDesc() const {
+  std::vector<double> keys(september_age.size());
+  for (size_t i = 0; i < september_age.size(); ++i) {
+    keys[i] = static_cast<double>(september_age[i]);
+  }
+  return PreferenceByScoreDesc(keys);
+}
+
+std::vector<double> CovidData::AgeHistogram(const std::vector<int>& ages) {
+  std::vector<double> hist(kNumAgeGroups, 0.0);
+  for (int a : ages) {
+    MOCHE_CHECK(a >= 1 && a <= kNumAgeGroups);
+    hist[a - 1] += 1.0;
+  }
+  const double total = std::max<double>(1.0, static_cast<double>(ages.size()));
+  for (double& h : hist) h /= total;
+  return hist;
+}
+
+std::vector<size_t> CovidData::HaCounts(
+    const std::vector<size_t>& indices) const {
+  std::vector<size_t> counts(kNumHa, 0);
+  for (size_t idx : indices) {
+    MOCHE_CHECK(idx < september_ha.size());
+    ++counts[static_cast<int>(september_ha[idx])];
+  }
+  return counts;
+}
+
+std::vector<size_t> CovidData::AgeCounts(
+    const std::vector<size_t>& indices) const {
+  std::vector<size_t> counts(kNumAgeGroups, 0);
+  for (size_t idx : indices) {
+    MOCHE_CHECK(idx < september_age.size());
+    ++counts[september_age[idx] - 1];
+  }
+  return counts;
+}
+
+}  // namespace datasets
+}  // namespace moche

@@ -1,0 +1,46 @@
+#include "datasets/synthetic.h"
+
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace moche {
+namespace datasets {
+
+Result<KsInstance> MakeKiferDriftInstance(const DriftOptions& options) {
+  if (options.size < 4) {
+    return Status::InvalidArgument("size must be at least 4");
+  }
+  if (options.contamination < 0.0 || options.contamination > 1.0) {
+    return Status::InvalidArgument("contamination must be in [0, 1]");
+  }
+  Rng rng(options.seed);
+  const size_t replaced = static_cast<size_t>(
+      options.contamination * static_cast<double>(options.size));
+
+  for (size_t attempt = 0; attempt < options.max_attempts; ++attempt) {
+    KsInstance inst;
+    inst.alpha = options.alpha;
+    inst.reference.reserve(options.size);
+    inst.test.reserve(options.size);
+    for (size_t i = 0; i < options.size; ++i) {
+      inst.reference.push_back(rng.Normal());
+      inst.test.push_back(rng.Normal());
+    }
+    // Replace the first `replaced` positions, then shuffle-position them by
+    // sampling indices, so the contamination is spread over the window.
+    const std::vector<size_t> positions =
+        rng.SampleWithoutReplacement(options.size, replaced);
+    for (size_t pos : positions) {
+      inst.test[pos] = rng.Uniform(options.uniform_lo, options.uniform_hi);
+    }
+    auto outcome = RunInstance(inst);
+    MOCHE_RETURN_IF_ERROR(outcome.status());
+    if (outcome->reject) return inst;
+  }
+  return Status::ResourceExhausted(
+      StrFormat("no failing instance after %zu attempts (w=%zu, p=%.3f)",
+                options.max_attempts, options.size, options.contamination));
+}
+
+}  // namespace datasets
+}  // namespace moche

@@ -1,0 +1,35 @@
+// The paper's synthetic scalability workload (Section 6.4, after Kifer et
+// al. [24]): R and T both drawn from N(0,1) with the same size w, then a
+// p-fraction of T replaced by samples from U[-7, 7], so that R and T fail
+// the KS test at alpha = 0.05.
+
+#ifndef MOCHE_DATASETS_SYNTHETIC_H_
+#define MOCHE_DATASETS_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "core/instance.h"
+#include "util/status.h"
+
+namespace moche {
+namespace datasets {
+
+struct DriftOptions {
+  size_t size = 10000;          ///< w = |R| = |T|
+  double contamination = 0.03;  ///< p: fraction of T replaced
+  double alpha = 0.05;
+  double uniform_lo = -7.0;
+  double uniform_hi = 7.0;
+  uint64_t seed = 1;
+  /// Number of re-draws allowed until the instance actually fails the test.
+  size_t max_attempts = 50;
+};
+
+/// Generates one failing instance; ResourceExhausted if max_attempts random
+/// draws never fail the test (possible for tiny contamination).
+Result<KsInstance> MakeKiferDriftInstance(const DriftOptions& options = {});
+
+}  // namespace datasets
+}  // namespace moche
+
+#endif  // MOCHE_DATASETS_SYNTHETIC_H_

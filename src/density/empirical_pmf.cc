@@ -1,0 +1,35 @@
+#include "density/empirical_pmf.h"
+
+#include <algorithm>
+
+namespace moche {
+namespace density {
+
+Result<EmpiricalPmf> EmpiricalPmf::Fit(const std::vector<double>& sample) {
+  if (sample.empty()) {
+    return Status::InvalidArgument("PMF needs a non-empty sample");
+  }
+  std::vector<double> sorted = sample;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> values;
+  std::vector<double> probs;
+  const double n = static_cast<double>(sorted.size());
+  size_t i = 0;
+  while (i < sorted.size()) {
+    size_t j = i;
+    while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+    values.push_back(sorted[i]);
+    probs.push_back(static_cast<double>(j - i) / n);
+    i = j;
+  }
+  return EmpiricalPmf(std::move(values), std::move(probs));
+}
+
+double EmpiricalPmf::Evaluate(double x) const {
+  const auto it = std::lower_bound(values_.begin(), values_.end(), x);
+  if (it == values_.end() || *it != x) return 0.0;
+  return probs_[static_cast<size_t>(it - values_.begin())];
+}
+
+}  // namespace density
+}  // namespace moche

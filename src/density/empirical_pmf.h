@@ -1,0 +1,39 @@
+// Empirical probability mass function for discrete-valued data — used by
+// Extended-D3 on the COVID-like dataset, where the paper replaces KDE with
+// empirical PMFs (Section 6.1.2).
+
+#ifndef MOCHE_DENSITY_EMPIRICAL_PMF_H_
+#define MOCHE_DENSITY_EMPIRICAL_PMF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace moche {
+namespace density {
+
+/// P(X = v) estimated by relative frequency over a finite sample.
+class EmpiricalPmf {
+ public:
+  /// Fails on an empty sample.
+  static Result<EmpiricalPmf> Fit(const std::vector<double>& sample);
+
+  /// Relative frequency of exactly `x` (0 for unseen values).
+  double Evaluate(double x) const;
+
+  /// Number of distinct values observed.
+  size_t support_size() const { return values_.size(); }
+
+ private:
+  EmpiricalPmf(std::vector<double> values, std::vector<double> probs)
+      : values_(std::move(values)), probs_(std::move(probs)) {}
+
+  std::vector<double> values_;  // ascending
+  std::vector<double> probs_;
+};
+
+}  // namespace density
+}  // namespace moche
+
+#endif  // MOCHE_DENSITY_EMPIRICAL_PMF_H_

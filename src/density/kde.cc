@@ -1,0 +1,74 @@
+#include "density/kde.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace moche {
+namespace density {
+
+namespace {
+
+constexpr double kInvSqrt2Pi = 0.3989422804014327;
+
+double GaussianKernel(double u) {
+  return kInvSqrt2Pi * std::exp(-0.5 * u * u);
+}
+
+double EpanechnikovKernel(double u) {
+  return std::fabs(u) <= 1.0 ? 0.75 * (1.0 - u * u) : 0.0;
+}
+
+}  // namespace
+
+Result<Kde> Kde::Fit(const std::vector<double>& sample,
+                     const KdeOptions& options) {
+  if (sample.empty()) {
+    return Status::InvalidArgument("KDE needs a non-empty sample");
+  }
+  double bandwidth = options.fixed_bandwidth;
+  if (options.bandwidth_rule != BandwidthRule::kFixed) {
+    const double sigma = StdDev(sample);
+    const double n = static_cast<double>(sample.size());
+    const double factor =
+        options.bandwidth_rule == BandwidthRule::kSilverman ? 1.06 : 1.0;
+    bandwidth = factor * sigma * std::pow(n, -0.2);
+    if (bandwidth <= 1e-12) bandwidth = 1.0;  // constant sample fallback
+  }
+  if (bandwidth <= 0.0) {
+    return Status::InvalidArgument("bandwidth must be positive");
+  }
+  std::vector<double> sorted = sample;
+  std::sort(sorted.begin(), sorted.end());
+  return Kde(std::move(sorted), bandwidth, options);
+}
+
+double Kde::Evaluate(double x) const {
+  const double h = bandwidth_;
+  const double n = static_cast<double>(sorted_.size());
+  double sum = 0.0;
+  if (options_.kernel == Kernel::kEpanechnikov) {
+    // compact support: only sample points within [x-h, x+h] contribute
+    const auto lo = std::lower_bound(sorted_.begin(), sorted_.end(), x - h);
+    const auto hi = std::upper_bound(sorted_.begin(), sorted_.end(), x + h);
+    for (auto it = lo; it != hi; ++it) {
+      sum += EpanechnikovKernel((x - *it) / h);
+    }
+  } else {
+    for (double s : sorted_) {
+      sum += GaussianKernel((x - s) / h);
+    }
+  }
+  return sum / (n * h);
+}
+
+std::vector<double> Kde::EvaluateAll(const std::vector<double>& xs) const {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (double x : xs) out.push_back(Evaluate(x));
+  return out;
+}
+
+}  // namespace density
+}  // namespace moche

@@ -1,0 +1,62 @@
+// Kernel density estimation — the distribution estimator behind the
+// Extended-D3 baseline (Subramaniam et al., VLDB 2006, estimate densities of
+// streaming data with kernels).
+
+#ifndef MOCHE_DENSITY_KDE_H_
+#define MOCHE_DENSITY_KDE_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace moche {
+namespace density {
+
+enum class Kernel {
+  kGaussian,
+  kEpanechnikov,  // D3's choice
+};
+
+enum class BandwidthRule {
+  kSilverman,  // 1.06 * sigma * n^(-1/5)
+  kScott,      // sigma * n^(-1/5)
+  kFixed,      // user-provided
+};
+
+struct KdeOptions {
+  Kernel kernel = Kernel::kEpanechnikov;
+  BandwidthRule bandwidth_rule = BandwidthRule::kSilverman;
+  double fixed_bandwidth = 1.0;  ///< used when bandwidth_rule == kFixed
+};
+
+/// A kernel density estimate over a 1-D sample.
+class Kde {
+ public:
+  /// Fails on an empty sample or a non-positive fixed bandwidth.
+  static Result<Kde> Fit(const std::vector<double>& sample,
+                         const KdeOptions& options = {});
+
+  /// Density estimate at x.
+  double Evaluate(double x) const;
+
+  /// Density estimates at many points.
+  std::vector<double> EvaluateAll(const std::vector<double>& xs) const;
+
+  double bandwidth() const { return bandwidth_; }
+  const KdeOptions& options() const { return options_; }
+
+ private:
+  Kde(std::vector<double> sorted, double bandwidth, KdeOptions options)
+      : sorted_(std::move(sorted)),
+        bandwidth_(bandwidth),
+        options_(options) {}
+
+  std::vector<double> sorted_;
+  double bandwidth_ = 1.0;
+  KdeOptions options_;
+};
+
+}  // namespace density
+}  // namespace moche
+
+#endif  // MOCHE_DENSITY_KDE_H_

@@ -1,0 +1,51 @@
+#include "harness/export.h"
+
+#include "util/string_util.h"
+
+namespace moche {
+namespace harness {
+
+CsvTable ResultsToCsv(const std::vector<InstanceResults>& results) {
+  CsvTable table;
+  table.rows.push_back({"dataset", "series", "window", "test_begin", "method",
+                        "produced", "status", "size", "rmse", "seconds"});
+  for (const InstanceResults& record : results) {
+    const ExperimentInstance* inst = record.instance;
+    for (const MethodOutcome& o : record.outcomes) {
+      table.rows.push_back(
+          {inst != nullptr ? inst->dataset : "",
+           inst != nullptr ? inst->series : "",
+           StrFormat("%zu", inst != nullptr ? inst->window : 0),
+           StrFormat("%zu", inst != nullptr ? inst->test_begin : 0),
+           o.method, o.produced ? "1" : "0", StatusCodeToString(o.code),
+           StrFormat("%zu", o.size), StrFormat("%.6f", o.rmse),
+           StrFormat("%.6f", o.seconds)});
+    }
+  }
+  return table;
+}
+
+CsvTable AggregatesToCsv(const std::vector<MethodAggregate>& aggregates) {
+  CsvTable table;
+  table.rows.push_back({"method", "avg_ise", "avg_rmse", "reverse_factor",
+                        "avg_seconds", "attempted", "produced",
+                        "ise_counted"});
+  for (const MethodAggregate& a : aggregates) {
+    table.rows.push_back({a.method, StrFormat("%.6f", a.avg_ise),
+                          StrFormat("%.6f", a.avg_rmse),
+                          StrFormat("%.6f", a.reverse_factor),
+                          StrFormat("%.6f", a.avg_seconds),
+                          StrFormat("%zu", a.attempted),
+                          StrFormat("%zu", a.produced),
+                          StrFormat("%zu", a.ise_counted)});
+  }
+  return table;
+}
+
+Status WriteResultsCsv(const std::string& path,
+                       const std::vector<InstanceResults>& results) {
+  return WriteCsvFile(path, ResultsToCsv(results));
+}
+
+}  // namespace harness
+}  // namespace moche

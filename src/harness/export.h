@@ -1,0 +1,31 @@
+// CSV export of experiment results, for plotting the paper's figures with
+// external tools (matplotlib/gnuplot/R).
+
+#ifndef MOCHE_HARNESS_EXPORT_H_
+#define MOCHE_HARNESS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "harness/runner.h"
+#include "util/csv.h"
+
+namespace moche {
+namespace harness {
+
+/// One row per (instance, method): dataset, series, window, method,
+/// produced, status, size, rmse, seconds.
+CsvTable ResultsToCsv(const std::vector<InstanceResults>& results);
+
+/// One row per method: method, avg_ise, avg_rmse, reverse_factor,
+/// avg_seconds, attempted, produced, ise_counted.
+CsvTable AggregatesToCsv(const std::vector<MethodAggregate>& aggregates);
+
+/// Convenience: ResultsToCsv straight to a file.
+Status WriteResultsCsv(const std::string& path,
+                       const std::vector<InstanceResults>& results);
+
+}  // namespace harness
+}  // namespace moche
+
+#endif  // MOCHE_HARNESS_EXPORT_H_

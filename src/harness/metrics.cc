@@ -1,0 +1,25 @@
+#include "harness/metrics.h"
+
+#include <algorithm>
+
+#include "ks/ecdf.h"
+
+namespace moche {
+namespace harness {
+
+double ExplanationRmse(const KsInstance& instance, const Explanation& expl) {
+  return EcdfRmse(instance.reference, RemoveExplanation(instance, expl));
+}
+
+std::vector<int> IsSmallestExplanation(const std::vector<size_t>& sizes) {
+  std::vector<int> flags(sizes.size(), 0);
+  if (sizes.empty()) return flags;
+  const size_t smallest = *std::min_element(sizes.begin(), sizes.end());
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    flags[i] = sizes[i] == smallest ? 1 : 0;
+  }
+  return flags;
+}
+
+}  // namespace harness
+}  // namespace moche

@@ -1,0 +1,30 @@
+// The paper's evaluation metrics:
+//  * ISE  (Is-Smallest-Explanation, Section 6.2)   — conciseness,
+//  * RF   (reverse factor, Section 6.2.1)          — contrastivity,
+//  * RMSE (between ECDFs, Section 6.3)             — effectiveness,
+//  * EE   (estimation error k - k_hat, Section 6.4) — lower-bound tightness.
+
+#ifndef MOCHE_HARNESS_METRICS_H_
+#define MOCHE_HARNESS_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/explanation.h"
+#include "core/instance.h"
+
+namespace moche {
+namespace harness {
+
+/// RMSE between the ECDFs of R and T \ I (smaller = better explanation).
+double ExplanationRmse(const KsInstance& instance, const Explanation& expl);
+
+/// ISE flags for one failed test: sizes[i] is method i's explanation size;
+/// the smallest size(s) get 1, the rest 0. Methods that produced no
+/// explanation must not be included.
+std::vector<int> IsSmallestExplanation(const std::vector<size_t>& sizes);
+
+}  // namespace harness
+}  // namespace moche
+
+#endif  // MOCHE_HARNESS_METRICS_H_

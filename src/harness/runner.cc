@@ -1,0 +1,147 @@
+#include "harness/runner.h"
+
+#include <algorithm>
+
+#include "harness/metrics.h"
+#include "signal/spectral_residual.h"
+#include "timeseries/window.h"
+#include "util/timer.h"
+
+namespace moche {
+namespace harness {
+
+Result<std::vector<ExperimentInstance>> CollectFailedInstances(
+    const ts::Dataset& dataset, const CollectOptions& options) {
+  Rng rng(options.seed);
+  std::vector<ExperimentInstance> out;
+
+  for (const ts::TimeSeries& series : dataset.series) {
+    // Spectral Residual scores once per series; window preferences are
+    // slices of the global score vector.
+    auto sr = signal::SpectralResidualScores(series.values);
+    MOCHE_RETURN_IF_ERROR(sr.status());
+
+    for (size_t w : options.window_sizes) {
+      if (series.length() < 2 * w) continue;
+      ts::WindowSweepOptions sweep;
+      sweep.window = w;
+      sweep.alpha = options.alpha;
+      auto failed = ts::FailedWindowTests(series, sweep);
+      MOCHE_RETURN_IF_ERROR(failed.status());
+
+      std::vector<ts::WindowTest> eligible;
+      for (const ts::WindowTest& wt : *failed) {
+        if (options.require_labeled_anomaly && series.has_labels() &&
+            !ts::TestWindowHasLabeledAnomaly(series, wt)) {
+          continue;
+        }
+        eligible.push_back(wt);
+      }
+      // Uniform sample per (series, window) combination, as in the paper.
+      std::vector<size_t> pick;
+      if (eligible.size() > options.sample_per_combination) {
+        pick = rng.SampleWithoutReplacement(eligible.size(),
+                                            options.sample_per_combination);
+        std::sort(pick.begin(), pick.end());
+      } else {
+        for (size_t i = 0; i < eligible.size(); ++i) pick.push_back(i);
+      }
+
+      for (size_t i : pick) {
+        const ts::WindowTest& wt = eligible[i];
+        ExperimentInstance inst;
+        inst.dataset = dataset.name;
+        inst.series = series.name;
+        inst.window = w;
+        inst.test_begin = wt.test_begin;
+        inst.instance = ts::MakeInstance(series, wt, options.alpha);
+        // preference = SR scores of the test window, descending
+        std::vector<double> window_scores(
+            sr->begin() + static_cast<long>(wt.test_begin),
+            sr->begin() + static_cast<long>(wt.test_begin + w));
+        inst.preference = PreferenceByScoreDesc(window_scores);
+        out.push_back(std::move(inst));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<InstanceResults> RunMethods(
+    const std::vector<ExperimentInstance>& instances,
+    const std::vector<baselines::Explainer*>& methods) {
+  std::vector<InstanceResults> results;
+  results.reserve(instances.size());
+  for (const ExperimentInstance& inst : instances) {
+    InstanceResults record;
+    record.instance = &inst;
+    for (baselines::Explainer* method : methods) {
+      MethodOutcome outcome;
+      outcome.method = method->name();
+      WallTimer timer;
+      auto expl = method->Explain(inst.instance, inst.preference);
+      outcome.seconds = timer.Seconds();
+      if (expl.ok()) {
+        outcome.produced = true;
+        outcome.size = expl->size();
+        outcome.rmse = ExplanationRmse(inst.instance, *expl);
+      } else {
+        outcome.code = expl.status().code();
+      }
+      record.outcomes.push_back(std::move(outcome));
+    }
+    results.push_back(std::move(record));
+  }
+  return results;
+}
+
+std::vector<MethodAggregate> Aggregate(
+    const std::vector<InstanceResults>& results) {
+  std::vector<MethodAggregate> agg;
+  if (results.empty()) return agg;
+  const size_t num_methods = results.front().outcomes.size();
+  agg.resize(num_methods);
+  for (size_t j = 0; j < num_methods; ++j) {
+    agg[j].method = results.front().outcomes[j].method;
+  }
+
+  for (const InstanceResults& record : results) {
+    const bool all_produced =
+        std::all_of(record.outcomes.begin(), record.outcomes.end(),
+                    [](const MethodOutcome& o) { return o.produced; });
+    // ISE over the instances where every method produced (paper rule).
+    std::vector<int> ise;
+    if (all_produced) {
+      std::vector<size_t> sizes;
+      for (const MethodOutcome& o : record.outcomes) sizes.push_back(o.size);
+      ise = IsSmallestExplanation(sizes);
+    }
+    for (size_t j = 0; j < num_methods; ++j) {
+      const MethodOutcome& o = record.outcomes[j];
+      ++agg[j].attempted;
+      agg[j].avg_seconds += o.seconds;
+      if (o.produced) {
+        ++agg[j].produced;
+        agg[j].avg_rmse += o.rmse;
+      }
+      if (all_produced) {
+        ++agg[j].ise_counted;
+        agg[j].avg_ise += static_cast<double>(ise[j]);
+      }
+    }
+  }
+
+  for (MethodAggregate& a : agg) {
+    if (a.ise_counted > 0) a.avg_ise /= static_cast<double>(a.ise_counted);
+    if (a.produced > 0) a.avg_rmse /= static_cast<double>(a.produced);
+    if (a.attempted > 0) {
+      a.reverse_factor =
+          static_cast<double>(a.produced) / static_cast<double>(a.attempted);
+      a.avg_seconds /= static_cast<double>(a.attempted);
+    }
+  }
+  return agg;
+}
+
+}  // namespace harness
+}  // namespace moche

@@ -1,0 +1,92 @@
+// The experiment driver behind Figures 2, 3, 5 and Table 2: collect failed
+// sliding-window KS tests from a dataset (with Spectral-Residual preference
+// lists, as in Section 6.1.1), sample them, run every explainer, and
+// aggregate ISE / RF / RMSE / runtime per method.
+
+#ifndef MOCHE_HARNESS_RUNNER_H_
+#define MOCHE_HARNESS_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/explainer.h"
+#include "core/instance.h"
+#include "core/preference.h"
+#include "timeseries/series.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace moche {
+namespace harness {
+
+/// One sampled failed KS test ready to be explained.
+struct ExperimentInstance {
+  std::string dataset;
+  std::string series;
+  size_t window = 0;
+  size_t test_begin = 0;   ///< offset of the test window in the series
+  KsInstance instance;
+  PreferenceList preference;  ///< Spectral Residual outlier ranking
+};
+
+struct CollectOptions {
+  std::vector<size_t> window_sizes{100, 200, 300};
+  double alpha = 0.05;
+  /// Failed tests sampled per (series, window) combination (the paper
+  /// uniformly samples 10).
+  size_t sample_per_combination = 10;
+  /// Keep only failed tests whose test window overlaps a labelled anomaly
+  /// (the paper's sampling rule). Series without labels keep everything.
+  bool require_labeled_anomaly = true;
+  uint64_t seed = 17;
+};
+
+/// Collects and samples failed window tests across all series of `dataset`,
+/// attaching Spectral-Residual preference lists. Window sizes that do not
+/// fit a series are skipped silently.
+Result<std::vector<ExperimentInstance>> CollectFailedInstances(
+    const ts::Dataset& dataset, const CollectOptions& options);
+
+/// The outcome of one method on one instance.
+struct MethodOutcome {
+  std::string method;
+  bool produced = false;   ///< false when the method aborted (RF accounting)
+  StatusCode code = StatusCode::kOk;
+  size_t size = 0;         ///< explanation size when produced
+  double rmse = 0.0;       ///< ECDF RMSE when produced
+  double seconds = 0.0;    ///< wall time of the Explain call
+};
+
+/// All methods' outcomes on one instance.
+struct InstanceResults {
+  const ExperimentInstance* instance = nullptr;
+  std::vector<MethodOutcome> outcomes;
+};
+
+/// Runs every explainer on every instance. Explainers whose Explain returns
+/// a non-OK status count as "not produced" with that status code.
+std::vector<InstanceResults> RunMethods(
+    const std::vector<ExperimentInstance>& instances,
+    const std::vector<baselines::Explainer*>& methods);
+
+/// Per-method aggregate over a set of instance results (one paper bar/cell).
+struct MethodAggregate {
+  std::string method;
+  double avg_ise = 0.0;        ///< over instances where ALL methods produced
+  double avg_rmse = 0.0;       ///< over instances where this method produced
+  double reverse_factor = 0.0; ///< produced / attempted
+  double avg_seconds = 0.0;    ///< over attempted instances
+  size_t attempted = 0;
+  size_t produced = 0;
+  size_t ise_counted = 0;      ///< instances entering the ISE average
+};
+
+/// Aggregates results per method. ISE follows the paper's rule: only
+/// instances where every method produced an explanation contribute.
+std::vector<MethodAggregate> Aggregate(
+    const std::vector<InstanceResults>& results);
+
+}  // namespace harness
+}  // namespace moche
+
+#endif  // MOCHE_HARNESS_RUNNER_H_

@@ -1,0 +1,48 @@
+#include "harness/table.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace moche {
+namespace harness {
+
+std::string AsciiTable::ToString() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      line += cell;
+      line.append(widths[c] - cell.size() + 2, ' ');
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    line += '\n';
+    return line;
+  };
+
+  std::string out = render_row(header_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  out.append(total > 2 ? total - 2 : total, '-');
+  out += '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string RenderBoxPlot(const FiveNumberSummary& s) {
+  return StrFormat("%6.2f [%6.2f |%6.2f |%6.2f ]%7.2f  (mean %.2f)", s.min,
+                   s.q1, s.median, s.q3, s.max, s.mean);
+}
+
+}  // namespace harness
+}  // namespace moche

@@ -1,0 +1,36 @@
+// ASCII rendering of the result tables and box plots the benches print.
+
+#ifndef MOCHE_HARNESS_TABLE_H_
+#define MOCHE_HARNESS_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace moche {
+namespace harness {
+
+/// A fixed-width text table: header + rows, columns padded to content.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Renders with a separator line under the header.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// One box-plot row as text: "min [q1 | median | q3] max (mean)".
+std::string RenderBoxPlot(const FiveNumberSummary& summary);
+
+}  // namespace harness
+}  // namespace moche
+
+#endif  // MOCHE_HARNESS_TABLE_H_

@@ -1,0 +1,56 @@
+#include "ks/ecdf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace moche {
+
+Ecdf::Ecdf(std::vector<double> sample) : sorted_(std::move(sample)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::Evaluate(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EcdfRmse(const std::vector<double>& r, const std::vector<double>& t) {
+  if (r.empty() || t.empty()) return 0.0;
+  std::vector<double> rs = r;
+  std::vector<double> ts = t;
+  std::sort(rs.begin(), rs.end());
+  std::sort(ts.begin(), ts.end());
+  const double n = static_cast<double>(rs.size());
+  const double m = static_cast<double>(ts.size());
+
+  // Walk the merged multiset; at each evaluation point both ECDFs are the
+  // counts of elements <= that point.
+  double sum_sq = 0.0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < rs.size() || j < ts.size()) {
+    double x;
+    if (j >= ts.size() || (i < rs.size() && rs[i] <= ts[j])) {
+      x = rs[i];
+    } else {
+      x = ts[j];
+    }
+    size_t reps = 0;
+    while (i < rs.size() && rs[i] == x) {
+      ++i;
+      ++reps;
+    }
+    while (j < ts.size() && ts[j] == x) {
+      ++j;
+      ++reps;
+    }
+    const double fr = static_cast<double>(i) / n;
+    const double ft = static_cast<double>(j) / m;
+    sum_sq += static_cast<double>(reps) * (fr - ft) * (fr - ft);
+  }
+  return std::sqrt(sum_sq / (n + m));
+}
+
+}  // namespace moche

@@ -1,0 +1,42 @@
+// Empirical cumulative distribution functions.
+
+#ifndef MOCHE_KS_ECDF_H_
+#define MOCHE_KS_ECDF_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace moche {
+
+/// The empirical CDF of a finite sample: F(x) = |{v in sample : v <= x}| / n.
+///
+/// Construction sorts a copy of the sample once; evaluation is a binary
+/// search. The sample must be non-empty for Evaluate to be meaningful.
+class Ecdf {
+ public:
+  /// Builds from an arbitrary-order sample (copied and sorted).
+  explicit Ecdf(std::vector<double> sample);
+
+  /// F(x): fraction of sample points <= x. Returns 0 for an empty sample.
+  double Evaluate(double x) const;
+
+  /// Number of sample points.
+  size_t size() const { return sorted_.size(); }
+
+  /// The sample in ascending order.
+  const std::vector<double>& sorted() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Root mean square error between the ECDFs of two samples, evaluated at
+/// every point of the merged multiset (n + m evaluation points, repeats
+/// included), as used by the paper's effectiveness metric (Section 6.3):
+///   RMSE = sqrt( sum_{x in R (+) T'} (F_R(x) - F_T'(x))^2 / (|R| + |T'|) ).
+/// Inputs may be in any order. Returns 0 if either sample is empty.
+double EcdfRmse(const std::vector<double>& r, const std::vector<double>& t);
+
+}  // namespace moche
+
+#endif  // MOCHE_KS_ECDF_H_

@@ -1,0 +1,235 @@
+#include "ks/ks_test.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace moche {
+namespace ks {
+
+double CriticalValue(double alpha) {
+  MOCHE_CHECK(alpha > 0.0 && alpha < 2.0);
+  return std::sqrt(-0.5 * std::log(alpha / 2.0));
+}
+
+double KolmogorovQ(double lambda) {
+  if (lambda < 1e-8) return 1.0;
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int j = 1; j <= 100; ++j) {
+    const double term = std::exp(-2.0 * j * j * lambda * lambda);
+    sum += sign * term;
+    if (term < 1e-16) break;
+    sign = -sign;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+double PValueAsymptotic(double d, size_t n, size_t m) {
+  MOCHE_CHECK(n > 0 && m > 0);
+  const double dn = static_cast<double>(n);
+  const double dm = static_cast<double>(m);
+  return KolmogorovQ(d * std::sqrt(dn * dm / (dn + dm)));
+}
+
+double Threshold(double alpha, size_t n, size_t m) {
+  MOCHE_CHECK(n > 0 && m > 0);
+  const double dn = static_cast<double>(n);
+  const double dm = static_cast<double>(m);
+  return CriticalValue(alpha) * std::sqrt((dn + dm) / (dn * dm));
+}
+
+double StatisticSorted(const std::vector<double>& r_sorted,
+                       const std::vector<double>& t_sorted, double* location) {
+  if (r_sorted.empty() && t_sorted.empty()) return 0.0;
+  if (r_sorted.empty() || t_sorted.empty()) {
+    if (location != nullptr) {
+      *location = r_sorted.empty() ? t_sorted.front() : r_sorted.front();
+    }
+    return 1.0;
+  }
+  const double n = static_cast<double>(r_sorted.size());
+  const double m = static_cast<double>(t_sorted.size());
+  double best = 0.0;
+  double best_x = r_sorted.front();
+  size_t i = 0;
+  size_t j = 0;
+  while (i < r_sorted.size() || j < t_sorted.size()) {
+    double x;
+    if (j >= t_sorted.size() ||
+        (i < r_sorted.size() && r_sorted[i] <= t_sorted[j])) {
+      x = r_sorted[i];
+    } else {
+      x = t_sorted[j];
+    }
+    while (i < r_sorted.size() && r_sorted[i] == x) ++i;
+    while (j < t_sorted.size() && t_sorted[j] == x) ++j;
+    const double d =
+        std::fabs(static_cast<double>(i) / n - static_cast<double>(j) / m);
+    if (d > best) {
+      best = d;
+      best_x = x;
+    }
+  }
+  if (location != nullptr) *location = best_x;
+  return best;
+}
+
+double Statistic(std::vector<double> r, std::vector<double> t,
+                 double* location) {
+  std::sort(r.begin(), r.end());
+  std::sort(t.begin(), t.end());
+  return StatisticSorted(r, t, location);
+}
+
+Status ValidateSample(const std::vector<double>& sample, const char* name) {
+  if (sample.empty()) {
+    return Status::InvalidArgument(StrFormat("%s is empty", name));
+  }
+  for (double v : sample) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument(
+          StrFormat("%s contains a non-finite value", name));
+    }
+  }
+  return Status::OK();
+}
+
+Result<KsOutcome> RunSorted(const std::vector<double>& r_sorted,
+                            const std::vector<double>& t_sorted,
+                            double alpha) {
+  MOCHE_RETURN_IF_ERROR(ValidateSample(r_sorted, "reference set"));
+  MOCHE_RETURN_IF_ERROR(ValidateSample(t_sorted, "test set"));
+  if (!(alpha > 0.0 && alpha < 2.0)) {
+    return Status::InvalidArgument(
+        StrFormat("alpha must be in (0, 2), got %g", alpha));
+  }
+  KsOutcome out;
+  out.n = r_sorted.size();
+  out.m = t_sorted.size();
+  out.statistic = StatisticSorted(r_sorted, t_sorted, &out.location);
+  out.threshold = Threshold(alpha, out.n, out.m);
+  out.reject = out.statistic > out.threshold;
+  return out;
+}
+
+Result<KsOutcome> Run(std::vector<double> r, std::vector<double> t,
+                      double alpha) {
+  std::sort(r.begin(), r.end());
+  std::sort(t.begin(), t.end());
+  return RunSorted(r, t, alpha);
+}
+
+}  // namespace ks
+
+RemovalKs::RemovalKs(const std::vector<double>& r,
+                     const std::vector<double>& t, double alpha)
+    : alpha_(alpha), n_(r.size()), m_(t.size()) {
+  std::vector<double> rs = r;
+  std::vector<double> ts = t;
+  std::sort(rs.begin(), rs.end());
+  std::sort(ts.begin(), ts.end());
+  size_t i = 0;
+  size_t j = 0;
+  while (i < rs.size() || j < ts.size()) {
+    double x;
+    if (j >= ts.size() || (i < rs.size() && rs[i] <= ts[j])) {
+      x = rs[i];
+    } else {
+      x = ts[j];
+    }
+    int64_t cr = 0;
+    int64_t ct = 0;
+    while (i < rs.size() && rs[i] == x) {
+      ++i;
+      ++cr;
+    }
+    while (j < ts.size() && ts[j] == x) {
+      ++j;
+      ++ct;
+    }
+    values_.push_back(x);
+    count_r_.push_back(cr);
+    count_t_.push_back(ct);
+  }
+  removed_.assign(values_.size(), 0);
+}
+
+Status RemovalKs::RemoveValue(double value) {
+  const auto it = std::lower_bound(values_.begin(), values_.end(), value);
+  if (it == values_.end() || *it != value) {
+    return Status::InvalidArgument("value not present in the union grid");
+  }
+  const size_t idx = static_cast<size_t>(it - values_.begin());
+  if (removed_[idx] >= count_t_[idx]) {
+    return Status::InvalidArgument(
+        "all occurrences of this value in T are already removed");
+  }
+  ++removed_[idx];
+  ++removed_total_;
+  return Status::OK();
+}
+
+Status RemovalKs::UnremoveValue(double value) {
+  const auto it = std::lower_bound(values_.begin(), values_.end(), value);
+  if (it == values_.end() || *it != value) {
+    return Status::InvalidArgument("value not present in the union grid");
+  }
+  const size_t idx = static_cast<size_t>(it - values_.begin());
+  if (removed_[idx] == 0) {
+    return Status::InvalidArgument("no removed occurrence of this value");
+  }
+  --removed_[idx];
+  --removed_total_;
+  return Status::OK();
+}
+
+void RemovalKs::Reset() {
+  std::fill(removed_.begin(), removed_.end(), 0);
+  removed_total_ = 0;
+}
+
+KsOutcome RemovalKs::CurrentOutcome() const {
+  MOCHE_CHECK(removed_total_ < m_);
+  const double n = static_cast<double>(n_);
+  const double m_rem = static_cast<double>(m_ - removed_total_);
+  KsOutcome out;
+  out.n = n_;
+  out.m = m_ - removed_total_;
+  int64_t cum_r = 0;
+  int64_t cum_t = 0;
+  double best = 0.0;
+  double best_x = values_.empty() ? 0.0 : values_.front();
+  for (size_t i = 0; i < values_.size(); ++i) {
+    cum_r += count_r_[i];
+    cum_t += count_t_[i] - removed_[i];
+    const double d = std::fabs(static_cast<double>(cum_r) / n -
+                               static_cast<double>(cum_t) / m_rem);
+    if (d > best) {
+      best = d;
+      best_x = values_[i];
+    }
+  }
+  out.statistic = best;
+  out.location = best_x;
+  out.threshold = ks::Threshold(alpha_, n_, m_ - removed_total_);
+  out.reject = out.statistic > out.threshold;
+  return out;
+}
+
+bool RemovalKs::Passes() const { return !CurrentOutcome().reject; }
+
+std::vector<double> RemovalKs::RemainingTest() const {
+  std::vector<double> out;
+  out.reserve(m_ - removed_total_);
+  for (size_t i = 0; i < values_.size(); ++i) {
+    for (int64_t c = 0; c < count_t_[i] - removed_[i]; ++c) {
+      out.push_back(values_[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace moche

@@ -1,0 +1,299 @@
+#include "ks/streaming.h"
+
+#include <algorithm>
+#include <limits>
+#include <random>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace moche {
+
+namespace {
+constexpr int64_t kNegInf = std::numeric_limits<int64_t>::min() / 4;
+constexpr int64_t kPosInf = std::numeric_limits<int64_t>::max() / 4;
+}  // namespace
+
+// One observation. All nodes with equal key carry equal scores s, so the
+// order among duplicates is immaterial.
+struct StreamingKs::Node {
+  double key = 0.0;
+  bool is_ref = false;
+  uint64_t pri = 0;
+  int64_t s = 0;      // m * C_R(key) - n * C_W(key)
+  int64_t lazy = 0;   // pending addition to s of the whole subtree
+  int64_t smax = 0;   // subtree max of s (after lazy)
+  int64_t smin = 0;
+  int64_t cnt_r = 0;  // subtree count of reference nodes
+  int64_t cnt_t = 0;  // subtree count of test (window) nodes
+  Node* l = nullptr;
+  Node* r = nullptr;
+};
+
+class StreamingKs::Treap {
+ public:
+  ~Treap() { Free(root_); }
+
+  int64_t CountRefLE(double key) const { return CountLE(key).first; }
+  int64_t CountTestLE(double key) const { return CountLE(key).second; }
+
+  // Inserts a node with score `s`, shifting the scores of every node with
+  // key >= `key` by `suffix_delta` first.
+  void Insert(double key, bool is_ref, int64_t suffix_delta,
+              int64_t self_score) {
+    Node* less = nullptr;
+    Node* geq = nullptr;
+    SplitLT(root_, key, &less, &geq);
+    AddLazy(geq, suffix_delta);
+    Node* node = new Node;
+    node->key = key;
+    node->is_ref = is_ref;
+    node->pri = rng_();
+    node->s = self_score;
+    Pull(node);
+    root_ = Merge(Merge(less, node), geq);
+  }
+
+  // Removes one test-tagged node with the given key (which must exist) and
+  // shifts the scores of the remaining nodes with key >= `key` by
+  // `suffix_delta`.
+  void EraseTest(double key, int64_t suffix_delta) {
+    Node* less = nullptr;
+    Node* rest = nullptr;
+    Node* equal = nullptr;
+    Node* greater = nullptr;
+    SplitLT(root_, key, &less, &rest);
+    SplitLE(rest, key, &equal, &greater);
+    MOCHE_CHECK(equal != nullptr && equal->cnt_t > 0);
+    equal = RemoveOneTest(equal);
+    AddLazy(equal, suffix_delta);
+    AddLazy(greater, suffix_delta);
+    root_ = Merge(Merge(less, equal), greater);
+  }
+
+  int64_t MaxAbsScore() const {
+    if (root_ == nullptr) return 0;
+    return std::max(std::abs(ScoreMax(root_)), std::abs(ScoreMin(root_)));
+  }
+
+ private:
+  static int64_t ScoreMax(const Node* n) { return n->smax + n->lazy; }
+  static int64_t ScoreMin(const Node* n) { return n->smin + n->lazy; }
+
+  static void AddLazy(Node* n, int64_t delta) {
+    if (n != nullptr) n->lazy += delta;
+  }
+
+  static void PushDown(Node* n) {
+    if (n->lazy != 0) {
+      n->s += n->lazy;
+      n->smax += n->lazy;
+      n->smin += n->lazy;
+      AddLazy(n->l, n->lazy);
+      AddLazy(n->r, n->lazy);
+      n->lazy = 0;
+    }
+  }
+
+  static void Pull(Node* n) {
+    n->cnt_r = (n->is_ref ? 1 : 0);
+    n->cnt_t = (n->is_ref ? 0 : 1);
+    n->smax = n->s;
+    n->smin = n->s;
+    if (n->l != nullptr) {
+      n->cnt_r += n->l->cnt_r;
+      n->cnt_t += n->l->cnt_t;
+      n->smax = std::max(n->smax, ScoreMax(n->l));
+      n->smin = std::min(n->smin, ScoreMin(n->l));
+    }
+    if (n->r != nullptr) {
+      n->cnt_r += n->r->cnt_r;
+      n->cnt_t += n->r->cnt_t;
+      n->smax = std::max(n->smax, ScoreMax(n->r));
+      n->smin = std::min(n->smin, ScoreMin(n->r));
+    }
+  }
+
+  // (keys < key, keys >= key)
+  static void SplitLT(Node* n, double key, Node** less, Node** geq) {
+    if (n == nullptr) {
+      *less = nullptr;
+      *geq = nullptr;
+      return;
+    }
+    PushDown(n);
+    if (n->key < key) {
+      SplitLT(n->r, key, &n->r, geq);
+      Pull(n);
+      *less = n;
+    } else {
+      SplitLT(n->l, key, less, &n->l);
+      Pull(n);
+      *geq = n;
+    }
+  }
+
+  // (keys <= key, keys > key)
+  static void SplitLE(Node* n, double key, Node** leq, Node** greater) {
+    if (n == nullptr) {
+      *leq = nullptr;
+      *greater = nullptr;
+      return;
+    }
+    PushDown(n);
+    if (n->key <= key) {
+      SplitLE(n->r, key, &n->r, greater);
+      Pull(n);
+      *leq = n;
+    } else {
+      SplitLE(n->l, key, leq, &n->l);
+      Pull(n);
+      *greater = n;
+    }
+  }
+
+  static Node* Merge(Node* a, Node* b) {
+    if (a == nullptr) return b;
+    if (b == nullptr) return a;
+    if (a->pri < b->pri) {
+      PushDown(a);
+      a->r = Merge(a->r, b);
+      Pull(a);
+      return a;
+    }
+    PushDown(b);
+    b->l = Merge(a, b->l);
+    Pull(b);
+    return b;
+  }
+
+  // Deletes one test-tagged node from the (all-equal-key) subtree.
+  static Node* RemoveOneTest(Node* n) {
+    MOCHE_CHECK(n != nullptr);
+    PushDown(n);
+    if (!n->is_ref) {
+      Node* merged = Merge(n->l, n->r);
+      delete n;
+      return merged;
+    }
+    if (n->l != nullptr && n->l->cnt_t > 0) {
+      n->l = RemoveOneTest(n->l);
+    } else {
+      MOCHE_CHECK(n->r != nullptr && n->r->cnt_t > 0);
+      n->r = RemoveOneTest(n->r);
+    }
+    Pull(n);
+    return n;
+  }
+
+  // (#ref <= key, #test <= key) by treap descent.
+  std::pair<int64_t, int64_t> CountLE(double key) const {
+    int64_t ref = 0;
+    int64_t test = 0;
+    const Node* n = root_;
+    while (n != nullptr) {
+      if (n->key <= key) {
+        ref += (n->is_ref ? 1 : 0) + (n->l != nullptr ? n->l->cnt_r : 0);
+        test += (n->is_ref ? 0 : 1) + (n->l != nullptr ? n->l->cnt_t : 0);
+        n = n->r;
+      } else {
+        n = n->l;
+      }
+    }
+    return {ref, test};
+  }
+
+  static void Free(Node* n) {
+    if (n == nullptr) return;
+    Free(n->l);
+    Free(n->r);
+    delete n;
+  }
+
+  Node* root_ = nullptr;
+  std::mt19937_64 rng_{0x5EED5EED5EED5EEDull};
+};
+
+StreamingKs::StreamingKs(size_t n, size_t window_size, double alpha)
+    : n_(n),
+      window_size_(window_size),
+      alpha_(alpha),
+      treap_(std::make_unique<Treap>()) {}
+
+StreamingKs::StreamingKs(StreamingKs&&) noexcept = default;
+StreamingKs& StreamingKs::operator=(StreamingKs&&) noexcept = default;
+StreamingKs::~StreamingKs() = default;
+
+Result<StreamingKs> StreamingKs::Create(const std::vector<double>& reference,
+                                        size_t window_size, double alpha) {
+  MOCHE_RETURN_IF_ERROR(ks::ValidateSample(reference, "reference set"));
+  if (window_size == 0) {
+    return Status::InvalidArgument("window size must be positive");
+  }
+  if (!(alpha > 0.0 && alpha < 2.0)) {
+    return Status::InvalidArgument(
+        StrFormat("alpha must be in (0, 2), got %g", alpha));
+  }
+  StreamingKs stream(reference.size(), window_size, alpha);
+  const int64_t m = static_cast<int64_t>(window_size);
+  for (double v : reference) {
+    // Reference insertion bumps C_R on the suffix: s += m for key >= v.
+    // The new node's own score: s = m * C_R(v) - n * C_W(v), with counts
+    // taken after the insertion.
+    const int64_t c_r = stream.treap_->CountRefLE(v) + 1;
+    const int64_t c_w = stream.treap_->CountTestLE(v);
+    stream.treap_->Insert(v, /*is_ref=*/true, /*suffix_delta=*/m,
+                          m * c_r - static_cast<int64_t>(stream.n_) * c_w);
+  }
+  return stream;
+}
+
+void StreamingKs::InsertTestValue(double value) {
+  const int64_t n = static_cast<int64_t>(n_);
+  const int64_t m = static_cast<int64_t>(window_size_);
+  const int64_t c_r = treap_->CountRefLE(value);
+  const int64_t c_w = treap_->CountTestLE(value) + 1;
+  treap_->Insert(value, /*is_ref=*/false, /*suffix_delta=*/-n,
+                 m * c_r - n * c_w);
+}
+
+void StreamingKs::EraseTestValue(double value) {
+  treap_->EraseTest(value, /*suffix_delta=*/static_cast<int64_t>(n_));
+}
+
+Status StreamingKs::Push(double value) {
+  if (!std::isfinite(value)) {
+    return Status::InvalidArgument("observation is not finite");
+  }
+  if (window_.size() == window_size_) {
+    EraseTestValue(window_.front());
+    window_.pop_front();
+  }
+  InsertTestValue(value);
+  window_.push_back(value);
+  return Status::OK();
+}
+
+Result<KsOutcome> StreamingKs::CurrentOutcome() const {
+  if (!WindowFull()) {
+    return Status::InvalidArgument(
+        StrFormat("window holds %zu of %zu observations", window_.size(),
+                  window_size_));
+  }
+  KsOutcome out;
+  out.n = n_;
+  out.m = window_size_;
+  out.statistic = static_cast<double>(treap_->MaxAbsScore()) /
+                  (static_cast<double>(n_) * static_cast<double>(window_size_));
+  out.threshold = ks::Threshold(alpha_, n_, window_size_);
+  out.reject = out.statistic > out.threshold;
+  return out;
+}
+
+bool StreamingKs::Drifted() const {
+  if (!WindowFull()) return false;
+  auto outcome = CurrentOutcome();
+  return outcome.ok() && outcome->reject;
+}
+
+}  // namespace moche

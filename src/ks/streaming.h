@@ -1,0 +1,84 @@
+// Incremental Kolmogorov-Smirnov testing over a sliding window, after
+// dos Reis, Flach, Matwin & Batista, "Fast unsupervised online drift
+// detection using incremental Kolmogorov-Smirnov test" (KDD 2016) — the
+// paper's reference [17] and the standard substrate for KS-based drift
+// monitors.
+//
+// A fixed reference sample R (size n) is compared against a sliding test
+// window W of fixed capacity m. All observations live in one treap ordered
+// by value; each node carries the integer score
+//     s(x) = m * C_R(x) - n * C_W(x)
+// so that D(R, W) = max_x |s(x)| / (n * m). Inserting or evicting a test
+// observation shifts s by -+n on a value suffix — an O(log(n+m)) lazy
+// range-add — and the subtree max/min aggregates give the statistic in
+// O(1). This makes each Push() O(log(n+m)) amortized instead of the
+// O((n+m) log(n+m)) full re-test.
+
+#ifndef MOCHE_KS_STREAMING_H_
+#define MOCHE_KS_STREAMING_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "ks/ks_test.h"
+#include "util/status.h"
+
+namespace moche {
+
+class StreamingKs {
+ public:
+  /// `reference` is fixed for the lifetime of the detector; `window_size`
+  /// is the test-window capacity m. Fails on invalid samples/sizes.
+  static Result<StreamingKs> Create(const std::vector<double>& reference,
+                                    size_t window_size, double alpha);
+
+  StreamingKs(StreamingKs&&) noexcept;
+  StreamingKs& operator=(StreamingKs&&) noexcept;
+  ~StreamingKs();
+
+  /// Feeds one observation. Once the window is full, the oldest
+  /// observation is evicted first. Fails on non-finite values.
+  Status Push(double value);
+
+  /// True when the window holds `window_size` observations.
+  bool WindowFull() const { return window_.size() == window_size_; }
+
+  /// Current KS outcome of R vs the window contents. Requires a full
+  /// window (the fixed-size scores are only calibrated for m elements).
+  Result<KsOutcome> CurrentOutcome() const;
+
+  /// Convenience: true iff the window is full and the test rejects.
+  bool Drifted() const;
+
+  /// The window contents in arrival order (oldest first) — hand this to
+  /// Moche::Explain when a drift fires.
+  std::vector<double> WindowContents() const {
+    return {window_.begin(), window_.end()};
+  }
+
+  size_t reference_size() const { return n_; }
+  size_t window_size() const { return window_size_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  struct Node;
+  class Treap;
+
+  StreamingKs(size_t n, size_t window_size, double alpha);
+
+  // Inserts/erases one test-tagged key, maintaining the suffix scores.
+  void InsertTestValue(double value);
+  void EraseTestValue(double value);
+
+  size_t n_ = 0;
+  size_t window_size_ = 0;
+  double alpha_ = 0.05;
+  std::deque<double> window_;  // arrival order for eviction
+  std::unique_ptr<Treap> treap_;
+};
+
+}  // namespace moche
+
+#endif  // MOCHE_KS_STREAMING_H_

@@ -1,0 +1,45 @@
+// Counterfactual explanations for failed TWO-dimensional KS tests — a
+// prototype of the paper's future-work direction.
+//
+// MOCHE's exact machinery is inherently one-dimensional (cumulative
+// vectors order the union of values); no polynomial exact algorithm is
+// known for the 2-D case. This module therefore provides the natural
+// heuristic: a preference-ordered greedy that removes test points until
+// the Fasano-Franceschini test passes, optionally re-ranking candidates by
+// their single-removal effect on the statistic (a 2-D analogue of the GRD
+// and CS baselines). Explanations are validated but NOT guaranteed minimal.
+
+#ifndef MOCHE_MDKS_EXPLAIN_H_
+#define MOCHE_MDKS_EXPLAIN_H_
+
+#include <vector>
+
+#include "core/explanation.h"
+#include "core/preference.h"
+#include "mdks/ff_test.h"
+#include "util/status.h"
+
+namespace moche {
+namespace mdks {
+
+struct Explain2dOptions {
+  /// When true, candidates are ordered by preference but points whose
+  /// individual removal does not reduce the statistic are skipped on the
+  /// first pass (second pass takes anything). Usually yields much smaller
+  /// explanations for a modest extra cost.
+  bool skip_ineffective_points = true;
+};
+
+/// Removes test points in preference order until R and T \ I pass the 2-D
+/// KS test at `alpha`. AlreadyPasses / budget semantics mirror the 1-D
+/// explainers. O(l * (n+m)^2) for an explanation of size l.
+Result<Explanation> ExplainGreedy2D(const std::vector<Point2>& r,
+                                    const std::vector<Point2>& t,
+                                    double alpha,
+                                    const PreferenceList& preference,
+                                    const Explain2dOptions& options = {});
+
+}  // namespace mdks
+}  // namespace moche
+
+#endif  // MOCHE_MDKS_EXPLAIN_H_

@@ -1,0 +1,131 @@
+#include "mdks/ff_test.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ks/ks_test.h"
+#include "util/string_util.h"
+
+namespace moche {
+namespace mdks {
+
+namespace {
+
+Status ValidatePoints(const std::vector<Point2>& pts, const char* name) {
+  if (pts.empty()) {
+    return Status::InvalidArgument(StrFormat("%s is empty", name));
+  }
+  for (const Point2& p : pts) {
+    if (!std::isfinite(p.x) || !std::isfinite(p.y)) {
+      return Status::InvalidArgument(
+          StrFormat("%s contains a non-finite coordinate", name));
+    }
+  }
+  return Status::OK();
+}
+
+// Fractions of `pts` in the four open quadrants anchored at (x, y); points
+// on the dividing lines are excluded, as in the original formulation.
+struct QuadrantFractions {
+  double ne = 0.0, nw = 0.0, sw = 0.0, se = 0.0;
+};
+
+QuadrantFractions Quadrants(const std::vector<Point2>& pts, double x,
+                            double y) {
+  QuadrantFractions q;
+  for (const Point2& p : pts) {
+    if (p.x > x && p.y > y) {
+      q.ne += 1.0;
+    } else if (p.x < x && p.y > y) {
+      q.nw += 1.0;
+    } else if (p.x < x && p.y < y) {
+      q.sw += 1.0;
+    } else if (p.x > x && p.y < y) {
+      q.se += 1.0;
+    }
+  }
+  const double total = static_cast<double>(pts.size());
+  q.ne /= total;
+  q.nw /= total;
+  q.sw /= total;
+  q.se /= total;
+  return q;
+}
+
+// max quadrant discrepancy over the anchor points of `anchors`
+double MaxDiscrepancy(const std::vector<Point2>& anchors,
+                      const std::vector<Point2>& r,
+                      const std::vector<Point2>& t) {
+  double best = 0.0;
+  for (const Point2& a : anchors) {
+    const QuadrantFractions qr = Quadrants(r, a.x, a.y);
+    const QuadrantFractions qt = Quadrants(t, a.x, a.y);
+    best = std::max({best, std::fabs(qr.ne - qt.ne), std::fabs(qr.nw - qt.nw),
+                     std::fabs(qr.sw - qt.sw), std::fabs(qr.se - qt.se)});
+  }
+  return best;
+}
+
+double PearsonCorrelation(const std::vector<Point2>& pts) {
+  const double n = static_cast<double>(pts.size());
+  double mx = 0.0;
+  double my = 0.0;
+  for (const Point2& p : pts) {
+    mx += p.x;
+    my += p.y;
+  }
+  mx /= n;
+  my /= n;
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (const Point2& p : pts) {
+    sxy += (p.x - mx) * (p.y - my);
+    sxx += (p.x - mx) * (p.x - mx);
+    syy += (p.y - my) * (p.y - my);
+  }
+  const double denom = std::sqrt(sxx * syy);
+  if (denom < 1e-12) return 0.0;
+  return sxy / denom;
+}
+
+}  // namespace
+
+double KolmogorovQ(double lambda) { return ks::KolmogorovQ(lambda); }
+
+double Statistic2D(const std::vector<Point2>& r,
+                   const std::vector<Point2>& t) {
+  // Fasano-Franceschini: average of the two one-sided maxima.
+  const double d1 = MaxDiscrepancy(r, r, t);
+  const double d2 = MaxDiscrepancy(t, r, t);
+  return 0.5 * (d1 + d2);
+}
+
+Result<FfOutcome> Test2D(const std::vector<Point2>& r,
+                         const std::vector<Point2>& t, double alpha) {
+  MOCHE_RETURN_IF_ERROR(ValidatePoints(r, "reference set"));
+  MOCHE_RETURN_IF_ERROR(ValidatePoints(t, "test set"));
+  if (!(alpha > 0.0 && alpha < 1.0)) {
+    return Status::InvalidArgument(
+        StrFormat("alpha must be in (0, 1), got %g", alpha));
+  }
+  FfOutcome out;
+  out.n = r.size();
+  out.m = t.size();
+  out.statistic = Statistic2D(r, t);
+
+  const double n = static_cast<double>(r.size());
+  const double m = static_cast<double>(t.size());
+  const double n_e = n * m / (n + m);
+  const double r1 = PearsonCorrelation(r);
+  const double r2 = PearsonCorrelation(t);
+  const double rr = std::sqrt(1.0 - 0.5 * (r1 * r1 + r2 * r2));
+  const double lambda = std::sqrt(n_e) * out.statistic /
+                        (1.0 + rr * (0.25 - 0.75 / std::sqrt(n_e)));
+  out.p_value = KolmogorovQ(lambda);
+  out.reject = out.p_value < alpha;
+  return out;
+}
+
+}  // namespace mdks
+}  // namespace moche

@@ -1,0 +1,55 @@
+// Two-sample two-dimensional Kolmogorov-Smirnov test after Fasano &
+// Franceschini (MNRAS 1987) — the extension the paper names as future work
+// ("we plan to extend MOCHE to interpret failed KS tests conducted on
+// multidimensional data points [18, 44]").
+//
+// The 2-D statistic replaces the CDF with quadrant probabilities: for every
+// sample point, compare the fractions of R and T falling in each of the
+// four quadrants anchored at that point; D is the average of the two
+// per-sample maxima. Significance uses the asymptotic formula of Press et
+// al. (Numerical Recipes 3rd ed., §14.8): with N_e = n m/(n+m) and r the
+// rms of the two per-sample Pearson correlations,
+//   lambda = sqrt(N_e) * D / (1 + sqrt(1 - r^2) (0.25 - 0.75/sqrt(N_e)))
+// and the p-value is the Kolmogorov tail Q_KS(lambda).
+
+#ifndef MOCHE_MDKS_FF_TEST_H_
+#define MOCHE_MDKS_FF_TEST_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace moche {
+namespace mdks {
+
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// The outcome of one 2-D KS test run.
+struct FfOutcome {
+  double statistic = 0.0;  ///< D (quadrant-based)
+  double p_value = 1.0;    ///< asymptotic Press et al. approximation
+  bool reject = false;     ///< p_value < alpha
+  size_t n = 0;
+  size_t m = 0;
+};
+
+/// Kolmogorov tail probability Q_KS(lambda) = 2 sum (-1)^{j-1} e^{-2j^2l^2}.
+double KolmogorovQ(double lambda);
+
+/// The Fasano-Franceschini statistic; O((n+m)^2). Both samples must be
+/// non-empty.
+double Statistic2D(const std::vector<Point2>& r,
+                   const std::vector<Point2>& t);
+
+/// Runs the full test at significance level alpha. Fails on empty samples,
+/// non-finite coordinates or alpha outside (0, 1).
+Result<FfOutcome> Test2D(const std::vector<Point2>& r,
+                         const std::vector<Point2>& t, double alpha);
+
+}  // namespace mdks
+}  // namespace moche
+
+#endif  // MOCHE_MDKS_FF_TEST_H_

@@ -1,0 +1,80 @@
+#include "optimize/zeroth_order.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace moche {
+namespace optimize {
+
+namespace {
+
+void ProjectUnitBox(std::vector<double>* x) {
+  for (double& v : *x) v = std::clamp(v, 0.0, 1.0);
+}
+
+}  // namespace
+
+ZerothOrderResult MinimizeRgf(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> x0, const ZerothOrderOptions& opt, Rng* rng) {
+  ZerothOrderResult result;
+  const size_t d = x0.size();
+  if (opt.project_unit_box) ProjectUnitBox(&x0);
+
+  std::vector<double> x = std::move(x0);
+  double fx = f(x);
+  ++result.function_evals;
+  result.x = x;
+  result.value = fx;
+  if (fx < opt.target) {
+    result.reached_target = true;
+    return result;
+  }
+
+  std::vector<double> grad(d);
+  std::vector<double> probe(d);
+  for (size_t iter = 0; iter < opt.max_iterations; ++iter) {
+    ++result.iterations;
+    std::fill(grad.begin(), grad.end(), 0.0);
+
+    for (size_t dir = 0; dir < opt.num_directions; ++dir) {
+      // Gaussian direction, normalized.
+      double norm_sq = 0.0;
+      for (size_t i = 0; i < d; ++i) {
+        probe[i] = rng->Normal();
+        norm_sq += probe[i] * probe[i];
+      }
+      const double norm = std::sqrt(std::max(norm_sq, 1e-24));
+      for (size_t i = 0; i < d; ++i) probe[i] /= norm;
+
+      std::vector<double> x_probe = x;
+      for (size_t i = 0; i < d; ++i) x_probe[i] += opt.smoothing * probe[i];
+      if (opt.project_unit_box) ProjectUnitBox(&x_probe);
+      const double f_probe = f(x_probe);
+      ++result.function_evals;
+
+      const double slope = (f_probe - fx) / opt.smoothing;
+      for (size_t i = 0; i < d; ++i) grad[i] += slope * probe[i];
+    }
+    const double inv_q = 1.0 / static_cast<double>(opt.num_directions);
+    for (size_t i = 0; i < d; ++i) grad[i] *= inv_q;
+
+    for (size_t i = 0; i < d; ++i) x[i] -= opt.step_size * grad[i];
+    if (opt.project_unit_box) ProjectUnitBox(&x);
+    fx = f(x);
+    ++result.function_evals;
+
+    if (fx < result.value) {
+      result.value = fx;
+      result.x = x;
+    }
+    if (result.value < opt.target) {
+      result.reached_target = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace optimize
+}  // namespace moche

@@ -1,0 +1,49 @@
+// Random-gradient-free (RGF) zeroth-order minimization, after Cheng et al.,
+// "Query-Efficient Hard-label Black-box Attack: An Optimization-based
+// Approach" (ICLR 2019). The paper's Extended-GRACE baseline uses exactly
+// this to minimize its non-differentiable KS objective (Section 6.1.2).
+//
+// Each iteration estimates a gradient from `num_directions` random Gaussian
+// directions u via (f(x + beta u) - f(x)) / beta * u, then takes a descent
+// step; iterates are optionally clamped to the unit box.
+
+#ifndef MOCHE_OPTIMIZE_ZEROTH_ORDER_H_
+#define MOCHE_OPTIMIZE_ZEROTH_ORDER_H_
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace moche {
+namespace optimize {
+
+struct ZerothOrderOptions {
+  size_t max_iterations = 1000;
+  size_t num_directions = 10;   ///< random directions per gradient estimate
+  double smoothing = 0.05;      ///< beta: finite-difference probe length
+  double step_size = 0.1;       ///< eta: descent step
+  /// Stop as soon as f(x) drops below this value.
+  double target = -std::numeric_limits<double>::infinity();
+  bool project_unit_box = true; ///< clamp iterates to [0, 1]^d
+};
+
+struct ZerothOrderResult {
+  std::vector<double> x;        ///< best iterate found
+  double value = 0.0;           ///< f(best iterate)
+  size_t iterations = 0;
+  size_t function_evals = 0;
+  bool reached_target = false;
+};
+
+/// Minimizes f starting from x0. f must be callable on any point of the
+/// (optionally clamped) search space; it is treated as a black box.
+ZerothOrderResult MinimizeRgf(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> x0, const ZerothOrderOptions& options, Rng* rng);
+
+}  // namespace optimize
+}  // namespace moche
+
+#endif  // MOCHE_OPTIMIZE_ZEROTH_ORDER_H_

@@ -1,0 +1,137 @@
+#include "signal/fft.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace moche {
+namespace signal {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Iterative radix-2 Cooley-Tukey; data.size() must be a power of two.
+void FftRadix2(std::vector<Complex>* data, bool inverse) {
+  const size_t n = data->size();
+  if (n <= 1) return;
+  std::vector<Complex>& a = *data;
+
+  // bit-reversal permutation
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * kPi / static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (size_t j = 0; j < len / 2; ++j) {
+        const Complex u = a[i + j];
+        const Complex v = a[i + j + len / 2] * w;
+        a[i + j] = u + v;
+        a[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+// Bluestein's chirp-z transform for arbitrary n, built on a padded radix-2
+// convolution: X[k] = b*_k sum_j (a_j b_j) c_{k-j} with b_j = exp(-i pi j^2/n).
+void FftBluestein(std::vector<Complex>* data, bool inverse) {
+  const size_t n = data->size();
+  const double sign = inverse ? 1.0 : -1.0;
+
+  std::vector<Complex> chirp(n);
+  for (size_t j = 0; j < n; ++j) {
+    // j^2 mod 2n keeps the argument small for large n.
+    const double jj = static_cast<double>((j * j) % (2 * n));
+    const double angle = sign * kPi * jj / static_cast<double>(n);
+    chirp[j] = Complex(std::cos(angle), std::sin(angle));
+  }
+
+  const size_t padded = NextPowerOfTwo(2 * n - 1);
+  std::vector<Complex> a(padded, Complex(0, 0));
+  std::vector<Complex> b(padded, Complex(0, 0));
+  for (size_t j = 0; j < n; ++j) a[j] = (*data)[j] * chirp[j];
+  b[0] = std::conj(chirp[0]);
+  for (size_t j = 1; j < n; ++j) {
+    b[j] = std::conj(chirp[j]);
+    b[padded - j] = std::conj(chirp[j]);
+  }
+
+  FftRadix2(&a, false);
+  FftRadix2(&b, false);
+  for (size_t j = 0; j < padded; ++j) a[j] *= b[j];
+  FftRadix2(&a, true);
+  const double scale = 1.0 / static_cast<double>(padded);
+  for (size_t k = 0; k < n; ++k) {
+    (*data)[k] = a[k] * scale * chirp[k];
+  }
+}
+
+}  // namespace
+
+bool IsPowerOfTwo(size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void Fft(std::vector<Complex>* data) {
+  if (data->size() <= 1) return;
+  if (IsPowerOfTwo(data->size())) {
+    FftRadix2(data, false);
+  } else {
+    FftBluestein(data, false);
+  }
+}
+
+void Ifft(std::vector<Complex>* data) {
+  const size_t n = data->size();
+  if (n <= 1) return;
+  if (IsPowerOfTwo(n)) {
+    FftRadix2(data, true);
+    for (Complex& c : *data) c /= static_cast<double>(n);
+  } else {
+    FftBluestein(data, true);
+    for (Complex& c : *data) c /= static_cast<double>(n);
+  }
+}
+
+std::vector<Complex> RealFft(const std::vector<double>& x) {
+  std::vector<Complex> data(x.size());
+  for (size_t i = 0; i < x.size(); ++i) data[i] = Complex(x[i], 0.0);
+  Fft(&data);
+  return data;
+}
+
+std::vector<double> CircularConvolve(const std::vector<double>& a,
+                                     const std::vector<double>& b) {
+  MOCHE_CHECK(a.size() == b.size());
+  const size_t n = a.size();
+  if (n == 0) return {};
+  std::vector<Complex> fa(n);
+  std::vector<Complex> fb(n);
+  for (size_t i = 0; i < n; ++i) {
+    fa[i] = Complex(a[i], 0.0);
+    fb[i] = Complex(b[i], 0.0);
+  }
+  Fft(&fa);
+  Fft(&fb);
+  for (size_t i = 0; i < n; ++i) fa[i] *= fb[i];
+  Ifft(&fa);
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = fa[i].real();
+  return out;
+}
+
+}  // namespace signal
+}  // namespace moche

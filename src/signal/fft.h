@@ -1,0 +1,42 @@
+// Fast Fourier transform over std::complex<double>.
+//
+// Power-of-two lengths use iterative radix-2 Cooley-Tukey; other lengths use
+// Bluestein's chirp-z algorithm (which itself runs on a padded radix-2
+// transform), so any length is O(n log n). This is the backbone of the
+// Spectral Residual preference-list generator and of the FFT-accelerated
+// sliding-dot-product in the matrix-profile substrate.
+
+#ifndef MOCHE_SIGNAL_FFT_H_
+#define MOCHE_SIGNAL_FFT_H_
+
+#include <complex>
+#include <vector>
+
+namespace moche {
+namespace signal {
+
+using Complex = std::complex<double>;
+
+/// In-place forward DFT: X[k] = sum_j x[j] exp(-2 pi i j k / n).
+void Fft(std::vector<Complex>* data);
+
+/// In-place inverse DFT (includes the 1/n normalization).
+void Ifft(std::vector<Complex>* data);
+
+/// Forward DFT of a real sequence (returns the full complex spectrum).
+std::vector<Complex> RealFft(const std::vector<double>& x);
+
+/// True iff n is a power of two (n >= 1).
+bool IsPowerOfTwo(size_t n);
+
+/// Smallest power of two >= n.
+size_t NextPowerOfTwo(size_t n);
+
+/// Circular convolution via FFT; a and b must have the same length.
+std::vector<double> CircularConvolve(const std::vector<double>& a,
+                                     const std::vector<double>& b);
+
+}  // namespace signal
+}  // namespace moche
+
+#endif  // MOCHE_SIGNAL_FFT_H_

@@ -1,0 +1,91 @@
+#include "signal/spectral_residual.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "signal/fft.h"
+
+namespace moche {
+namespace signal {
+
+namespace {
+
+// Centered moving average with edge clamping; window forced to odd.
+std::vector<double> MovingAverage(const std::vector<double>& x,
+                                  size_t window) {
+  if (window < 1) window = 1;
+  if (window % 2 == 0) ++window;
+  const size_t half = window / 2;
+  const size_t n = x.size();
+  std::vector<double> out(n);
+  // prefix sums for O(n)
+  std::vector<double> prefix(n + 1, 0.0);
+  for (size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + x[i];
+  for (size_t i = 0; i < n; ++i) {
+    const size_t lo = i >= half ? i - half : 0;
+    const size_t hi = std::min(n - 1, i + half);
+    out[i] = (prefix[hi + 1] - prefix[lo]) /
+             static_cast<double>(hi - lo + 1);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<double>> SpectralResidualScores(
+    const std::vector<double>& series, const SpectralResidualOptions& opt) {
+  const size_t n = series.size();
+  if (n < 3) {
+    return Status::InvalidArgument(
+        "spectral residual needs at least 3 points");
+  }
+
+  // Extend the series by extrapolated points so the last real observations
+  // are not treated as a boundary artifact (Ren et al. Sec. 3.1).
+  std::vector<double> x = series;
+  const size_t g = std::min(opt.gradient_points, n - 1);
+  if (opt.extension_points > 0 && g > 0) {
+    double grad_sum = 0.0;
+    for (size_t i = 0; i < g; ++i) {
+      const size_t j = n - 1 - i;
+      grad_sum += (series[n - 1] - series[j - 1]) / static_cast<double>(i + 1);
+    }
+    const double grad = grad_sum / static_cast<double>(g);
+    const double anchor = series[n - 1 - std::min<size_t>(1, n - 1)];
+    for (size_t e = 0; e < opt.extension_points; ++e) {
+      x.push_back(anchor + grad * static_cast<double>(g));
+    }
+  }
+
+  // FFT -> log amplitude -> residual -> saliency.
+  std::vector<Complex> spectrum = RealFft(x);
+  const size_t total = spectrum.size();
+  std::vector<double> amplitude(total);
+  std::vector<double> log_amp(total);
+  for (size_t i = 0; i < total; ++i) {
+    amplitude[i] = std::abs(spectrum[i]);
+    log_amp[i] = std::log(amplitude[i] + 1e-12);
+  }
+  const std::vector<double> avg_log = MovingAverage(log_amp, opt.avg_filter_size);
+  for (size_t i = 0; i < total; ++i) {
+    const double residual = log_amp[i] - avg_log[i];
+    // exp(residual + i*phase) = exp(residual) * spectrum / |spectrum|
+    const double scale = std::exp(residual) / (amplitude[i] + 1e-12);
+    spectrum[i] *= scale;
+  }
+  Ifft(&spectrum);
+
+  std::vector<double> saliency(n);
+  for (size_t i = 0; i < n; ++i) saliency[i] = std::abs(spectrum[i]);
+
+  // Relative saliency scores: (S - mavg(S)) / mavg(S).
+  const std::vector<double> local_avg = MovingAverage(saliency, opt.score_window);
+  std::vector<double> scores(n);
+  for (size_t i = 0; i < n; ++i) {
+    scores[i] = (saliency[i] - local_avg[i]) / (local_avg[i] + 1e-12);
+  }
+  return scores;
+}
+
+}  // namespace signal
+}  // namespace moche

@@ -1,0 +1,47 @@
+// Spectral Residual saliency (Ren et al., "Time-Series Anomaly Detection
+// Service at Microsoft", KDD 2019) — the outlier scorer the paper uses to
+// generate preference lists for the time-series experiments (Section 6.1.1).
+//
+// Pipeline: FFT -> log amplitude -> subtract a moving-average of the log
+// amplitude (the "spectral residual") -> inverse FFT with original phase ->
+// saliency map. Points with salient spectral residual stand out from the
+// periodic/trend structure of the series. Scores are the relative saliency
+// (S - mavg(S)) / mavg(S) of the paper, so larger = more anomalous.
+
+#ifndef MOCHE_SIGNAL_SPECTRAL_RESIDUAL_H_
+#define MOCHE_SIGNAL_SPECTRAL_RESIDUAL_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace moche {
+namespace signal {
+
+struct SpectralResidualOptions {
+  /// Window of the moving average applied to the log spectrum (q in the
+  /// paper; 3 is the published default).
+  size_t avg_filter_size = 3;
+
+  /// Window of the moving average used to normalize the saliency map into
+  /// scores (z in the paper; 21 is the published default).
+  size_t score_window = 21;
+
+  /// Number of estimated points appended before the FFT so the tail of the
+  /// series is not penalized by the boundary (kappa extension).
+  size_t extension_points = 5;
+
+  /// How many trailing gradients are averaged to extrapolate the extension.
+  size_t gradient_points = 5;
+};
+
+/// Computes per-point anomaly scores for `series` (same length as input).
+/// Fails on series shorter than 3 points.
+Result<std::vector<double>> SpectralResidualScores(
+    const std::vector<double>& series,
+    const SpectralResidualOptions& options = {});
+
+}  // namespace signal
+}  // namespace moche
+
+#endif  // MOCHE_SIGNAL_SPECTRAL_RESIDUAL_H_

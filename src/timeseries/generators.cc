@@ -1,0 +1,423 @@
+#include "timeseries/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace moche {
+namespace ts {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+constexpr size_t kMinLength = 280;  // keeps 2 windows of 100 + slack viable
+
+size_t Scaled(size_t length, double scale) {
+  const auto scaled = static_cast<size_t>(static_cast<double>(length) * scale);
+  return std::max(scaled, kMinLength);
+}
+
+// Incremental series assembly: a base signal plus injected events, with
+// ground-truth labels marking the injected regions.
+class SeriesBuilder {
+ public:
+  SeriesBuilder(std::string name, size_t length, Rng* rng)
+      : rng_(rng) {
+    series_.name = std::move(name);
+    series_.values.assign(length, 0.0);
+    series_.anomaly_labels.assign(length, false);
+  }
+
+  size_t length() const { return series_.values.size(); }
+
+  void AddConstant(double c) {
+    for (double& v : series_.values) v += c;
+  }
+
+  void AddSine(double period, double amplitude, double phase = 0.0) {
+    for (size_t t = 0; t < length(); ++t) {
+      series_.values[t] +=
+          amplitude * std::sin(2.0 * kPi * static_cast<double>(t) / period +
+                               phase);
+    }
+  }
+
+  void AddLinearTrend(double total_rise) {
+    const double denom = std::max<double>(1.0, static_cast<double>(length() - 1));
+    for (size_t t = 0; t < length(); ++t) {
+      series_.values[t] += total_rise * static_cast<double>(t) / denom;
+    }
+  }
+
+  void AddGaussianNoise(double stddev) {
+    for (double& v : series_.values) v += rng_->Normal(0.0, stddev);
+  }
+
+  void AddAr1Noise(double rho, double stddev) {
+    double state = 0.0;
+    for (double& v : series_.values) {
+      state = rho * state + rng_->Normal(0.0, stddev);
+      v += state;
+    }
+  }
+
+  /// Step change of `delta` from `at` to the end; labels the onset window.
+  void AddLevelShift(size_t at, double delta, size_t label_width = 10) {
+    for (size_t t = at; t < length(); ++t) series_.values[t] += delta;
+    Label(at, label_width);
+  }
+
+  /// Multiplies the noise-free signal by extra Gaussian noise in a region.
+  void AddVarianceBurst(size_t at, size_t width, double stddev) {
+    for (size_t t = at; t < std::min(length(), at + width); ++t) {
+      series_.values[t] += rng_->Normal(0.0, stddev);
+    }
+    Label(at, width);
+  }
+
+  /// One-point (or few-point) spike.
+  void AddSpike(size_t at, double magnitude, size_t width = 1) {
+    for (size_t t = at; t < std::min(length(), at + width); ++t) {
+      series_.values[t] += magnitude;
+    }
+    Label(at, width);
+  }
+
+  /// Replaces a region with samples from a different distribution
+  /// (uniform in [lo, hi]) — the Kifer-style drift the ART family uses.
+  void ReplaceWithUniform(size_t at, size_t width, double lo, double hi) {
+    for (size_t t = at; t < std::min(length(), at + width); ++t) {
+      series_.values[t] = rng_->Uniform(lo, hi);
+    }
+    Label(at, width);
+  }
+
+  void ClampMin(double lo) {
+    for (double& v : series_.values) v = std::max(v, lo);
+  }
+
+  /// Marks [at, at + width) as anomalous ground truth.
+  void Label(size_t at, size_t width) {
+    for (size_t t = at; t < std::min(length(), at + width); ++t) {
+      series_.anomaly_labels[t] = true;
+    }
+  }
+
+  TimeSeries Build() { return std::move(series_); }
+
+ private:
+  Rng* rng_;
+  TimeSeries series_;
+};
+
+// Picks 2-4 event positions spread over the middle of the series.
+std::vector<size_t> EventPositions(size_t length, size_t count, Rng* rng) {
+  std::vector<size_t> out;
+  for (size_t e = 0; e < count; ++e) {
+    const double lo = 0.2 + 0.6 * static_cast<double>(e) /
+                                static_cast<double>(count);
+    const double hi = lo + 0.6 / static_cast<double>(count);
+    out.push_back(static_cast<size_t>(
+        rng->Uniform(lo, hi) * static_cast<double>(length)));
+  }
+  return out;
+}
+
+}  // namespace
+
+Dataset MakeAwsDataset(uint64_t seed, double scale) {
+  Rng rng(seed);
+  Dataset ds;
+  ds.name = "AWS";
+  // Table 1: 17 series, lengths 1243-4700.
+  const size_t lengths[17] = {1243, 1499, 1781, 2034, 2150, 2305, 2490,
+                              2688, 2900, 3105, 3333, 3512, 3704, 3998,
+                              4221, 4483, 4700};
+  for (int i = 0; i < 17; ++i) {
+    const size_t len = Scaled(lengths[i], scale);
+    const int kind = i % 3;
+    if (kind == 0) {
+      // CPU utilization: diurnal load + AR noise + CPU pegging events.
+      SeriesBuilder b(StrFormat("aws_cpu_%d", i / 3), len, &rng);
+      b.AddConstant(35.0 + rng.Uniform(-5, 5));
+      b.AddSine(static_cast<double>(len) / 6.0, 8.0, rng.Uniform(0, kPi));
+      b.AddAr1Noise(0.6, 2.0);
+      for (size_t at : EventPositions(len, 3, &rng)) {
+        b.AddSpike(at, rng.Uniform(30, 50), 5 + static_cast<size_t>(rng.Integer(0, 10)));
+      }
+      b.AddLevelShift(len * 2 / 3, rng.Uniform(10, 18), 12);
+      b.ClampMin(0.0);
+      ds.series.push_back(b.Build());
+    } else if (kind == 1) {
+      // Network bytes in: bursty heavy-tailed traffic + sustained surge.
+      SeriesBuilder b(StrFormat("aws_network_in_%d", i / 3), len, &rng);
+      b.AddConstant(1000.0);
+      b.AddSine(static_cast<double>(len) / 8.0, 150.0, rng.Uniform(0, kPi));
+      b.AddAr1Noise(0.4, 90.0);
+      for (size_t at : EventPositions(len, 2, &rng)) {
+        b.AddVarianceBurst(at, 30, 600.0);
+      }
+      b.AddLevelShift(len / 2, rng.Uniform(300, 500), 15);
+      b.ClampMin(0.0);
+      ds.series.push_back(b.Build());
+    } else {
+      // Disk read bytes: near-idle baseline with backup-job plateaus.
+      SeriesBuilder b(StrFormat("aws_disk_read_%d", i / 3), len, &rng);
+      b.AddConstant(50.0);
+      b.AddGaussianNoise(8.0);
+      for (size_t at : EventPositions(len, 3, &rng)) {
+        b.AddSpike(at, rng.Uniform(200, 600),
+                   20 + static_cast<size_t>(rng.Integer(0, 20)));
+      }
+      b.ClampMin(0.0);
+      ds.series.push_back(b.Build());
+    }
+  }
+  return ds;
+}
+
+Dataset MakeAdDataset(uint64_t seed, double scale) {
+  Rng rng(seed + 1);
+  Dataset ds;
+  ds.name = "AD";
+  // Table 1: 6 series, lengths 1538-1624.
+  const size_t lengths[6] = {1538, 1554, 1571, 1589, 1607, 1624};
+  for (int i = 0; i < 6; ++i) {
+    const size_t len = Scaled(lengths[i], scale);
+    if (i % 2 == 0) {
+      // Click-through rate: small positive rate with campaign drift.
+      SeriesBuilder b(StrFormat("ad_ctr_%d", i / 2), len, &rng);
+      b.AddConstant(0.12);
+      b.AddSine(static_cast<double>(len) / 5.0, 0.015, rng.Uniform(0, kPi));
+      b.AddGaussianNoise(0.01);
+      b.AddLevelShift(len / 2, -0.03, 12);  // campaign change drops CTR
+      b.AddVarianceBurst(len * 3 / 4, 25, 0.03);
+      b.ClampMin(0.0);
+      ds.series.push_back(b.Build());
+    } else {
+      // Cost per thousand impressions: auction price with demand shocks.
+      SeriesBuilder b(StrFormat("ad_cpm_%d", i / 2), len, &rng);
+      b.AddConstant(2.5);
+      b.AddAr1Noise(0.7, 0.12);
+      b.AddLinearTrend(0.4);
+      for (size_t at : EventPositions(len, 2, &rng)) {
+        b.AddSpike(at, rng.Uniform(1.0, 2.0),
+                   5 + static_cast<size_t>(rng.Integer(0, 5)));
+      }
+      b.AddLevelShift(len * 3 / 5, 0.8, 12);
+      b.ClampMin(0.0);
+      ds.series.push_back(b.Build());
+    }
+  }
+  return ds;
+}
+
+Dataset MakeTrfDataset(uint64_t seed, double scale) {
+  Rng rng(seed + 2);
+  Dataset ds;
+  ds.name = "TRF";
+  // Table 1: 7 series, lengths 1127-2500.
+  const size_t lengths[7] = {1127, 1354, 1581, 1808, 2035, 2262, 2500};
+  for (int i = 0; i < 7; ++i) {
+    const size_t len = Scaled(lengths[i], scale);
+    const double day = static_cast<double>(len) / 7.0;  // ~7 "days"
+    const int kind = i % 3;
+    if (kind == 0) {
+      // Occupancy %: twin rush-hour humps + incident saturation.
+      SeriesBuilder b(StrFormat("trf_occupancy_%d", i / 3), len, &rng);
+      b.AddConstant(18.0);
+      b.AddSine(day, 8.0, 0.0);
+      b.AddSine(day / 2.0, 5.0, kPi / 3.0);  // morning + evening peaks
+      b.AddAr1Noise(0.5, 1.5);
+      for (size_t at : EventPositions(len, 2, &rng)) {
+        b.AddSpike(at, rng.Uniform(25, 40),
+                   10 + static_cast<size_t>(rng.Integer(0, 15)));
+      }
+      b.ClampMin(0.0);
+      ds.series.push_back(b.Build());
+    } else if (kind == 1) {
+      // Speed mph: free-flow baseline minus congestion + incident drops.
+      SeriesBuilder b(StrFormat("trf_speed_%d", i / 3), len, &rng);
+      b.AddConstant(62.0);
+      b.AddSine(day, -6.0, 0.0);
+      b.AddAr1Noise(0.5, 2.0);
+      for (size_t at : EventPositions(len, 2, &rng)) {
+        b.AddSpike(at, -rng.Uniform(25, 40),
+                   8 + static_cast<size_t>(rng.Integer(0, 12)));
+      }
+      b.AddLevelShift(len * 4 / 5, -8.0, 10);  // lane closure
+      b.ClampMin(0.0);
+      ds.series.push_back(b.Build());
+    } else {
+      // Travel time (s): reciprocal-of-speed shape with jams.
+      SeriesBuilder b(StrFormat("trf_travel_time_%d", i / 3), len, &rng);
+      b.AddConstant(210.0);
+      b.AddSine(day, 25.0, kPi / 5.0);
+      b.AddAr1Noise(0.6, 8.0);
+      for (size_t at : EventPositions(len, 3, &rng)) {
+        b.AddSpike(at, rng.Uniform(90, 200),
+                   6 + static_cast<size_t>(rng.Integer(0, 10)));
+      }
+      b.ClampMin(30.0);
+      ds.series.push_back(b.Build());
+    }
+  }
+  return ds;
+}
+
+Dataset MakeTwtDataset(uint64_t seed, double scale) {
+  Rng rng(seed + 3);
+  Dataset ds;
+  ds.name = "TWT";
+  // Table 1: 10 series, lengths 15831-15902.
+  const char* companies[10] = {"GOOG", "IBM", "AAPL", "AMZN", "CRM",
+                               "CVS",  "FB",  "KO",   "PFE",  "UPS"};
+  for (int i = 0; i < 10; ++i) {
+    const size_t len = Scaled(15831 + static_cast<size_t>(i) * 7, scale);
+    SeriesBuilder b(StrFormat("twt_mentions_%s", companies[i]), len, &rng);
+    // Mention counts: diurnal chatter + AR noise, news bursts, one
+    // sustained attention shift (e.g. product launch).
+    const double base = 20.0 + 6.0 * static_cast<double>(i % 5);
+    b.AddConstant(base);
+    b.AddSine(static_cast<double>(len) / 11.0, base * 0.25,
+              rng.Uniform(0, kPi));
+    b.AddAr1Noise(0.55, base * 0.15);
+    for (size_t at : EventPositions(len, 4, &rng)) {
+      b.AddSpike(at, rng.Uniform(3.0, 8.0) * base,
+                 10 + static_cast<size_t>(rng.Integer(0, 30)));
+    }
+    b.AddLevelShift(len * 7 / 10, base * rng.Uniform(0.4, 0.8), 20);
+    b.ClampMin(0.0);
+    TimeSeries s = b.Build();
+    // counts are integers
+    for (double& v : s.values) v = std::round(v);
+    ds.series.push_back(std::move(s));
+  }
+  return ds;
+}
+
+Dataset MakeKcDataset(uint64_t seed, double scale) {
+  Rng rng(seed + 4);
+  Dataset ds;
+  ds.name = "KC";
+  // Table 1: 7 series, lengths 1882-22695.
+  const size_t lengths[7] = {1882, 4032, 7268, 10320, 14030, 18050, 22695};
+  for (int i = 0; i < 7; ++i) {
+    const size_t len = Scaled(lengths[i], scale);
+    const int kind = i % 3;
+    if (kind == 0) {
+      // Machine temperature: slow thermal cycle, bearing failure = drift
+      // down then catastrophic drop.
+      SeriesBuilder b(StrFormat("kc_machine_temp_%d", i / 3), len, &rng);
+      b.AddConstant(85.0);
+      b.AddSine(static_cast<double>(len) / 4.0, 4.0, rng.Uniform(0, kPi));
+      b.AddAr1Noise(0.8, 1.2);
+      b.AddLevelShift(len * 3 / 4, -9.0, 25);
+      b.AddVarianceBurst(len * 3 / 4, 60, 4.0);
+      ds.series.push_back(b.Build());
+    } else if (kind == 1) {
+      // NYC taxi passengers: strong daily + weekly pattern, holiday dips.
+      SeriesBuilder b(StrFormat("kc_nyc_taxi_%d", i / 3), len, &rng);
+      const double day = std::max(48.0, static_cast<double>(len) / 30.0);
+      b.AddConstant(15000.0);
+      b.AddSine(day, 6000.0, 0.0);
+      b.AddSine(day * 7.0, 2000.0, kPi / 7.0);
+      b.AddAr1Noise(0.5, 800.0);
+      for (size_t at : EventPositions(len, 3, &rng)) {
+        b.AddSpike(at, -rng.Uniform(6000, 10000),
+                   static_cast<size_t>(day / 2.0));  // holiday
+      }
+      b.ClampMin(0.0);
+      ds.series.push_back(b.Build());
+    } else {
+      // AWS-style CPU usage with a deployment regression.
+      SeriesBuilder b(StrFormat("kc_cpu_%d", i / 3), len, &rng);
+      b.AddConstant(42.0);
+      b.AddSine(static_cast<double>(len) / 9.0, 6.0, rng.Uniform(0, kPi));
+      b.AddAr1Noise(0.6, 2.5);
+      b.AddLevelShift(len / 2, 14.0, 15);
+      for (size_t at : EventPositions(len, 2, &rng)) {
+        b.AddSpike(at, rng.Uniform(20, 35),
+                   4 + static_cast<size_t>(rng.Integer(0, 8)));
+      }
+      b.ClampMin(0.0);
+      ds.series.push_back(b.Build());
+    }
+  }
+  return ds;
+}
+
+Dataset MakeArtDataset(uint64_t seed, double scale) {
+  Rng rng(seed + 5);
+  Dataset ds;
+  ds.name = "ART";
+  // Table 1: 6 series, all of length 4032, with varying distribution
+  // drifts in the style of Kifer et al. [24].
+  const size_t len = Scaled(4032, scale);
+
+  {
+    // flat noise, no drift (the "no anomaly" control of the NAB art set)
+    SeriesBuilder b("art_daily_no_noise", len, &rng);
+    b.AddConstant(40.0);
+    b.AddSine(static_cast<double>(len) / 14.0, 10.0, 0.0);
+    b.AddGaussianNoise(0.5);
+    ds.series.push_back(b.Build());
+  }
+  {
+    // jumping mean: N(0,1) -> N(1.5,1) at the midpoint
+    SeriesBuilder b("art_jumping_mean", len, &rng);
+    b.AddGaussianNoise(1.0);
+    b.AddLevelShift(len / 2, 1.5, 20);
+    ds.series.push_back(b.Build());
+  }
+  {
+    // increasing variance: N(0,1) -> N(0,3)
+    SeriesBuilder b("art_increase_variance", len, &rng);
+    b.AddGaussianNoise(1.0);
+    b.AddVarianceBurst(len / 2, len / 2, 3.0);
+    ds.series.push_back(b.Build());
+  }
+  {
+    // up-then-down jump
+    SeriesBuilder b("art_updown_jump", len, &rng);
+    b.AddGaussianNoise(1.0);
+    b.AddLevelShift(len / 3, 2.0, 20);
+    b.AddLevelShift(2 * len / 3, -3.0, 20);
+    ds.series.push_back(b.Build());
+  }
+  {
+    // uniform contamination: the exact pattern of the paper's synthetic
+    // scalability study (Sec 6.4) — a slice replaced by U[-7, 7]
+    SeriesBuilder b("art_uniform_replace", len, &rng);
+    b.AddGaussianNoise(1.0);
+    b.ReplaceWithUniform(len / 2, len / 6, -7.0, 7.0);
+    ds.series.push_back(b.Build());
+  }
+  {
+    // daily pattern whose amplitude drifts (shape change)
+    SeriesBuilder b("art_amplitude_change", len, &rng);
+    b.AddSine(static_cast<double>(len) / 14.0, 8.0, 0.0);
+    b.AddGaussianNoise(1.0);
+    // amplitude modulation from the midpoint on
+    TimeSeries s = b.Build();
+    for (size_t t = len / 2; t < s.values.size(); ++t) {
+      s.values[t] *= 1.8;
+    }
+    for (size_t t = len / 2; t < len / 2 + 20 && t < s.values.size(); ++t) {
+      s.anomaly_labels[t] = true;
+    }
+    ds.series.push_back(std::move(s));
+  }
+  return ds;
+}
+
+std::vector<Dataset> MakeAllNabLikeDatasets(uint64_t seed, double scale) {
+  return {MakeAwsDataset(seed, scale), MakeAdDataset(seed, scale),
+          MakeTrfDataset(seed, scale), MakeTwtDataset(seed, scale),
+          MakeKcDataset(seed, scale),  MakeArtDataset(seed, scale)};
+}
+
+}  // namespace ts
+}  // namespace moche

@@ -1,0 +1,154 @@
+#include "timeseries/matrix_profile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/string_util.h"
+
+namespace moche {
+namespace ts {
+
+namespace {
+
+// Per-window mean and standard deviation from prefix sums.
+struct WindowStats {
+  std::vector<double> mean;
+  std::vector<double> stddev;  // population stddev of each window
+};
+
+WindowStats ComputeWindowStats(const std::vector<double>& x, size_t w) {
+  const size_t count = x.size() - w + 1;
+  WindowStats stats;
+  stats.mean.resize(count);
+  stats.stddev.resize(count);
+  std::vector<double> sum(x.size() + 1, 0.0);
+  std::vector<double> sumsq(x.size() + 1, 0.0);
+  for (size_t i = 0; i < x.size(); ++i) {
+    sum[i + 1] = sum[i] + x[i];
+    sumsq[i + 1] = sumsq[i] + x[i] * x[i];
+  }
+  const double dw = static_cast<double>(w);
+  for (size_t i = 0; i < count; ++i) {
+    const double mu = (sum[i + w] - sum[i]) / dw;
+    const double var = (sumsq[i + w] - sumsq[i]) / dw - mu * mu;
+    stats.mean[i] = mu;
+    stats.stddev[i] = std::sqrt(std::max(var, 0.0));
+  }
+  return stats;
+}
+
+constexpr double kSigmaFloor = 1e-9;
+
+// z-normalized distance from the dot product and window stats.
+double ZNormDistance(double dot, double mu_q, double sd_q, double mu_n,
+                     double sd_n, size_t w) {
+  const double dw = static_cast<double>(w);
+  const bool q_const = sd_q < kSigmaFloor;
+  const bool n_const = sd_n < kSigmaFloor;
+  if (q_const && n_const) return 0.0;
+  if (q_const || n_const) return std::sqrt(dw);
+  double corr = (dot - dw * mu_q * mu_n) / (dw * sd_q * sd_n);
+  corr = std::clamp(corr, -1.0, 1.0);
+  return std::sqrt(std::max(2.0 * dw * (1.0 - corr), 0.0));
+}
+
+Status ValidateJoin(const std::vector<double>& query,
+                    const std::vector<double>& reference, size_t sub_len) {
+  if (sub_len < 2) {
+    return Status::InvalidArgument("subsequence length must be at least 2");
+  }
+  if (query.size() < sub_len || reference.size() < sub_len) {
+    return Status::InvalidArgument(
+        StrFormat("series too short for subsequence length %zu", sub_len));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<MatrixProfile> StompAbJoin(const std::vector<double>& query,
+                                  const std::vector<double>& reference,
+                                  size_t sub_len) {
+  MOCHE_RETURN_IF_ERROR(ValidateJoin(query, reference, sub_len));
+  const size_t nq = query.size() - sub_len + 1;
+  const size_t nn = reference.size() - sub_len + 1;
+  const WindowStats qs = ComputeWindowStats(query, sub_len);
+  const WindowStats ns = ComputeWindowStats(reference, sub_len);
+
+  MatrixProfile profile;
+  profile.distances.assign(nq, std::numeric_limits<double>::infinity());
+  profile.nearest_index.assign(nq, 0);
+
+  // First row of dot products: QT[j] = <Q[0..w), N[j..j+w)>.
+  std::vector<double> qt(nn, 0.0);
+  for (size_t j = 0; j < nn; ++j) {
+    double dot = 0.0;
+    for (size_t k = 0; k < sub_len; ++k) dot += query[k] * reference[j + k];
+    qt[j] = dot;
+  }
+  // First column seeds for the diagonal updates: <Q[i..i+w), N[0..w)>.
+  std::vector<double> first_col(nq, 0.0);
+  for (size_t i = 0; i < nq; ++i) {
+    double dot = 0.0;
+    for (size_t k = 0; k < sub_len; ++k) dot += query[i + k] * reference[k];
+    first_col[i] = dot;
+  }
+
+  for (size_t i = 0; i < nq; ++i) {
+    if (i > 0) {
+      // STOMP update, right to left so qt[j-1] is still from row i-1:
+      // QT_i[j] = QT_{i-1}[j-1] - Q[i-1] N[j-1] + Q[i+w-1] N[j+w-1].
+      for (size_t j = nn - 1; j >= 1; --j) {
+        qt[j] = qt[j - 1] - query[i - 1] * reference[j - 1] +
+                query[i + sub_len - 1] * reference[j + sub_len - 1];
+      }
+      qt[0] = first_col[i];
+    }
+    double best = std::numeric_limits<double>::infinity();
+    size_t best_j = 0;
+    for (size_t j = 0; j < nn; ++j) {
+      const double d = ZNormDistance(qt[j], qs.mean[i], qs.stddev[i],
+                                     ns.mean[j], ns.stddev[j], sub_len);
+      if (d < best) {
+        best = d;
+        best_j = j;
+      }
+    }
+    profile.distances[i] = best;
+    profile.nearest_index[i] = best_j;
+  }
+  return profile;
+}
+
+Result<MatrixProfile> BruteForceAbJoin(const std::vector<double>& query,
+                                       const std::vector<double>& reference,
+                                       size_t sub_len) {
+  MOCHE_RETURN_IF_ERROR(ValidateJoin(query, reference, sub_len));
+  const size_t nq = query.size() - sub_len + 1;
+  const size_t nn = reference.size() - sub_len + 1;
+  const WindowStats qs = ComputeWindowStats(query, sub_len);
+  const WindowStats ns = ComputeWindowStats(reference, sub_len);
+
+  MatrixProfile profile;
+  profile.distances.assign(nq, std::numeric_limits<double>::infinity());
+  profile.nearest_index.assign(nq, 0);
+  for (size_t i = 0; i < nq; ++i) {
+    for (size_t j = 0; j < nn; ++j) {
+      double dot = 0.0;
+      for (size_t k = 0; k < sub_len; ++k) {
+        dot += query[i + k] * reference[j + k];
+      }
+      const double d = ZNormDistance(dot, qs.mean[i], qs.stddev[i],
+                                     ns.mean[j], ns.stddev[j], sub_len);
+      if (d < profile.distances[i]) {
+        profile.distances[i] = d;
+        profile.nearest_index[i] = j;
+      }
+    }
+  }
+  return profile;
+}
+
+}  // namespace ts
+}  // namespace moche

@@ -1,0 +1,43 @@
+// STOMP matrix profile (Yeh et al. / Zhu et al., ICDM 2016) — the anomalous
+// subsequence detector behind the paper's Extended-STOMP baseline.
+//
+// For a query series Q, a reference series N and a subsequence length q,
+// the AB-join matrix profile assigns each q-subsequence of Q the z-normalized
+// Euclidean distance to its nearest neighbour among the q-subsequences of N.
+// Large profile values = anomalous shapes (discords). STOMP computes the
+// full profile in O(|Q| |N|) using incrementally-maintained dot products.
+
+#ifndef MOCHE_TIMESERIES_MATRIX_PROFILE_H_
+#define MOCHE_TIMESERIES_MATRIX_PROFILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace moche {
+namespace ts {
+
+struct MatrixProfile {
+  std::vector<double> distances;      ///< per query subsequence
+  std::vector<size_t> nearest_index;  ///< argmin position in the reference
+};
+
+/// AB-join: profile of `query` against `reference` with subsequence length
+/// `sub_len`. Fails when either series is shorter than sub_len or
+/// sub_len < 2. Constant (zero-variance) subsequences are handled by the
+/// usual convention: distance 0 between two constants, sqrt(sub_len)
+/// between a constant and a non-constant subsequence.
+Result<MatrixProfile> StompAbJoin(const std::vector<double>& query,
+                                  const std::vector<double>& reference,
+                                  size_t sub_len);
+
+/// Brute-force O(|Q| |N| q) reference implementation (tests only).
+Result<MatrixProfile> BruteForceAbJoin(const std::vector<double>& query,
+                                       const std::vector<double>& reference,
+                                       size_t sub_len);
+
+}  // namespace ts
+}  // namespace moche
+
+#endif  // MOCHE_TIMESERIES_MATRIX_PROFILE_H_

@@ -1,0 +1,21 @@
+#include "timeseries/series.h"
+
+#include <algorithm>
+
+namespace moche {
+namespace ts {
+
+size_t Dataset::min_length() const {
+  size_t out = series.empty() ? 0 : series.front().length();
+  for (const TimeSeries& s : series) out = std::min(out, s.length());
+  return out;
+}
+
+size_t Dataset::max_length() const {
+  size_t out = 0;
+  for (const TimeSeries& s : series) out = std::max(out, s.length());
+  return out;
+}
+
+}  // namespace ts
+}  // namespace moche

@@ -1,0 +1,36 @@
+// Core time-series containers shared by generators, detectors and the
+// experiment harness.
+
+#ifndef MOCHE_TIMESERIES_SERIES_H_
+#define MOCHE_TIMESERIES_SERIES_H_
+
+#include <string>
+#include <vector>
+
+namespace moche {
+namespace ts {
+
+/// A univariate series with optional ground-truth anomaly labels
+/// (the NAB datasets the paper evaluates on ship such labels).
+struct TimeSeries {
+  std::string name;
+  std::vector<double> values;
+  std::vector<bool> anomaly_labels;  ///< same length as values, or empty
+
+  size_t length() const { return values.size(); }
+  bool has_labels() const { return anomaly_labels.size() == values.size(); }
+};
+
+/// A named family of series (one row of the paper's Table 1).
+struct Dataset {
+  std::string name;
+  std::vector<TimeSeries> series;
+
+  size_t min_length() const;
+  size_t max_length() const;
+};
+
+}  // namespace ts
+}  // namespace moche
+
+#endif  // MOCHE_TIMESERIES_SERIES_H_

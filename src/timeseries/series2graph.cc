@@ -1,0 +1,208 @@
+#include "timeseries/series2graph.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace moche {
+namespace ts {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Embedding: at position t, the vector of `dim` overlapping moving averages
+// of width `conv`, spaced conv/2 apart. Covers conv + (dim-1)*conv/2 points.
+size_t EmbeddingSpan(size_t conv, size_t dim) {
+  return conv + (dim - 1) * (conv / 2 + 1);
+}
+
+std::vector<std::vector<double>> EmbedSeries(const std::vector<double>& x,
+                                             size_t conv, size_t dim) {
+  const size_t span = EmbeddingSpan(conv, dim);
+  if (x.size() < span) return {};
+  const size_t count = x.size() - span + 1;
+  const size_t offset = conv / 2 + 1;
+
+  std::vector<double> prefix(x.size() + 1, 0.0);
+  for (size_t i = 0; i < x.size(); ++i) prefix[i + 1] = prefix[i] + x[i];
+  auto window_mean = [&](size_t begin) {
+    return (prefix[begin + conv] - prefix[begin]) / static_cast<double>(conv);
+  };
+
+  std::vector<std::vector<double>> out(count, std::vector<double>(dim));
+  for (size_t t = 0; t < count; ++t) {
+    for (size_t d = 0; d < dim; ++d) {
+      out[t][d] = window_mean(t + d * offset);
+    }
+  }
+  return out;
+}
+
+// Power iteration for the leading eigenvector of a small symmetric matrix.
+std::vector<double> LeadingEigenvector(const std::vector<double>& matrix,
+                                       size_t dim) {
+  std::vector<double> v(dim, 1.0 / std::sqrt(static_cast<double>(dim)));
+  std::vector<double> next(dim);
+  for (int iter = 0; iter < 200; ++iter) {
+    for (size_t i = 0; i < dim; ++i) {
+      double s = 0.0;
+      for (size_t j = 0; j < dim; ++j) s += matrix[i * dim + j] * v[j];
+      next[i] = s;
+    }
+    double norm = 0.0;
+    for (double c : next) norm += c * c;
+    norm = std::sqrt(norm);
+    if (norm < 1e-15) break;  // degenerate matrix; keep the previous vector
+    for (size_t i = 0; i < dim; ++i) next[i] /= norm;
+    v = next;
+  }
+  return v;
+}
+
+}  // namespace
+
+Result<Series2Graph> Series2Graph::Fit(const std::vector<double>& train,
+                                       const Series2GraphOptions& options) {
+  Series2GraphOptions opt = options;
+  if (opt.pattern_length < 3) {
+    return Status::InvalidArgument("pattern length must be at least 3");
+  }
+  if (opt.conv_window == 0) {
+    opt.conv_window = std::max<size_t>(2, opt.pattern_length / 3);
+  }
+  if (opt.num_sectors < 4) {
+    return Status::InvalidArgument("need at least 4 angular sectors");
+  }
+
+  Series2Graph graph;
+  graph.options_ = opt;
+  const size_t dim = graph.embed_dim_;
+  const auto embeddings = EmbedSeries(train, opt.conv_window, dim);
+  if (embeddings.size() < 2) {
+    return Status::InvalidArgument(
+        StrFormat("training series too short (%zu points) for conv window "
+                  "%zu", train.size(), opt.conv_window));
+  }
+
+  // Centroid and covariance of the embeddings.
+  graph.embed_mean_.assign(dim, 0.0);
+  for (const auto& e : embeddings) {
+    for (size_t d = 0; d < dim; ++d) graph.embed_mean_[d] += e[d];
+  }
+  for (size_t d = 0; d < dim; ++d) {
+    graph.embed_mean_[d] /= static_cast<double>(embeddings.size());
+  }
+  std::vector<double> cov(dim * dim, 0.0);
+  for (const auto& e : embeddings) {
+    for (size_t a = 0; a < dim; ++a) {
+      for (size_t b = 0; b < dim; ++b) {
+        cov[a * dim + b] += (e[a] - graph.embed_mean_[a]) *
+                            (e[b] - graph.embed_mean_[b]);
+      }
+    }
+  }
+  for (double& c : cov) c /= static_cast<double>(embeddings.size());
+
+  // First two principal axes (deflate the first before the second).
+  graph.pc1_ = LeadingEigenvector(cov, dim);
+  double lambda1 = 0.0;
+  for (size_t a = 0; a < dim; ++a) {
+    double s = 0.0;
+    for (size_t b = 0; b < dim; ++b) s += cov[a * dim + b] * graph.pc1_[b];
+    lambda1 += graph.pc1_[a] * s;
+  }
+  std::vector<double> deflated = cov;
+  for (size_t a = 0; a < dim; ++a) {
+    for (size_t b = 0; b < dim; ++b) {
+      deflated[a * dim + b] -= lambda1 * graph.pc1_[a] * graph.pc1_[b];
+    }
+  }
+  graph.pc2_ = LeadingEigenvector(deflated, dim);
+
+  // Node path of the training series and transition edge weights.
+  const std::vector<size_t> path = graph.SectorPath(train);
+  const size_t s = opt.num_sectors;
+  graph.edge_weight_.assign(s * s, 0.0);
+  for (size_t t = 0; t + 1 < path.size(); ++t) {
+    graph.edge_weight_[path[t] * s + path[t + 1]] += 1.0;
+  }
+  graph.out_degree_.assign(s, 0.0);
+  for (size_t a = 0; a < s; ++a) {
+    for (size_t b = 0; b < s; ++b) {
+      if (graph.edge_weight_[a * s + b] > 0.0) {
+        graph.out_degree_[a] += 1.0;
+        ++graph.nonzero_edges_;
+      }
+    }
+  }
+  return graph;
+}
+
+std::vector<size_t> Series2Graph::SectorPath(
+    const std::vector<double>& x) const {
+  const auto embeddings =
+      EmbedSeries(x, options_.conv_window, embed_dim_);
+  std::vector<size_t> path;
+  path.reserve(embeddings.size());
+  for (const auto& e : embeddings) {
+    double px = 0.0;
+    double py = 0.0;
+    for (size_t d = 0; d < embed_dim_; ++d) {
+      const double centered = e[d] - embed_mean_[d];
+      px += centered * pc1_[d];
+      py += centered * pc2_[d];
+    }
+    double angle = std::atan2(py, px);  // [-pi, pi]
+    if (angle < 0) angle += 2.0 * kPi;
+    size_t sector = static_cast<size_t>(
+        angle / (2.0 * kPi) * static_cast<double>(options_.num_sectors));
+    if (sector >= options_.num_sectors) sector = options_.num_sectors - 1;
+    path.push_back(sector);
+  }
+  return path;
+}
+
+Result<std::vector<double>> Series2Graph::AnomalyScores(
+    const std::vector<double>& query) const {
+  const size_t q = options_.pattern_length;
+  if (query.size() < q) {
+    return Status::InvalidArgument("query shorter than the pattern length");
+  }
+  const std::vector<size_t> path = SectorPath(query);
+  if (path.size() < 2) {
+    return Status::InvalidArgument(
+        "query too short for the embedding windows");
+  }
+  const size_t s = options_.num_sectors;
+  // Per-transition normality along the query's node path.
+  std::vector<double> edge_norm(path.size() - 1);
+  for (size_t t = 0; t + 1 < path.size(); ++t) {
+    const double w = edge_weight_[path[t] * s + path[t + 1]];
+    const double deg = out_degree_[path[t]];
+    edge_norm[t] = w * std::max(deg - 1.0, 0.0);
+  }
+
+  // A q-subsequence starting at i covers embedding positions
+  // [i, i + q - span]; average its transitions (clamped to available range).
+  const size_t num_sub = query.size() - q + 1;
+  std::vector<double> scores(num_sub);
+  std::vector<double> prefix(edge_norm.size() + 1, 0.0);
+  for (size_t t = 0; t < edge_norm.size(); ++t) {
+    prefix[t + 1] = prefix[t] + edge_norm[t];
+  }
+  for (size_t i = 0; i < num_sub; ++i) {
+    const size_t lo = std::min(i, edge_norm.size() - 1);
+    const size_t hi = std::min(i + q - 1, edge_norm.size());
+    const size_t count = hi > lo ? hi - lo : 1;
+    const double normality =
+        (prefix[std::max(hi, lo + 1)] - prefix[lo]) /
+        static_cast<double>(count);
+    scores[i] = 1.0 / (1.0 + normality);
+  }
+  return scores;
+}
+
+}  // namespace ts
+}  // namespace moche

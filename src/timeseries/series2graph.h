@@ -1,0 +1,74 @@
+// Series2Graph (Boniol & Palpanas, VLDB 2020), simplified — the second
+// shape-based anomalous-subsequence detector the paper extends into a
+// baseline (Extended-S2G).
+//
+// Faithful skeleton of the original pipeline:
+//   1. Embed every position of the training series as a small vector of
+//      overlapping moving averages (the original's local convolution).
+//   2. Project the embeddings to 2-D with exact PCA (power iteration).
+//   3. Discretize the 2-D plane into angular sectors around the centroid;
+//      each sector is a graph node.
+//   4. Add an edge for every transition between consecutive positions;
+//      edge weights count transitions.
+//   5. Normality of a query subsequence = mean over its transition path of
+//      w(e) * (deg(source) - 1); anomaly score = 1 / (1 + normality).
+//
+// Simplifications vs. the original (documented in DESIGN.md §5): nodes are
+// angular sectors rather than per-sector density maxima, and the embedding
+// uses fixed moving-average offsets rather than the full rotated convolution
+// set. What the baseline contributes to the paper's experiments — a
+// shape-based anomaly *ranking* that ignores the raw value distribution —
+// is preserved.
+
+#ifndef MOCHE_TIMESERIES_SERIES2GRAPH_H_
+#define MOCHE_TIMESERIES_SERIES2GRAPH_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace moche {
+namespace ts {
+
+struct Series2GraphOptions {
+  size_t pattern_length = 50;  ///< query subsequence length q
+  /// Moving-average window of the embedding; 0 = pattern_length / 3.
+  size_t conv_window = 0;
+  size_t num_sectors = 36;     ///< angular resolution of node extraction
+};
+
+class Series2Graph {
+ public:
+  /// Learns the graph from a training series (the KS reference segment).
+  /// Fails when the series is too short for the configured windows.
+  static Result<Series2Graph> Fit(const std::vector<double>& train,
+                                  const Series2GraphOptions& options);
+
+  /// Anomaly score of every `pattern_length`-subsequence of `query`
+  /// (length query.size() - pattern_length + 1; higher = more anomalous).
+  Result<std::vector<double>> AnomalyScores(
+      const std::vector<double>& query) const;
+
+  size_t num_nodes() const { return options_.num_sectors; }
+  size_t num_edges() const { return nonzero_edges_; }
+
+ private:
+  Series2Graph() = default;
+
+  // Maps a series to its per-position sector ids (empty when too short).
+  std::vector<size_t> SectorPath(const std::vector<double>& x) const;
+
+  Series2GraphOptions options_;
+  size_t embed_dim_ = 3;
+  std::vector<double> pc1_;            // first principal axis
+  std::vector<double> pc2_;            // second principal axis
+  std::vector<double> embed_mean_;     // embedding centroid
+  std::vector<double> edge_weight_;    // num_sectors^2, row-major
+  std::vector<double> out_degree_;     // distinct out-neighbours per node
+  size_t nonzero_edges_ = 0;
+};
+
+}  // namespace ts
+}  // namespace moche
+
+#endif  // MOCHE_TIMESERIES_SERIES2GRAPH_H_

@@ -1,0 +1,73 @@
+#include "timeseries/window.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace moche {
+namespace ts {
+
+Result<std::vector<WindowTest>> SweepWindows(const TimeSeries& series,
+                                             const WindowSweepOptions& opts) {
+  const size_t w = opts.window;
+  if (w == 0) return Status::InvalidArgument("window must be positive");
+  if (series.length() < 2 * w) {
+    return Status::InvalidArgument(
+        StrFormat("series '%s' has %zu points; needs at least 2*w = %zu",
+                  series.name.c_str(), series.length(), 2 * w));
+  }
+  const size_t step = opts.step == 0 ? w : opts.step;
+
+  std::vector<WindowTest> out;
+  for (size_t begin = 0; begin + 2 * w <= series.length(); begin += step) {
+    WindowTest wt;
+    wt.ref_begin = begin;
+    wt.test_begin = begin + w;
+    wt.window = w;
+    std::vector<double> ref(series.values.begin() + static_cast<long>(begin),
+                            series.values.begin() + static_cast<long>(begin + w));
+    std::vector<double> test(
+        series.values.begin() + static_cast<long>(begin + w),
+        series.values.begin() + static_cast<long>(begin + 2 * w));
+    MOCHE_ASSIGN_OR_RETURN(wt.outcome, ks::Run(ref, test, opts.alpha));
+    out.push_back(wt);
+  }
+  return out;
+}
+
+Result<std::vector<WindowTest>> FailedWindowTests(
+    const TimeSeries& series, const WindowSweepOptions& opts) {
+  MOCHE_ASSIGN_OR_RETURN(std::vector<WindowTest> all,
+                         SweepWindows(series, opts));
+  std::vector<WindowTest> failed;
+  for (const WindowTest& wt : all) {
+    if (wt.outcome.reject) failed.push_back(wt);
+  }
+  return failed;
+}
+
+KsInstance MakeInstance(const TimeSeries& series, const WindowTest& wt,
+                        double alpha) {
+  KsInstance inst;
+  inst.alpha = alpha;
+  inst.reference.assign(
+      series.values.begin() + static_cast<long>(wt.ref_begin),
+      series.values.begin() + static_cast<long>(wt.ref_begin + wt.window));
+  inst.test.assign(
+      series.values.begin() + static_cast<long>(wt.test_begin),
+      series.values.begin() + static_cast<long>(wt.test_begin + wt.window));
+  return inst;
+}
+
+bool TestWindowHasLabeledAnomaly(const TimeSeries& series,
+                                 const WindowTest& wt) {
+  if (!series.has_labels()) return false;
+  const size_t end = std::min(series.length(), wt.test_begin + wt.window);
+  for (size_t i = wt.test_begin; i < end; ++i) {
+    if (series.anomaly_labels[i]) return true;
+  }
+  return false;
+}
+
+}  // namespace ts
+}  // namespace moche

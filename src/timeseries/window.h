@@ -1,0 +1,58 @@
+// Sliding-window KS testing over a time series (paper Section 6.1.1):
+// a reference window W of size w and the immediately following,
+// non-overlapping test window of the same size; the pair slides through the
+// series and each failed KS test becomes an explanation instance.
+
+#ifndef MOCHE_TIMESERIES_WINDOW_H_
+#define MOCHE_TIMESERIES_WINDOW_H_
+
+#include <vector>
+
+#include "core/instance.h"
+#include "timeseries/series.h"
+#include "util/status.h"
+
+namespace moche {
+namespace ts {
+
+/// One window pair and its KS outcome.
+struct WindowTest {
+  size_t ref_begin = 0;   ///< reference window is [ref_begin, ref_begin + w)
+  size_t test_begin = 0;  ///< test window is [test_begin, test_begin + w)
+  size_t window = 0;      ///< w
+  KsOutcome outcome;
+};
+
+struct WindowSweepOptions {
+  size_t window = 100;  ///< w
+  double alpha = 0.05;
+  /// Slide of the window pair; 0 means tumbling (step = w, no overlap
+  /// between successive pairs).
+  size_t step = 0;
+};
+
+/// Runs the KS test on every window pair of `series`. Fails when the series
+/// is shorter than two windows.
+Result<std::vector<WindowTest>> SweepWindows(const TimeSeries& series,
+                                             const WindowSweepOptions& opts);
+
+/// Only the failed tests of SweepWindows.
+Result<std::vector<WindowTest>> FailedWindowTests(
+    const TimeSeries& series, const WindowSweepOptions& opts);
+
+/// Materializes the KsInstance of one window test (copies the two windows;
+/// the test window keeps its original temporal order so preference lists
+/// line up with time indices).
+KsInstance MakeInstance(const TimeSeries& series, const WindowTest& wt,
+                        double alpha);
+
+/// True iff the test window of `wt` overlaps a labelled anomaly
+/// (the paper samples failed tests "where the test sets contain the
+/// corresponding ground truth of abnormal observations").
+bool TestWindowHasLabeledAnomaly(const TimeSeries& series,
+                                 const WindowTest& wt);
+
+}  // namespace ts
+}  // namespace moche
+
+#endif  // MOCHE_TIMESERIES_WINDOW_H_

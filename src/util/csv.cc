@@ -1,0 +1,142 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace moche {
+
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& field) {
+  if (!NeedsQuoting(field)) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string WriteCsvString(const CsvTable& table) {
+  std::string out;
+  for (const auto& row : table.rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ',';
+      out += QuoteField(row[i]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteCsvFile(const std::string& path, const CsvTable& table) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return Status::InvalidArgument("cannot open for write: " + path);
+  const std::string text = WriteCsvString(table);
+  f.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!f) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+Result<CsvTable> ParseCsvString(const std::string& text) {
+  CsvTable table;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool row_has_data = false;
+
+  auto end_field = [&]() {
+    row.push_back(std::move(field));
+    field.clear();
+  };
+  auto end_row = [&]() {
+    end_field();
+    table.rows.push_back(std::move(row));
+    row.clear();
+    row_has_data = false;
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        row_has_data = true;
+        break;
+      case ',':
+        end_field();
+        row_has_data = true;
+        break;
+      case '\r':
+        break;  // swallow; the \n ends the row
+      case '\n':
+        end_row();
+        break;
+      default:
+        field += c;
+        row_has_data = true;
+        break;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted CSV field");
+  }
+  if (row_has_data || !field.empty() || !row.empty()) {
+    end_row();  // final row without trailing newline
+  }
+  return table;
+}
+
+Result<CsvTable> ReadCsvFile(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return Status::NotFound("cannot open for read: " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ParseCsvString(ss.str());
+}
+
+Result<std::vector<double>> NumericColumn(const CsvTable& table, size_t column,
+                                          size_t skip_rows) {
+  std::vector<double> out;
+  for (size_t r = skip_rows; r < table.rows.size(); ++r) {
+    const auto& row = table.rows[r];
+    if (row.size() == 1 && row[0].empty()) continue;  // blank line
+    if (column >= row.size()) {
+      return Status::OutOfRange(
+          StrFormat("row %zu has %zu columns, wanted column %zu", r,
+                    row.size(), column));
+    }
+    double v = 0.0;
+    if (!ParseDouble(row[column], &v)) {
+      return Status::InvalidArgument(
+          StrFormat("row %zu column %zu is not numeric: '%s'", r, column,
+                    row[column].c_str()));
+    }
+    out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace moche

@@ -1,0 +1,39 @@
+// Minimal CSV reading/writing for exporting experiment results and loading
+// user-supplied series. Handles quoting of fields containing separators.
+
+#ifndef MOCHE_UTIL_CSV_H_
+#define MOCHE_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace moche {
+
+/// One parsed CSV table: rows of string cells.
+struct CsvTable {
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Serializes rows to CSV text (RFC-4180-ish quoting).
+std::string WriteCsvString(const CsvTable& table);
+
+/// Writes `table` to `path`, replacing any existing file.
+Status WriteCsvFile(const std::string& path, const CsvTable& table);
+
+/// Parses CSV text. Supports quoted fields with embedded commas/quotes and
+/// both \n and \r\n row terminators.
+Result<CsvTable> ParseCsvString(const std::string& text);
+
+/// Reads and parses a CSV file.
+Result<CsvTable> ReadCsvFile(const std::string& path);
+
+/// Parses a single numeric column (by index) from a table, skipping
+/// `skip_rows` header rows. Fails on non-numeric cells.
+Result<std::vector<double>> NumericColumn(const CsvTable& table, size_t column,
+                                          size_t skip_rows = 0);
+
+}  // namespace moche
+
+#endif  // MOCHE_UTIL_CSV_H_

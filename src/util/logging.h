@@ -1,0 +1,40 @@
+// Assertion macros for invariants that indicate programmer error.
+//
+// MOCHE_CHECK aborts (in every build type) with a location-tagged message.
+// MOCHE_DCHECK compiles away in NDEBUG builds. Recoverable conditions must
+// use Status instead; these macros are for "this cannot happen" invariants.
+
+#ifndef MOCHE_UTIL_LOGGING_H_
+#define MOCHE_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace moche {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "MOCHE_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace moche
+
+#define MOCHE_CHECK(cond)                                          \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      ::moche::internal::CheckFailed(__FILE__, __LINE__, #cond);   \
+    }                                                              \
+  } while (0)
+
+#ifdef NDEBUG
+#define MOCHE_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#else
+#define MOCHE_DCHECK(cond) MOCHE_CHECK(cond)
+#endif
+
+#endif  // MOCHE_UTIL_LOGGING_H_

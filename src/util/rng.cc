@@ -1,0 +1,43 @@
+#include "util/rng.h"
+
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace moche {
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t count) {
+  MOCHE_CHECK(count <= n);
+  // Floyd's algorithm would avoid materialising [0, n), but the callers
+  // sample from small candidate pools; a partial Fisher-Yates is simpler.
+  std::vector<size_t> pool(n);
+  std::iota(pool.begin(), pool.end(), size_t{0});
+  for (size_t i = 0; i < count; ++i) {
+    const size_t j = static_cast<size_t>(
+        Integer(static_cast<int64_t>(i), static_cast<int64_t>(n) - 1));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(count);
+  return pool;
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  MOCHE_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    if (w > 0.0) total += w;
+  }
+  if (total <= 0.0) {
+    return static_cast<size_t>(
+        Integer(0, static_cast<int64_t>(weights.size()) - 1));
+  }
+  double r = Uniform(0.0, total);
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+    if (r < w) return i;
+    r -= w;
+  }
+  return weights.size() - 1;  // numerical slack: land on the last bucket
+}
+
+}  // namespace moche

@@ -1,0 +1,33 @@
+// Small string helpers used across the library (GCC 12 lacks <format>).
+
+#ifndef MOCHE_UTIL_STRING_UTIL_H_
+#define MOCHE_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace moche {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins `parts` with `sep` ("a", "b" -> "a,b").
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Parses a double; returns false on any trailing garbage or empty input.
+bool ParseDouble(std::string_view s, double* out);
+
+/// Parses a signed 64-bit integer with the same strictness.
+bool ParseInt64(std::string_view s, long long* out);
+
+}  // namespace moche
+
+#endif  // MOCHE_UTIL_STRING_UTIL_H_

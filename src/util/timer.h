@@ -1,0 +1,31 @@
+// Wall-clock timing for the runtime experiments (Figure 5).
+
+#ifndef MOCHE_UTIL_TIMER_H_
+#define MOCHE_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace moche {
+
+/// Measures elapsed wall time from construction (or the last Restart()).
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / Restart.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace moche
+
+#endif  // MOCHE_UTIL_TIMER_H_

@@ -1,0 +1,228 @@
+// Contract tests for the six baselines: every produced explanation must
+// reverse the failed KS test; budgeted methods abort with
+// ResourceExhausted; preference-aware methods respect their inputs.
+
+#include <gtest/gtest.h>
+
+#include "baselines/corner_search.h"
+#include "baselines/d3.h"
+#include "baselines/grace.h"
+#include "baselines/greedy.h"
+#include "baselines/moche_explainer.h"
+#include "baselines/s2g_explainer.h"
+#include "baselines/stomp_explainer.h"
+#include "datasets/synthetic.h"
+#include "util/rng.h"
+
+namespace moche {
+namespace baselines {
+namespace {
+
+// A moderately sized failing instance with temporal structure (so the
+// shape-based baselines are applicable).
+KsInstance MakeDriftInstance(uint64_t seed, size_t w = 150) {
+  datasets::DriftOptions opt;
+  opt.size = w;
+  opt.contamination = 0.25;
+  opt.seed = seed;
+  auto inst = datasets::MakeKiferDriftInstance(opt);
+  // contamination 0.25 virtually always fails; surface problems loudly
+  EXPECT_TRUE(inst.ok()) << inst.status().ToString();
+  return inst.value_or(KsInstance{});
+}
+
+class AllBaselinesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    instance_ = MakeDriftInstance(11);
+    Rng rng(5);
+    preference_ = RandomPreference(instance_.test.size(), &rng);
+  }
+  KsInstance instance_;
+  PreferenceList preference_;
+};
+
+TEST_F(AllBaselinesTest, EveryMethodProducesAValidExplanation) {
+  GreedyExplainer grd;
+  D3Explainer d3;
+  StompExplainer stmp;
+  S2gExplainer s2g;
+  MocheExplainer m;
+  CornerSearchOptions cs_opt;
+  cs_opt.max_samples = 50000;
+  cs_opt.samples_per_size = 800;
+  CornerSearchExplainer cs(cs_opt);
+  GraceOptions grc_opt;
+  grc_opt.optimizer.max_iterations = 500;
+  GraceExplainer grc(grc_opt);
+
+  std::vector<Explainer*> methods{&m, &grd, &d3, &stmp, &s2g, &cs, &grc};
+  for (Explainer* method : methods) {
+    auto expl = method->Explain(instance_, preference_);
+    if (!expl.ok()) {
+      // Only the budgeted methods may abort, and only with
+      // ResourceExhausted.
+      EXPECT_TRUE(expl.status().IsResourceExhausted())
+          << method->name() << ": " << expl.status().ToString();
+      continue;
+    }
+    EXPECT_TRUE(ValidateExplanation(instance_, *expl).ok())
+        << method->name();
+    EXPECT_GT(expl->size(), 0u) << method->name();
+  }
+}
+
+TEST_F(AllBaselinesTest, MocheProducesTheSmallestExplanation) {
+  MocheExplainer m;
+  GreedyExplainer grd;
+  D3Explainer d3;
+  StompExplainer stmp;
+  auto moche_expl = m.Explain(instance_, preference_);
+  ASSERT_TRUE(moche_expl.ok());
+  for (Explainer* other : std::vector<Explainer*>{&grd, &d3, &stmp}) {
+    auto expl = other->Explain(instance_, preference_);
+    ASSERT_TRUE(expl.ok()) << other->name();
+    EXPECT_LE(moche_expl->size(), expl->size()) << other->name();
+  }
+}
+
+TEST_F(AllBaselinesTest, GreedyReturnsAPrefixOfThePreferenceList) {
+  GreedyExplainer grd;
+  auto expl = grd.Explain(instance_, preference_);
+  ASSERT_TRUE(expl.ok());
+  ASSERT_LE(expl->size(), preference_.size());
+  for (size_t i = 0; i < expl->size(); ++i) {
+    EXPECT_EQ(expl->indices[i], preference_[i]);
+  }
+}
+
+TEST_F(AllBaselinesTest, AlreadyPassingInstanceIsReported) {
+  KsInstance passing;
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const double v = rng.Normal();
+    passing.reference.push_back(v);
+    passing.test.push_back(v);
+  }
+  passing.alpha = 0.05;
+  const PreferenceList pref = IdentityPreference(passing.test.size());
+
+  GreedyExplainer grd;
+  D3Explainer d3;
+  CornerSearchExplainer cs;
+  GraceExplainer grc;
+  StompExplainer stmp;
+  S2gExplainer s2g;
+  EXPECT_TRUE(grd.Explain(passing, pref).status().IsAlreadyPasses());
+  EXPECT_TRUE(d3.Explain(passing, pref).status().IsAlreadyPasses());
+  EXPECT_TRUE(cs.Explain(passing, pref).status().IsAlreadyPasses());
+  EXPECT_TRUE(grc.Explain(passing, pref).status().IsAlreadyPasses());
+  EXPECT_TRUE(stmp.Explain(passing, pref).status().IsAlreadyPasses());
+  EXPECT_TRUE(s2g.Explain(passing, pref).status().IsAlreadyPasses());
+}
+
+TEST_F(AllBaselinesTest, CornerSearchAbortsOnTinyBudget) {
+  // Disjoint supports: the explanation needs nearly all of T, so a pool of
+  // 2 candidates can never reverse the test.
+  KsInstance hard;
+  for (int i = 0; i < 50; ++i) hard.reference.push_back(i);
+  for (int i = 0; i < 30; ++i) hard.test.push_back(100 + i);
+  hard.alpha = 0.05;
+  CornerSearchOptions opt;
+  opt.max_samples = 10;
+  opt.samples_per_size = 5;
+  opt.top_k = 2;
+  CornerSearchExplainer cs(opt);
+  auto expl = cs.Explain(hard, IdentityPreference(hard.test.size()));
+  EXPECT_TRUE(expl.status().IsResourceExhausted());
+}
+
+TEST_F(AllBaselinesTest, GraceAbortsOnTinyBudget) {
+  GraceOptions opt;
+  opt.optimizer.max_iterations = 1;
+  opt.top_k = 3;
+  GraceExplainer grc(opt);
+  auto expl = grc.Explain(instance_, preference_);
+  EXPECT_TRUE(expl.status().IsResourceExhausted());
+}
+
+TEST_F(AllBaselinesTest, PreferenceAwareness) {
+  MocheExplainer m;
+  GreedyExplainer grd;
+  CornerSearchExplainer cs;
+  GraceExplainer grc;
+  D3Explainer d3;
+  StompExplainer stmp;
+  S2gExplainer s2g;
+  EXPECT_TRUE(m.uses_preference());
+  EXPECT_TRUE(grd.uses_preference());
+  EXPECT_TRUE(cs.uses_preference());
+  EXPECT_TRUE(grc.uses_preference());
+  EXPECT_FALSE(d3.uses_preference());
+  EXPECT_FALSE(stmp.uses_preference());
+  EXPECT_FALSE(s2g.uses_preference());
+}
+
+TEST_F(AllBaselinesTest, MethodNames) {
+  EXPECT_EQ(MocheExplainer().name(), "M");
+  EXPECT_EQ(MocheExplainer::WithoutLowerBound().name(), "Mns");
+  EXPECT_EQ(GreedyExplainer().name(), "GRD");
+  EXPECT_EQ(CornerSearchExplainer().name(), "CS");
+  EXPECT_EQ(GraceExplainer().name(), "GRC");
+  EXPECT_EQ(D3Explainer().name(), "D3");
+  EXPECT_EQ(StompExplainer().name(), "STMP");
+  EXPECT_EQ(S2gExplainer().name(), "S2G");
+}
+
+TEST_F(AllBaselinesTest, MocheAblationAgreesWithFullMoche) {
+  MocheExplainer full;
+  MocheExplainer ns = MocheExplainer::WithoutLowerBound();
+  auto a = full.Explain(instance_, preference_);
+  auto b = ns.Explain(instance_, preference_);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->indices, b->indices);
+}
+
+TEST(BaselineEdgeCases, D3DiscreteDataUsesPmf) {
+  // age-group style discrete instance
+  KsInstance inst;
+  Rng rng(7);
+  for (int i = 0; i < 400; ++i) {
+    inst.reference.push_back(static_cast<double>(rng.Integer(1, 5)));
+  }
+  for (int i = 0; i < 300; ++i) {
+    inst.test.push_back(static_cast<double>(rng.Integer(3, 9)));
+  }
+  inst.alpha = 0.05;
+  D3Explainer d3;  // auto mode must pick the PMF path
+  auto expl = d3.Explain(inst, IdentityPreference(inst.test.size()));
+  ASSERT_TRUE(expl.ok());
+  EXPECT_TRUE(ValidateExplanation(inst, *expl).ok());
+}
+
+TEST(BaselineEdgeCases, StompRejectsWindowsShorterThanSubsequence) {
+  KsInstance inst;
+  inst.reference = {1, 2, 3};
+  inst.test = {9, 9, 9, 9};
+  inst.alpha = 0.05;
+  StompOptions opt;
+  opt.min_subsequence = 10;  // longer than both windows
+  StompExplainer stmp(opt);
+  auto expl = stmp.Explain(inst, IdentityPreference(4));
+  EXPECT_FALSE(expl.ok());
+}
+
+TEST(BaselineEdgeCases, GreedyPrefixHelperValidates) {
+  KsInstance inst = MakeDriftInstance(23, 120);
+  // an order that never passes is impossible here; instead check the helper
+  // finds a prefix on a valid order and flags AlreadyPasses correctly
+  auto expl = GreedyPrefixExplanation(
+      inst, IdentityPreference(inst.test.size()));
+  ASSERT_TRUE(expl.ok());
+  EXPECT_TRUE(ValidateExplanation(inst, *expl).ok());
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace moche

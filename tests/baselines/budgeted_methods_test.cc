@@ -1,0 +1,136 @@
+// Focused tests for the two budgeted baselines (CS and GRC): determinism,
+// option handling, and the candidate-pool contract (both may only remove
+// points from the top-K of the preference list).
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "baselines/corner_search.h"
+#include "baselines/grace.h"
+#include "datasets/synthetic.h"
+#include "util/rng.h"
+
+namespace moche {
+namespace baselines {
+namespace {
+
+KsInstance FailingInstance(uint64_t seed) {
+  datasets::DriftOptions opt;
+  opt.size = 150;
+  opt.contamination = 0.2;
+  opt.seed = seed;
+  auto inst = datasets::MakeKiferDriftInstance(opt);
+  EXPECT_TRUE(inst.ok());
+  return inst.value_or(KsInstance{});
+}
+
+class BudgetedMethodsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    instance_ = FailingInstance(5);
+    Rng rng(11);
+    preference_ = RandomPreference(instance_.test.size(), &rng);
+  }
+  KsInstance instance_;
+  PreferenceList preference_;
+};
+
+TEST_F(BudgetedMethodsTest, CornerSearchIsDeterministicForFixedSeed) {
+  CornerSearchOptions opt;
+  opt.seed = 7;
+  CornerSearchExplainer a(opt);
+  CornerSearchExplainer b(opt);
+  auto ea = a.Explain(instance_, preference_);
+  auto eb = b.Explain(instance_, preference_);
+  ASSERT_EQ(ea.ok(), eb.ok());
+  if (ea.ok()) {
+    EXPECT_EQ(ea->indices, eb->indices);
+  }
+}
+
+TEST_F(BudgetedMethodsTest, CornerSearchPoolContract) {
+  // Every removed index must come from the top-K of the preference list.
+  CornerSearchOptions opt;
+  opt.top_k = 40;
+  opt.max_samples = 20000;
+  CornerSearchExplainer cs(opt);
+  auto expl = cs.Explain(instance_, preference_);
+  if (!expl.ok()) GTEST_SKIP() << "budget exhausted on this instance";
+  std::vector<size_t> pool(preference_.begin(), preference_.begin() + 40);
+  for (size_t idx : expl->indices) {
+    EXPECT_NE(std::find(pool.begin(), pool.end(), idx), pool.end())
+        << "index " << idx << " outside the top-40 pool";
+  }
+}
+
+TEST_F(BudgetedMethodsTest, CornerSearchWithoutEffectRanking) {
+  CornerSearchOptions opt;
+  opt.rank_by_effect = false;
+  opt.max_samples = 20000;
+  CornerSearchExplainer cs(opt);
+  auto expl = cs.Explain(instance_, preference_);
+  if (expl.ok()) {
+    EXPECT_TRUE(ValidateExplanation(instance_, *expl).ok());
+  } else {
+    EXPECT_TRUE(expl.status().IsResourceExhausted());
+  }
+}
+
+TEST_F(BudgetedMethodsTest, GraceIsDeterministicForFixedSeed) {
+  GraceOptions opt;
+  opt.seed = 3;
+  GraceExplainer a(opt);
+  GraceExplainer b(opt);
+  auto ea = a.Explain(instance_, preference_);
+  auto eb = b.Explain(instance_, preference_);
+  ASSERT_EQ(ea.ok(), eb.ok());
+  if (ea.ok()) {
+    EXPECT_EQ(ea->indices, eb->indices);
+  }
+}
+
+TEST_F(BudgetedMethodsTest, GracePoolContract) {
+  GraceOptions opt;
+  opt.top_k = 50;
+  opt.optimizer.max_iterations = 400;
+  GraceExplainer grc(opt);
+  auto expl = grc.Explain(instance_, preference_);
+  if (!expl.ok()) GTEST_SKIP() << "budget exhausted on this instance";
+  std::vector<size_t> pool(preference_.begin(), preference_.begin() + 50);
+  for (size_t idx : expl->indices) {
+    EXPECT_NE(std::find(pool.begin(), pool.end(), idx), pool.end());
+  }
+}
+
+TEST_F(BudgetedMethodsTest, GraceExplanationValidatesWhenProduced) {
+  GraceOptions opt;
+  opt.optimizer.max_iterations = 500;
+  GraceExplainer grc(opt);
+  auto expl = grc.Explain(instance_, preference_);
+  if (expl.ok()) {
+    EXPECT_TRUE(ValidateExplanation(instance_, *expl).ok());
+    EXPECT_GT(expl->size(), 0u);
+  } else {
+    EXPECT_TRUE(expl.status().IsResourceExhausted());
+  }
+}
+
+TEST_F(BudgetedMethodsTest, LargerBudgetsNeverHurtCornerSearch) {
+  // If CS succeeds with a small budget it must also succeed with a larger
+  // one (same seed: the sample sequence is a prefix).
+  CornerSearchOptions small;
+  small.max_samples = 2000;
+  small.samples_per_size = 100;
+  CornerSearchOptions large = small;
+  large.max_samples = 20000;
+  auto e_small = CornerSearchExplainer(small).Explain(instance_, preference_);
+  auto e_large = CornerSearchExplainer(large).Explain(instance_, preference_);
+  if (e_small.ok()) {
+    EXPECT_TRUE(e_large.ok());
+  }
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace moche

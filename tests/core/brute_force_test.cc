@@ -1,0 +1,78 @@
+#include "core/brute_force.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace moche {
+namespace {
+
+TEST(BruteForceTest, PaperExample) {
+  KsInstance inst{{14, 14, 14, 14, 20, 20, 20, 20}, {13, 13, 12, 20}, 0.3};
+  BruteForceExplainer brute;
+  auto size = brute.MinimalSize(inst);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 2u);
+
+  // L = [t4, t3, t2, t1]: lexicographically smallest explanation {t3, t2}.
+  auto expl = brute.Explain(inst, {3, 2, 1, 0});
+  ASSERT_TRUE(expl.ok());
+  EXPECT_EQ(expl->indices, (std::vector<size_t>{2, 1}));
+}
+
+TEST(BruteForceTest, ExistsQualifiedSubsetMatchesExampleFour) {
+  KsInstance inst{{14, 14, 14, 14, 20, 20, 20, 20}, {13, 13, 12, 20}, 0.3};
+  BruteForceExplainer brute;
+  auto h1 = brute.ExistsQualifiedSubset(inst, 1);
+  auto h2 = brute.ExistsQualifiedSubset(inst, 2);
+  ASSERT_TRUE(h1.ok());
+  ASSERT_TRUE(h2.ok());
+  EXPECT_FALSE(*h1);
+  EXPECT_TRUE(*h2);
+}
+
+TEST(BruteForceTest, AlreadyPassingReported) {
+  KsInstance inst{{1, 2, 3}, {1, 2, 3}, 0.05};
+  BruteForceExplainer brute;
+  EXPECT_TRUE(brute.Explain(inst, {0, 1, 2}).status().IsAlreadyPasses());
+  EXPECT_TRUE(brute.MinimalSize(inst).status().IsAlreadyPasses());
+}
+
+TEST(BruteForceTest, RefusesLargeInstances) {
+  KsInstance inst;
+  inst.reference = {1.0};
+  inst.test.assign(30, 2.0);
+  inst.alpha = 0.05;
+  BruteForceExplainer brute;
+  EXPECT_TRUE(
+      brute.MinimalSize(inst).status().IsInvalidArgument());
+}
+
+TEST(BruteForceTest, SizeBoundsValidated) {
+  KsInstance inst{{1, 2, 3}, {9, 9, 9}, 0.05};
+  BruteForceExplainer brute;
+  EXPECT_FALSE(brute.ExistsQualifiedSubset(inst, 0).ok());
+  EXPECT_FALSE(brute.ExistsQualifiedSubset(inst, 3).ok());
+}
+
+TEST(BruteForceTest, ExplanationValidates) {
+  Rng rng(3);
+  BruteForceExplainer brute;
+  int explained = 0;
+  for (int rep = 0; rep < 40 && explained < 10; ++rep) {
+    KsInstance inst;
+    for (int i = 0; i < 20; ++i) inst.reference.push_back(rng.Integer(0, 5));
+    for (int i = 0; i < 9; ++i) inst.test.push_back(rng.Integer(2, 8));
+    inst.alpha = 0.1;
+    const PreferenceList pref = RandomPreference(inst.test.size(), &rng);
+    auto expl = brute.Explain(inst, pref);
+    if (expl.status().IsAlreadyPasses()) continue;
+    ASSERT_TRUE(expl.ok());
+    ++explained;
+    EXPECT_TRUE(ValidateExplanation(inst, *expl).ok());
+  }
+  EXPECT_GE(explained, 5);
+}
+
+}  // namespace
+}  // namespace moche

@@ -1,0 +1,104 @@
+#include "core/cumulative.h"
+
+#include <gtest/gtest.h>
+
+namespace moche {
+namespace {
+
+// Example 3 of the paper.
+const std::vector<double> kRefExample{14, 14, 14, 14, 20, 20, 20, 20};
+const std::vector<double> kTestExample{13, 13, 12, 20};
+
+TEST(CumulativeFrameTest, PaperExampleThreeBaseVector) {
+  auto frame = CumulativeFrame::Build(kRefExample, kTestExample);
+  ASSERT_TRUE(frame.ok());
+  ASSERT_EQ(frame->q(), 4u);
+  EXPECT_DOUBLE_EQ(frame->Value(1), 12.0);
+  EXPECT_DOUBLE_EQ(frame->Value(2), 13.0);
+  EXPECT_DOUBLE_EQ(frame->Value(3), 14.0);
+  EXPECT_DOUBLE_EQ(frame->Value(4), 20.0);
+  EXPECT_EQ(frame->n(), 8u);
+  EXPECT_EQ(frame->m(), 4u);
+}
+
+TEST(CumulativeFrameTest, PaperExampleThreeCumulativeVectors) {
+  auto frame = CumulativeFrame::Build(kRefExample, kTestExample);
+  ASSERT_TRUE(frame.ok());
+  // C_R = <0, 0, 0, 4, 8>; C_T = <0, 1, 3, 3, 4>.
+  EXPECT_EQ(frame->CR(0), 0);
+  EXPECT_EQ(frame->CR(1), 0);
+  EXPECT_EQ(frame->CR(2), 0);
+  EXPECT_EQ(frame->CR(3), 4);
+  EXPECT_EQ(frame->CR(4), 8);
+  EXPECT_EQ(frame->CT(0), 0);
+  EXPECT_EQ(frame->CT(1), 1);
+  EXPECT_EQ(frame->CT(2), 3);
+  EXPECT_EQ(frame->CT(3), 3);
+  EXPECT_EQ(frame->CT(4), 4);
+}
+
+TEST(CumulativeFrameTest, PaperExampleThreeSubsetVector) {
+  auto frame = CumulativeFrame::Build(kRefExample, kTestExample);
+  ASSERT_TRUE(frame.ok());
+  // C_S for S = {13, 13} is <0, 0, 2, 2, 2>.
+  auto cs = frame->CumulativeOf({13, 13});
+  ASSERT_TRUE(cs.ok());
+  EXPECT_EQ(*cs, (std::vector<int64_t>{0, 0, 2, 2, 2}));
+}
+
+TEST(CumulativeFrameTest, CountT) {
+  auto frame = CumulativeFrame::Build(kRefExample, kTestExample);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->CountT(1), 1);  // one 12 in T
+  EXPECT_EQ(frame->CountT(2), 2);  // two 13s
+  EXPECT_EQ(frame->CountT(3), 0);  // no 14s
+  EXPECT_EQ(frame->CountT(4), 1);  // one 20
+}
+
+TEST(CumulativeFrameTest, IndexOfValue) {
+  auto frame = CumulativeFrame::Build(kRefExample, kTestExample);
+  ASSERT_TRUE(frame.ok());
+  auto idx = frame->IndexOfValue(14.0);
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 3u);
+  EXPECT_TRUE(frame->IndexOfValue(15.0).status().IsNotFound());
+}
+
+TEST(CumulativeFrameTest, CumulativeOfUnknownValueFails) {
+  auto frame = CumulativeFrame::Build(kRefExample, kTestExample);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_TRUE(frame->CumulativeOf({99.0}).status().IsNotFound());
+}
+
+TEST(CumulativeFrameTest, EmptyInputsRejected) {
+  EXPECT_TRUE(CumulativeFrame::Build({}, {1.0}).status().IsInvalidArgument());
+  EXPECT_TRUE(CumulativeFrame::Build({1.0}, {}).status().IsInvalidArgument());
+}
+
+TEST(CumulativeFrameTest, DuplicatesAcrossSetsCollapse) {
+  auto frame = CumulativeFrame::Build({1, 1, 2}, {2, 2, 3});
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->q(), 3u);  // values 1, 2, 3
+  EXPECT_EQ(frame->CR(3), 3);
+  EXPECT_EQ(frame->CT(3), 3);
+  EXPECT_EQ(frame->CT(1), 0);
+  EXPECT_EQ(frame->CR(1), 2);
+}
+
+TEST(CumulativeFrameTest, SingletonSets) {
+  auto frame = CumulativeFrame::Build({5.0}, {5.0});
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->q(), 1u);
+  EXPECT_EQ(frame->CR(1), 1);
+  EXPECT_EQ(frame->CT(1), 1);
+}
+
+TEST(CumulativeFrameTest, LastEntriesEqualSetSizes) {
+  auto frame = CumulativeFrame::Build({1, 5, 5, 9}, {2, 2, 2});
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->CR(frame->q()), 4);
+  EXPECT_EQ(frame->CT(frame->q()), 3);
+}
+
+}  // namespace
+}  // namespace moche

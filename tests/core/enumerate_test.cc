@@ -1,0 +1,202 @@
+#include "core/enumerate.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "core/moche.h"
+#include "core/size_search.h"
+#include "ks/ks_test.h"
+#include "util/rng.h"
+
+namespace moche {
+namespace {
+
+// All explanations (passing k-subsets) in lexicographic preference order,
+// by exhaustive combination enumeration — the oracle.
+std::vector<Explanation> BruteForceAll(const KsInstance& inst,
+                                       const PreferenceList& pref, size_t k) {
+  const size_t m = inst.test.size();
+  RemovalKs removal(inst.reference, inst.test, inst.alpha);
+  std::vector<Explanation> out;
+  std::vector<size_t> combo(k);
+  std::iota(combo.begin(), combo.end(), size_t{0});
+  while (true) {
+    removal.Reset();
+    for (size_t pos : combo) {
+      EXPECT_TRUE(removal.RemoveValue(inst.test[pref[pos]]).ok());
+    }
+    if (removal.Passes()) {
+      Explanation expl;
+      for (size_t pos : combo) expl.indices.push_back(pref[pos]);
+      out.push_back(std::move(expl));
+    }
+    size_t i = k;
+    bool advanced = false;
+    while (i-- > 0) {
+      if (combo[i] != i + m - k) {
+        ++combo[i];
+        for (size_t j = i + 1; j < k; ++j) combo[j] = combo[j - 1] + 1;
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) break;
+  }
+  return out;
+}
+
+class PaperEnumerateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    inst_ = KsInstance{{14, 14, 14, 14, 20, 20, 20, 20}, {13, 13, 12, 20},
+                       0.3};
+    auto frame = CumulativeFrame::Build(inst_.reference, inst_.test);
+    ASSERT_TRUE(frame.ok());
+    frame_ = std::make_unique<CumulativeFrame>(std::move(frame).value());
+    engine_ = std::make_unique<BoundsEngine>(*frame_, inst_.alpha);
+  }
+
+  KsInstance inst_;
+  std::unique_ptr<CumulativeFrame> frame_;
+  std::unique_ptr<BoundsEngine> engine_;
+};
+
+TEST_F(PaperEnumerateTest, FirstResultIsTheMostComprehensible) {
+  const PreferenceList pref{3, 2, 1, 0};  // Example 6's L
+  EnumerateOptions opt;
+  opt.count = 10;
+  auto results =
+      EnumerateTopExplanations(*engine_, 2, inst_.test, pref, opt);
+  ASSERT_TRUE(results.ok());
+  ASSERT_FALSE(results->empty());
+  EXPECT_EQ(results->front().indices, (std::vector<size_t>{2, 1}));
+
+  auto report = Moche().Explain(inst_, pref);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(results->front().indices, report->explanation.indices);
+}
+
+TEST_F(PaperEnumerateTest, MatchesBruteForceListExactly) {
+  const PreferenceList pref{3, 2, 1, 0};
+  const std::vector<Explanation> expected = BruteForceAll(inst_, pref, 2);
+  EnumerateOptions opt;
+  opt.count = 100;  // more than exist
+  auto results =
+      EnumerateTopExplanations(*engine_, 2, inst_.test, pref, opt);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ((*results)[i].indices, expected[i].indices) << "rank " << i;
+  }
+}
+
+TEST_F(PaperEnumerateTest, CountLimitsResults) {
+  const PreferenceList pref{0, 1, 2, 3};
+  EnumerateOptions opt;
+  opt.count = 1;
+  auto results =
+      EnumerateTopExplanations(*engine_, 2, inst_.test, pref, opt);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results->size(), 1u);
+}
+
+TEST_F(PaperEnumerateTest, ValidatesArguments) {
+  EnumerateOptions zero;
+  zero.count = 0;
+  EXPECT_FALSE(
+      EnumerateTopExplanations(*engine_, 2, inst_.test, {0, 1, 2, 3}, zero)
+          .ok());
+  EXPECT_FALSE(
+      EnumerateTopExplanations(*engine_, 2, inst_.test, {0, 1}).ok());
+}
+
+TEST_F(PaperEnumerateTest, TinyBudgetIsResourceExhausted) {
+  EnumerateOptions opt;
+  opt.count = 50;
+  opt.max_checks = 1;
+  auto results =
+      EnumerateTopExplanations(*engine_, 2, inst_.test, {0, 1, 2, 3}, opt);
+  EXPECT_TRUE(results.status().IsResourceExhausted());
+}
+
+TEST(EnumeratePropertyTest, MatchesBruteForceOnRandomInstances) {
+  Rng rng(83);
+  int instances = 0;
+  for (int rep = 0; rep < 200 && instances < 15; ++rep) {
+    KsInstance inst;
+    const int n = static_cast<int>(rng.Integer(4, 20));
+    const int m = static_cast<int>(rng.Integer(4, 9));
+    for (int i = 0; i < n; ++i) {
+      inst.reference.push_back(static_cast<double>(rng.Integer(0, 5)));
+    }
+    for (int i = 0; i < m; ++i) {
+      inst.test.push_back(static_cast<double>(rng.Integer(2, 8)));
+    }
+    inst.alpha = 0.1;
+    auto outcome = RunInstance(inst);
+    ASSERT_TRUE(outcome.ok());
+    if (!outcome->reject) continue;
+    ++instances;
+
+    auto frame = CumulativeFrame::Build(inst.reference, inst.test);
+    ASSERT_TRUE(frame.ok());
+    BoundsEngine engine(*frame, inst.alpha);
+    auto size = SizeSearcher(engine).FindSize();
+    ASSERT_TRUE(size.ok());
+
+    const PreferenceList pref = RandomPreference(inst.test.size(), &rng);
+    const std::vector<Explanation> expected =
+        BruteForceAll(inst, pref, size->k);
+    EnumerateOptions opt;
+    opt.count = expected.size() + 5;
+    auto results =
+        EnumerateTopExplanations(engine, size->k, inst.test, pref, opt);
+    ASSERT_TRUE(results.ok());
+    ASSERT_EQ(results->size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_EQ((*results)[i].indices, expected[i].indices)
+          << "instance " << instances << " rank " << i;
+      EXPECT_TRUE(ValidateExplanation(inst, (*results)[i]).ok());
+    }
+  }
+  EXPECT_GE(instances, 8);
+}
+
+TEST(EnumeratePropertyTest, AllResultsDistinctAndSizeK) {
+  Rng rng(89);
+  KsInstance inst;
+  for (int i = 0; i < 60; ++i) {
+    inst.reference.push_back(static_cast<double>(rng.Integer(0, 8)));
+  }
+  for (int i = 0; i < 30; ++i) {
+    inst.test.push_back(static_cast<double>(rng.Integer(4, 12)));
+  }
+  inst.alpha = 0.05;
+  auto outcome = RunInstance(inst);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_TRUE(outcome->reject);
+
+  auto frame = CumulativeFrame::Build(inst.reference, inst.test);
+  ASSERT_TRUE(frame.ok());
+  BoundsEngine engine(*frame, inst.alpha);
+  auto size = SizeSearcher(engine).FindSize();
+  ASSERT_TRUE(size.ok());
+
+  EnumerateOptions opt;
+  opt.count = 5;
+  auto results = EnumerateTopExplanations(
+      engine, size->k, inst.test, IdentityPreference(inst.test.size()), opt);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results->size(), 5u);
+  std::set<std::vector<size_t>> distinct;
+  for (const Explanation& e : *results) {
+    EXPECT_EQ(e.size(), size->k);
+    EXPECT_TRUE(ValidateExplanation(inst, e).ok());
+    distinct.insert(e.indices);
+  }
+  EXPECT_EQ(distinct.size(), 5u);
+}
+
+}  // namespace
+}  // namespace moche

@@ -1,0 +1,66 @@
+#include "core/explanation.h"
+
+#include <gtest/gtest.h>
+
+namespace moche {
+namespace {
+
+const KsInstance kInstance{
+    {14, 14, 14, 14, 20, 20, 20, 20}, {13, 13, 12, 20}, 0.3};
+
+TEST(ExplanationValuesTest, MapsIndicesToValues) {
+  Explanation expl;
+  expl.indices = {2, 1};
+  EXPECT_EQ(ExplanationValues(kInstance, expl),
+            (std::vector<double>{12, 13}));
+}
+
+TEST(ExplanationValuesTest, EmptyExplanation) {
+  EXPECT_TRUE(ExplanationValues(kInstance, Explanation{}).empty());
+}
+
+TEST(RemoveExplanationTest, PreservesOrderOfSurvivors) {
+  Explanation expl;
+  expl.indices = {1};  // remove the second 13
+  EXPECT_EQ(RemoveExplanation(kInstance, expl),
+            (std::vector<double>{13, 12, 20}));
+}
+
+TEST(RemoveExplanationTest, RemoveNothing) {
+  EXPECT_EQ(RemoveExplanation(kInstance, Explanation{}), kInstance.test);
+}
+
+TEST(ValidateExplanationTest, AcceptsTheTrueExplanation) {
+  Explanation expl;
+  expl.indices = {2, 1};  // {12, 13} reverses the test (paper Example 6)
+  EXPECT_TRUE(ValidateExplanation(kInstance, expl).ok());
+}
+
+TEST(ValidateExplanationTest, RejectsOutOfRangeIndex) {
+  Explanation expl;
+  expl.indices = {7};
+  EXPECT_TRUE(ValidateExplanation(kInstance, expl).IsOutOfRange());
+}
+
+TEST(ValidateExplanationTest, RejectsDuplicateIndex) {
+  Explanation expl;
+  expl.indices = {1, 1};
+  EXPECT_TRUE(ValidateExplanation(kInstance, expl).IsInvalidArgument());
+}
+
+TEST(ValidateExplanationTest, RejectsFullRemoval) {
+  Explanation expl;
+  expl.indices = {0, 1, 2, 3};
+  EXPECT_TRUE(ValidateExplanation(kInstance, expl).IsInvalidArgument());
+}
+
+TEST(ValidateExplanationTest, RejectsNonReversingSubset) {
+  Explanation expl;
+  expl.indices = {3};  // removing the 20 alone does not reverse (Example 4)
+  const Status status = ValidateExplanation(kInstance, expl);
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("does not reverse"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace moche

@@ -1,0 +1,102 @@
+// End-to-end encoding of the paper's running example (Examples 3-6):
+// R = {14,14,14,14,20,20,20,20}, T = {13,13,12,20}, alpha = 0.3.
+// Each test follows one example's narrative so a reader can line the file
+// up against the paper text.
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/moche.h"
+
+namespace moche {
+namespace {
+
+class PaperRunningExample : public ::testing::Test {
+ protected:
+  const std::vector<double> ref_{14, 14, 14, 14, 20, 20, 20, 20};
+  const std::vector<double> test_{13, 13, 12, 20};  // t1, t2, t3, t4
+  const double alpha_ = 0.3;
+};
+
+// Example 3: base vector and cumulative vector of S = {13, 13}.
+TEST_F(PaperRunningExample, Example3CumulativeVector) {
+  auto frame = CumulativeFrame::Build(ref_, test_);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->q(), 4u);
+  const std::vector<double> base{12, 13, 14, 20};
+  for (size_t i = 1; i <= 4; ++i) {
+    EXPECT_DOUBLE_EQ(frame->Value(i), base[i - 1]);
+  }
+  auto cs = frame->CumulativeOf({13, 13});
+  ASSERT_TRUE(cs.ok());
+  EXPECT_EQ(*cs, (std::vector<int64_t>{0, 0, 2, 2, 2}));
+}
+
+// Example 4: the sets fail the KS test at alpha = 0.3; no qualified
+// 1-cumulative vector exists; a qualified 2-cumulative vector does; k = 2.
+TEST_F(PaperRunningExample, Example4SizeSearch) {
+  auto outcome = ks::Run(ref_, test_, alpha_);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->reject);
+
+  auto frame = CumulativeFrame::Build(ref_, test_);
+  ASSERT_TRUE(frame.ok());
+  BoundsEngine engine(*frame, alpha_);
+  EXPECT_FALSE(engine.ExistsQualified(1));
+  EXPECT_TRUE(engine.ExistsQualified(2));
+
+  // Cross-check with exhaustive subset search.
+  BruteForceExplainer brute;
+  KsInstance inst{ref_, test_, alpha_};
+  auto h1 = brute.ExistsQualifiedSubset(inst, 1);
+  auto h2 = brute.ExistsQualifiedSubset(inst, 2);
+  ASSERT_TRUE(h1.ok());
+  ASSERT_TRUE(h2.ok());
+  EXPECT_FALSE(*h1);
+  EXPECT_TRUE(*h2);
+}
+
+// Example 5: binary search over Theorem 2 returns k_hat = 2.
+TEST_F(PaperRunningExample, Example5LowerBound) {
+  auto frame = CumulativeFrame::Build(ref_, test_);
+  ASSERT_TRUE(frame.ok());
+  BoundsEngine engine(*frame, alpha_);
+  auto k_hat = SizeSearcher(engine).LowerBound();
+  ASSERT_TRUE(k_hat.ok());
+  EXPECT_EQ(*k_hat, 2u);
+}
+
+// Example 6: with L = [t4, t3, t2, t1], the scan rejects t4, accepts t3 and
+// t2, and returns I = {t3, t2}.
+TEST_F(PaperRunningExample, Example6Construction) {
+  Moche engine;
+  auto report = engine.Explain(ref_, test_, alpha_, {3, 2, 1, 0});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->k, 2u);
+  // indices 2 (= t3 = 12) then 1 (= t2 = 13)
+  EXPECT_EQ(report->explanation.indices, (std::vector<size_t>{2, 1}));
+  const std::vector<double> values =
+      ExplanationValues(KsInstance{ref_, test_, alpha_}, report->explanation);
+  EXPECT_EQ(values, (std::vector<double>{12, 13}));
+}
+
+// MOCHE and the brute force agree on the whole example, for any preference.
+TEST_F(PaperRunningExample, MocheEqualsBruteForceOnAllPreferences) {
+  KsInstance inst{ref_, test_, alpha_};
+  Moche engine;
+  BruteForceExplainer brute;
+  // All 24 permutations of 4 indices.
+  PreferenceList pref{0, 1, 2, 3};
+  do {
+    auto fast = engine.Explain(ref_, test_, alpha_, pref);
+    auto slow = brute.Explain(inst, pref);
+    ASSERT_TRUE(fast.ok());
+    ASSERT_TRUE(slow.ok());
+    EXPECT_EQ(fast->explanation.indices, slow->indices)
+        << "pref=[" << pref[0] << "," << pref[1] << "," << pref[2] << ","
+        << pref[3] << "]";
+  } while (std::next_permutation(pref.begin(), pref.end()));
+}
+
+}  // namespace
+}  // namespace moche

@@ -1,0 +1,153 @@
+#include "core/partial.h"
+
+#include <gtest/gtest.h>
+
+#include "core/size_search.h"
+#include "ks/ks_test.h"
+#include "util/rng.h"
+
+namespace moche {
+namespace {
+
+// Example 6 walk-through: k = 2, L = [t4, t3, t2, t1] on the Example 3 sets.
+class PaperPartialTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto frame = CumulativeFrame::Build({14, 14, 14, 14, 20, 20, 20, 20},
+                                        {13, 13, 12, 20});
+    ASSERT_TRUE(frame.ok());
+    frame_ = std::make_unique<CumulativeFrame>(std::move(frame).value());
+    engine_ = std::make_unique<BoundsEngine>(*frame_, 0.3);
+  }
+
+  std::unique_ptr<CumulativeFrame> frame_;
+  std::unique_ptr<BoundsEngine> engine_;
+};
+
+TEST_F(PaperPartialTest, ExampleSixTrace) {
+  auto checker = PartialExplanationChecker::Create(*engine_, 2);
+  ASSERT_TRUE(checker.ok());
+  // t4 = 20 -> base index 4: not a partial explanation (ubar_3 = 1 < 2).
+  EXPECT_FALSE(checker->CandidateFeasible(4));
+  // t3 = 12 -> base index 1: partial explanation; accept.
+  EXPECT_TRUE(checker->CandidateFeasible(1));
+  checker->Accept(1);
+  // t2 = 13 -> base index 2: partial explanation; accept -> size k reached.
+  EXPECT_TRUE(checker->CandidateFeasible(2));
+  checker->Accept(2);
+  EXPECT_EQ(checker->accepted_count(), 2u);
+}
+
+TEST_F(PaperPartialTest, FullModeAgreesOnExampleSix) {
+  auto checker = PartialExplanationChecker::Create(*engine_, 2);
+  ASSERT_TRUE(checker.ok());
+  EXPECT_FALSE(checker->CandidateFeasibleFull(4));
+  EXPECT_TRUE(checker->CandidateFeasibleFull(1));
+  checker->Accept(1);
+  EXPECT_TRUE(checker->CandidateFeasibleFull(2));
+}
+
+TEST_F(PaperPartialTest, MultiplicityGuard) {
+  auto checker = PartialExplanationChecker::Create(*engine_, 2);
+  ASSERT_TRUE(checker.ok());
+  // Only one 12 exists in T; a second copy can never be a subset of T.
+  ASSERT_TRUE(checker->CandidateFeasible(1));
+  checker->Accept(1);
+  EXPECT_FALSE(checker->CandidateFeasible(1));
+  EXPECT_FALSE(checker->CandidateFeasibleFull(1));
+}
+
+TEST_F(PaperPartialTest, CreateRejectsBadSizes) {
+  EXPECT_FALSE(PartialExplanationChecker::Create(*engine_, 0).ok());
+  EXPECT_FALSE(PartialExplanationChecker::Create(*engine_, 4).ok());
+  // k = 1 has no qualified vector (Example 4) -> Internal.
+  auto r = PartialExplanationChecker::Create(*engine_, 1);
+  EXPECT_TRUE(r.status().IsInternal());
+}
+
+// The incremental and the paper-faithful full check must agree on every
+// candidate across random accept sequences.
+TEST(PartialCheckerPropertyTest, IncrementalEqualsFull) {
+  Rng rng(31);
+  int instances = 0;
+  for (int rep = 0; rep < 80 && instances < 25; ++rep) {
+    std::vector<double> r;
+    std::vector<double> t;
+    const int n = static_cast<int>(rng.Integer(5, 30));
+    const int m = static_cast<int>(rng.Integer(5, 15));
+    for (int i = 0; i < n; ++i) r.push_back(rng.Integer(0, 7));
+    for (int i = 0; i < m; ++i) t.push_back(rng.Integer(3, 10));
+    auto outcome = ks::Run(r, t, 0.1);
+    ASSERT_TRUE(outcome.ok());
+    if (!outcome->reject) continue;
+    ++instances;
+
+    auto frame = CumulativeFrame::Build(r, t);
+    ASSERT_TRUE(frame.ok());
+    BoundsEngine engine(*frame, 0.1);
+    auto size = SizeSearcher(engine).FindSize();
+    ASSERT_TRUE(size.ok());
+
+    auto inc = PartialExplanationChecker::Create(engine, size->k);
+    auto full = PartialExplanationChecker::Create(engine, size->k);
+    ASSERT_TRUE(inc.ok());
+    ASSERT_TRUE(full.ok());
+
+    // Random candidate stream; accept whenever feasible (both must agree).
+    for (int step = 0; step < 60; ++step) {
+      if (inc->accepted_count() == size->k) break;
+      const size_t v =
+          static_cast<size_t>(rng.Integer(1, static_cast<int64_t>(frame->q())));
+      const bool a = inc->CandidateFeasible(v);
+      const bool b = full->CandidateFeasibleFull(v);
+      EXPECT_EQ(a, b) << "divergence at v=" << v;
+      if (a && b) {
+        inc->Accept(v);
+        full->Accept(v);
+      }
+    }
+  }
+  EXPECT_GE(instances, 10);
+}
+
+// Greedy acceptance over any candidate order must always complete to k
+// points: the accepted set stays a partial explanation by construction, and
+// partial explanations always extend to full ones.
+TEST(PartialCheckerPropertyTest, GreedyAcceptanceAlwaysCompletes) {
+  Rng rng(37);
+  int instances = 0;
+  for (int rep = 0; rep < 80 && instances < 20; ++rep) {
+    std::vector<double> r;
+    std::vector<double> t;
+    for (int i = 0; i < 25; ++i) r.push_back(rng.Integer(0, 5));
+    for (int i = 0; i < 12; ++i) t.push_back(rng.Integer(2, 8));
+    auto outcome = ks::Run(r, t, 0.05);
+    ASSERT_TRUE(outcome.ok());
+    if (!outcome->reject) continue;
+    ++instances;
+
+    auto frame = CumulativeFrame::Build(r, t);
+    ASSERT_TRUE(frame.ok());
+    BoundsEngine engine(*frame, 0.05);
+    auto size = SizeSearcher(engine).FindSize();
+    ASSERT_TRUE(size.ok());
+    auto checker = PartialExplanationChecker::Create(engine, size->k);
+    ASSERT_TRUE(checker.ok());
+
+    // Scan values in a shuffled order, repeating the scan until complete.
+    std::vector<size_t> order;
+    for (size_t v = 1; v <= frame->q(); ++v) {
+      for (int64_t c = 0; c < frame->CountT(v); ++c) order.push_back(v);
+    }
+    rng.Shuffle(&order);
+    for (size_t v : order) {
+      if (checker->accepted_count() == size->k) break;
+      if (checker->CandidateFeasible(v)) checker->Accept(v);
+    }
+    EXPECT_EQ(checker->accepted_count(), size->k);
+  }
+  EXPECT_GE(instances, 8);
+}
+
+}  // namespace
+}  // namespace moche

@@ -1,0 +1,57 @@
+#include "core/preference.h"
+
+#include <gtest/gtest.h>
+
+namespace moche {
+namespace {
+
+TEST(PreferenceTest, ValidateAcceptsPermutation) {
+  EXPECT_TRUE(ValidatePreference({2, 0, 1}, 3).ok());
+  EXPECT_TRUE(ValidatePreference({}, 0).ok());
+}
+
+TEST(PreferenceTest, ValidateRejectsBadLists) {
+  EXPECT_TRUE(ValidatePreference({0, 1}, 3).IsInvalidArgument());
+  EXPECT_TRUE(ValidatePreference({0, 0, 1}, 3).IsInvalidArgument());
+  EXPECT_TRUE(ValidatePreference({0, 1, 5}, 3).IsOutOfRange());
+}
+
+TEST(PreferenceTest, Identity) {
+  EXPECT_EQ(IdentityPreference(4), (PreferenceList{0, 1, 2, 3}));
+  EXPECT_TRUE(IdentityPreference(0).empty());
+}
+
+TEST(PreferenceTest, ByScoreDescWithStableTies) {
+  // scores: idx0=5, idx1=9, idx2=5, idx3=1 -> order 1, 0, 2, 3
+  EXPECT_EQ(PreferenceByScoreDesc({5, 9, 5, 1}), (PreferenceList{1, 0, 2, 3}));
+}
+
+TEST(PreferenceTest, ByScoreAsc) {
+  EXPECT_EQ(PreferenceByScoreAsc({5, 9, 5, 1}), (PreferenceList{3, 0, 2, 1}));
+}
+
+TEST(PreferenceTest, ByValue) {
+  const std::vector<double> values{3.0, 1.0, 2.0};
+  EXPECT_EQ(PreferenceByValue(values, /*descending=*/true),
+            (PreferenceList{0, 2, 1}));
+  EXPECT_EQ(PreferenceByValue(values, /*descending=*/false),
+            (PreferenceList{1, 2, 0}));
+}
+
+TEST(PreferenceTest, RandomIsAValidPermutation) {
+  Rng rng(61);
+  const PreferenceList pref = RandomPreference(20, &rng);
+  EXPECT_TRUE(ValidatePreference(pref, 20).ok());
+}
+
+TEST(PreferenceTest, RanksAreInverse) {
+  const PreferenceList pref{2, 0, 3, 1};
+  const std::vector<size_t> rank = PreferenceRanks(pref);
+  EXPECT_EQ(rank, (std::vector<size_t>{1, 3, 0, 2}));
+  for (size_t pos = 0; pos < pref.size(); ++pos) {
+    EXPECT_EQ(rank[pref[pos]], pos);
+  }
+}
+
+}  // namespace
+}  // namespace moche

@@ -1,0 +1,131 @@
+#include "core/size_search.h"
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "util/rng.h"
+
+namespace moche {
+namespace {
+
+// Example 4/5 instance.
+class PaperSizeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto frame = CumulativeFrame::Build({14, 14, 14, 14, 20, 20, 20, 20},
+                                        {13, 13, 12, 20});
+    ASSERT_TRUE(frame.ok());
+    frame_ = std::make_unique<CumulativeFrame>(std::move(frame).value());
+    engine_ = std::make_unique<BoundsEngine>(*frame_, 0.3);
+  }
+
+  std::unique_ptr<CumulativeFrame> frame_;
+  std::unique_ptr<BoundsEngine> engine_;
+};
+
+TEST_F(PaperSizeTest, LowerBoundIsTwo) {
+  // Example 5: binary search concludes k_hat = 2.
+  SizeSearcher searcher(*engine_);
+  auto k_hat = searcher.LowerBound();
+  ASSERT_TRUE(k_hat.ok());
+  EXPECT_EQ(*k_hat, 2u);
+}
+
+TEST_F(PaperSizeTest, SizeIsTwo) {
+  // Example 4: the explanation size k = 2.
+  SizeSearcher searcher(*engine_);
+  auto result = searcher.FindSize();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->k, 2u);
+  EXPECT_EQ(result->k_hat, 2u);
+  EXPECT_GE(result->theorem1_checks, 1u);
+}
+
+TEST_F(PaperSizeTest, AblationWithoutLowerBoundFindsSameSize) {
+  SizeSearcher searcher(*engine_);
+  auto with = searcher.FindSize(true);
+  auto without = searcher.FindSize(false);
+  ASSERT_TRUE(with.ok());
+  ASSERT_TRUE(without.ok());
+  EXPECT_EQ(with->k, without->k);
+  EXPECT_EQ(without->k_hat, 1u);
+  // The ablation performs at least as many Theorem 1 checks.
+  EXPECT_GE(without->theorem1_checks, with->theorem1_checks);
+}
+
+TEST(SizeSearchTest, MatchesBruteForceOnRandomInstances) {
+  Rng rng(17);
+  int failed_tests_seen = 0;
+  for (int rep = 0; rep < 60 && failed_tests_seen < 25; ++rep) {
+    std::vector<double> r;
+    std::vector<double> t;
+    const int n = static_cast<int>(rng.Integer(4, 25));
+    const int m = static_cast<int>(rng.Integer(4, 12));
+    for (int i = 0; i < n; ++i) r.push_back(rng.Integer(0, 6));
+    for (int i = 0; i < m; ++i) t.push_back(rng.Integer(2, 9));
+    KsInstance inst{r, t, 0.1};
+    auto outcome = RunInstance(inst);
+    ASSERT_TRUE(outcome.ok());
+    if (!outcome->reject) continue;
+    ++failed_tests_seen;
+
+    auto frame = CumulativeFrame::Build(r, t);
+    ASSERT_TRUE(frame.ok());
+    BoundsEngine engine(*frame, inst.alpha);
+    auto result = SizeSearcher(engine).FindSize();
+    ASSERT_TRUE(result.ok());
+
+    BruteForceExplainer brute;
+    auto expected = brute.MinimalSize(inst);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_EQ(result->k, *expected) << "n=" << n << " m=" << m;
+    EXPECT_LE(result->k_hat, result->k);
+  }
+  EXPECT_GE(failed_tests_seen, 10);
+}
+
+TEST(SizeSearchTest, LowerBoundNeverExceedsTrueSize) {
+  Rng rng(23);
+  for (int rep = 0; rep < 40; ++rep) {
+    std::vector<double> r;
+    std::vector<double> t;
+    for (int i = 0; i < 50; ++i) r.push_back(rng.Normal(0, 1));
+    for (int i = 0; i < 30; ++i) t.push_back(rng.Normal(1.2, 1));
+    auto outcome = ks::Run(r, t, 0.05);
+    ASSERT_TRUE(outcome.ok());
+    if (!outcome->reject) continue;
+    auto frame = CumulativeFrame::Build(r, t);
+    ASSERT_TRUE(frame.ok());
+    BoundsEngine engine(*frame, 0.05);
+    auto result = SizeSearcher(engine).FindSize();
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->k_hat, result->k);
+    EXPECT_GE(result->k_hat, 1u);
+  }
+}
+
+TEST(SizeSearchTest, TinyTestSetRejected) {
+  auto frame = CumulativeFrame::Build({1, 2, 3}, {9});
+  ASSERT_TRUE(frame.ok());
+  BoundsEngine engine(*frame, 0.05);
+  SizeSearcher searcher(engine);
+  EXPECT_TRUE(searcher.FindSize().status().IsInvalidArgument());
+  EXPECT_TRUE(searcher.LowerBound().status().IsInvalidArgument());
+}
+
+// At very large alpha (> 2/e^2) Proposition 1's existence guarantee breaks;
+// an extreme instance can have no explanation at all.
+TEST(SizeSearchTest, NoExplanationAtExtremeAlpha) {
+  const std::vector<double> r{1, 1, 1, 1, 1, 1, 1, 1};
+  const std::vector<double> t{100, 100, 100, 100};
+  auto frame = CumulativeFrame::Build(r, t);
+  ASSERT_TRUE(frame.ok());
+  // alpha = 1.5 gives c_alpha ~ 0.536: even a single remaining point fails.
+  BoundsEngine engine(*frame, 1.5);
+  SizeSearcher searcher(engine);
+  auto result = searcher.FindSize();
+  EXPECT_TRUE(result.status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace moche

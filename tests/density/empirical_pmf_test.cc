@@ -1,0 +1,45 @@
+#include "density/empirical_pmf.h"
+
+#include <gtest/gtest.h>
+
+namespace moche {
+namespace density {
+namespace {
+
+TEST(EmpiricalPmfTest, RejectsEmptySample) {
+  EXPECT_FALSE(EmpiricalPmf::Fit({}).ok());
+}
+
+TEST(EmpiricalPmfTest, RelativeFrequencies) {
+  auto pmf = EmpiricalPmf::Fit({1, 1, 2, 3, 3, 3});
+  ASSERT_TRUE(pmf.ok());
+  EXPECT_DOUBLE_EQ(pmf->Evaluate(1), 2.0 / 6.0);
+  EXPECT_DOUBLE_EQ(pmf->Evaluate(2), 1.0 / 6.0);
+  EXPECT_DOUBLE_EQ(pmf->Evaluate(3), 3.0 / 6.0);
+  EXPECT_EQ(pmf->support_size(), 3u);
+}
+
+TEST(EmpiricalPmfTest, UnseenValueHasZeroMass) {
+  auto pmf = EmpiricalPmf::Fit({1, 2});
+  ASSERT_TRUE(pmf.ok());
+  EXPECT_DOUBLE_EQ(pmf->Evaluate(5), 0.0);
+  EXPECT_DOUBLE_EQ(pmf->Evaluate(1.5), 0.0);
+}
+
+TEST(EmpiricalPmfTest, MassSumsToOne) {
+  auto pmf = EmpiricalPmf::Fit({4, 7, 7, 9, 9, 9, 9});
+  ASSERT_TRUE(pmf.ok());
+  EXPECT_DOUBLE_EQ(pmf->Evaluate(4) + pmf->Evaluate(7) + pmf->Evaluate(9),
+                   1.0);
+}
+
+TEST(EmpiricalPmfTest, SingletonSample) {
+  auto pmf = EmpiricalPmf::Fit({42});
+  ASSERT_TRUE(pmf.ok());
+  EXPECT_DOUBLE_EQ(pmf->Evaluate(42), 1.0);
+  EXPECT_EQ(pmf->support_size(), 1u);
+}
+
+}  // namespace
+}  // namespace density
+}  // namespace moche

@@ -1,0 +1,124 @@
+#include "density/kde.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace moche {
+namespace density {
+namespace {
+
+TEST(KdeTest, RejectsEmptySample) {
+  EXPECT_FALSE(Kde::Fit({}).ok());
+}
+
+TEST(KdeTest, RejectsNonPositiveFixedBandwidth) {
+  KdeOptions opt;
+  opt.bandwidth_rule = BandwidthRule::kFixed;
+  opt.fixed_bandwidth = 0.0;
+  EXPECT_FALSE(Kde::Fit({1.0, 2.0}, opt).ok());
+}
+
+TEST(KdeTest, SilvermanBandwidthFormula) {
+  Rng rng(1);
+  std::vector<double> sample(200);
+  for (double& v : sample) v = rng.Normal(0, 2.0);
+  auto kde = Kde::Fit(sample);
+  ASSERT_TRUE(kde.ok());
+  // 1.06 * sigma * n^(-1/5), sigma ~ 2
+  EXPECT_NEAR(kde->bandwidth(), 1.06 * 2.0 * std::pow(200.0, -0.2), 0.35);
+}
+
+TEST(KdeTest, DensityIntegratesToOne) {
+  Rng rng(2);
+  std::vector<double> sample(300);
+  for (double& v : sample) v = rng.Normal(1.0, 1.0);
+  for (Kernel kernel : {Kernel::kGaussian, Kernel::kEpanechnikov}) {
+    KdeOptions opt;
+    opt.kernel = kernel;
+    auto kde = Kde::Fit(sample, opt);
+    ASSERT_TRUE(kde.ok());
+    // trapezoidal integration over a wide support
+    double integral = 0.0;
+    const double lo = -6.0;
+    const double hi = 8.0;
+    const int steps = 2000;
+    const double dx = (hi - lo) / steps;
+    double prev = kde->Evaluate(lo);
+    for (int i = 1; i <= steps; ++i) {
+      const double cur = kde->Evaluate(lo + i * dx);
+      integral += 0.5 * (prev + cur) * dx;
+      prev = cur;
+    }
+    EXPECT_NEAR(integral, 1.0, 0.01) << "kernel " << static_cast<int>(kernel);
+  }
+}
+
+TEST(KdeTest, PeaksNearTheMode) {
+  Rng rng(3);
+  std::vector<double> sample(500);
+  for (double& v : sample) v = rng.Normal(5.0, 0.5);
+  auto kde = Kde::Fit(sample);
+  ASSERT_TRUE(kde.ok());
+  EXPECT_GT(kde->Evaluate(5.0), kde->Evaluate(3.0));
+  EXPECT_GT(kde->Evaluate(5.0), kde->Evaluate(7.0));
+}
+
+TEST(KdeTest, EpanechnikovHasCompactSupport) {
+  KdeOptions opt;
+  opt.kernel = Kernel::kEpanechnikov;
+  opt.bandwidth_rule = BandwidthRule::kFixed;
+  opt.fixed_bandwidth = 1.0;
+  auto kde = Kde::Fit({0.0}, opt);
+  ASSERT_TRUE(kde.ok());
+  EXPECT_GT(kde->Evaluate(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(kde->Evaluate(1.5), 0.0);
+  EXPECT_DOUBLE_EQ(kde->Evaluate(-2.0), 0.0);
+}
+
+TEST(KdeTest, GaussianKernelValueAtCenter) {
+  KdeOptions opt;
+  opt.kernel = Kernel::kGaussian;
+  opt.bandwidth_rule = BandwidthRule::kFixed;
+  opt.fixed_bandwidth = 1.0;
+  auto kde = Kde::Fit({0.0}, opt);
+  ASSERT_TRUE(kde.ok());
+  EXPECT_NEAR(kde->Evaluate(0.0), 0.3989422804, 1e-9);
+}
+
+TEST(KdeTest, ConstantSampleFallsBackToUnitBandwidth) {
+  auto kde = Kde::Fit({3.0, 3.0, 3.0});
+  ASSERT_TRUE(kde.ok());
+  EXPECT_DOUBLE_EQ(kde->bandwidth(), 1.0);
+  EXPECT_GT(kde->Evaluate(3.0), 0.0);
+}
+
+TEST(KdeTest, EvaluateAllMatchesPointwise) {
+  auto kde = Kde::Fit({1.0, 2.0, 3.0});
+  ASSERT_TRUE(kde.ok());
+  const std::vector<double> xs{0.5, 1.5, 2.5};
+  const std::vector<double> all = kde->EvaluateAll(xs);
+  ASSERT_EQ(all.size(), 3u);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(all[i], kde->Evaluate(xs[i]));
+  }
+}
+
+TEST(KdeTest, ScottVsSilvermanDiffer) {
+  Rng rng(4);
+  std::vector<double> sample(100);
+  for (double& v : sample) v = rng.Normal();
+  KdeOptions scott;
+  scott.bandwidth_rule = BandwidthRule::kScott;
+  auto a = Kde::Fit(sample);
+  auto b = Kde::Fit(sample, scott);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(a->bandwidth(), b->bandwidth());  // 1.06x factor
+}
+
+}  // namespace
+}  // namespace density
+}  // namespace moche

@@ -1,0 +1,72 @@
+#include "harness/export.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "baselines/greedy.h"
+#include "baselines/moche_explainer.h"
+#include "timeseries/generators.h"
+
+namespace moche {
+namespace harness {
+namespace {
+
+std::vector<InstanceResults> SmallRun(
+    std::vector<ExperimentInstance>* storage) {
+  const ts::Dataset art = ts::MakeArtDataset(11, 0.25);
+  CollectOptions opt;
+  opt.window_sizes = {100};
+  opt.sample_per_combination = 2;
+  auto instances = CollectFailedInstances(art, opt);
+  EXPECT_TRUE(instances.ok());
+  *storage = std::move(instances).value();
+  static baselines::MocheExplainer moche_method;
+  static baselines::GreedyExplainer grd;
+  return RunMethods(*storage, {&moche_method, &grd});
+}
+
+TEST(ExportTest, ResultsCsvShape) {
+  std::vector<ExperimentInstance> storage;
+  const auto results = SmallRun(&storage);
+  ASSERT_FALSE(results.empty());
+  const CsvTable table = ResultsToCsv(results);
+  // header + one row per (instance, method)
+  ASSERT_EQ(table.rows.size(), 1 + results.size() * 2);
+  EXPECT_EQ(table.rows[0][0], "dataset");
+  EXPECT_EQ(table.rows[1][0], "ART");
+  EXPECT_EQ(table.rows[1][4], "M");
+  EXPECT_EQ(table.rows[2][4], "GRD");
+  EXPECT_EQ(table.rows[1][5], "1");  // MOCHE always produces
+}
+
+TEST(ExportTest, AggregatesCsvShape) {
+  std::vector<ExperimentInstance> storage;
+  const auto results = SmallRun(&storage);
+  const CsvTable table = AggregatesToCsv(Aggregate(results));
+  ASSERT_EQ(table.rows.size(), 3u);  // header + 2 methods
+  EXPECT_EQ(table.rows[0][0], "method");
+  EXPECT_EQ(table.rows[1][0], "M");
+  // MOCHE's RF is 1
+  EXPECT_EQ(table.rows[1][3], "1.000000");
+}
+
+TEST(ExportTest, WriteAndReadBack) {
+  std::vector<ExperimentInstance> storage;
+  const auto results = SmallRun(&storage);
+  const std::string path = testing::TempDir() + "/moche_results.csv";
+  ASSERT_TRUE(WriteResultsCsv(path, results).ok());
+  auto read_back = ReadCsvFile(path);
+  ASSERT_TRUE(read_back.ok());
+  EXPECT_EQ(read_back->rows.size(), ResultsToCsv(results).rows.size());
+  std::remove(path.c_str());
+}
+
+TEST(ExportTest, EmptyResults) {
+  const CsvTable table = ResultsToCsv({});
+  EXPECT_EQ(table.rows.size(), 1u);  // header only
+}
+
+}  // namespace
+}  // namespace harness
+}  // namespace moche

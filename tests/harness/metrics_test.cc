@@ -1,0 +1,48 @@
+#include "harness/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "ks/ecdf.h"
+
+namespace moche {
+namespace harness {
+namespace {
+
+TEST(IseTest, SingleSmallest) {
+  EXPECT_EQ(IsSmallestExplanation({5, 3, 9}), (std::vector<int>{0, 1, 0}));
+}
+
+TEST(IseTest, TiesAllGetOne) {
+  EXPECT_EQ(IsSmallestExplanation({4, 4, 7}), (std::vector<int>{1, 1, 0}));
+}
+
+TEST(IseTest, EmptyInput) {
+  EXPECT_TRUE(IsSmallestExplanation({}).empty());
+}
+
+TEST(ExplanationRmseTest, PerfectExplanationGivesSmallRmse) {
+  // R = {1,2,3,4}, T = {1,2,3,4,99,99}: removing the two 99s leaves
+  // identical distributions -> RMSE 0.
+  KsInstance inst{{1, 2, 3, 4}, {1, 2, 3, 4, 99, 99}, 0.05};
+  Explanation expl;
+  expl.indices = {4, 5};
+  EXPECT_DOUBLE_EQ(ExplanationRmse(inst, expl), 0.0);
+}
+
+TEST(ExplanationRmseTest, MatchesDirectComputation) {
+  KsInstance inst{{1, 2, 3}, {2, 3, 9}, 0.05};
+  Explanation expl;
+  expl.indices = {2};  // remove the 9
+  EXPECT_DOUBLE_EQ(ExplanationRmse(inst, expl),
+                   EcdfRmse({1, 2, 3}, {2, 3}));
+}
+
+TEST(ExplanationRmseTest, EmptyExplanationEqualsRawRmse) {
+  KsInstance inst{{1, 2}, {5, 6}, 0.05};
+  Explanation expl;
+  EXPECT_DOUBLE_EQ(ExplanationRmse(inst, expl), EcdfRmse({1, 2}, {5, 6}));
+}
+
+}  // namespace
+}  // namespace harness
+}  // namespace moche

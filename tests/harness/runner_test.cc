@@ -1,0 +1,102 @@
+#include "harness/runner.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "baselines/d3.h"
+#include "baselines/greedy.h"
+#include "baselines/moche_explainer.h"
+#include "timeseries/generators.h"
+
+namespace moche {
+namespace harness {
+namespace {
+
+class RunnerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dataset_ = ts::MakeArtDataset(3, 0.25);
+    CollectOptions opt;
+    opt.window_sizes = {100};
+    opt.sample_per_combination = 3;
+    auto instances = CollectFailedInstances(dataset_, opt);
+    ASSERT_TRUE(instances.ok()) << instances.status().ToString();
+    instances_ = std::move(instances).value();
+  }
+
+  ts::Dataset dataset_;
+  std::vector<ExperimentInstance> instances_;
+};
+
+TEST_F(RunnerTest, CollectsSampledFailedInstances) {
+  ASSERT_FALSE(instances_.empty());
+  for (const ExperimentInstance& inst : instances_) {
+    EXPECT_EQ(inst.dataset, "ART");
+    EXPECT_EQ(inst.window, 100u);
+    EXPECT_EQ(inst.instance.reference.size(), 100u);
+    EXPECT_EQ(inst.instance.test.size(), 100u);
+    EXPECT_TRUE(ValidatePreference(inst.preference, 100).ok());
+    // collected tests must actually fail
+    auto outcome = RunInstance(inst.instance);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_TRUE(outcome->reject);
+  }
+}
+
+TEST_F(RunnerTest, SamplingCapRespected) {
+  // at most sample_per_combination per (series, window)
+  std::map<std::string, size_t> per_series;
+  for (const ExperimentInstance& inst : instances_) {
+    ++per_series[inst.series];
+  }
+  for (const auto& [name, count] : per_series) {
+    EXPECT_LE(count, 3u) << name;
+  }
+}
+
+TEST_F(RunnerTest, RunMethodsAndAggregate) {
+  baselines::MocheExplainer moche_method;
+  baselines::GreedyExplainer grd;
+  baselines::D3Explainer d3;
+  std::vector<baselines::Explainer*> methods{&moche_method, &grd, &d3};
+
+  const std::vector<InstanceResults> results =
+      RunMethods(instances_, methods);
+  ASSERT_EQ(results.size(), instances_.size());
+
+  const std::vector<MethodAggregate> agg = Aggregate(results);
+  ASSERT_EQ(agg.size(), 3u);
+  EXPECT_EQ(agg[0].method, "M");
+  // MOCHE always produces and always has the smallest explanation
+  EXPECT_DOUBLE_EQ(agg[0].reverse_factor, 1.0);
+  EXPECT_DOUBLE_EQ(agg[0].avg_ise, 1.0);
+  // greedy/D3 are valid too (RF 1) but rarely smallest on all instances
+  EXPECT_DOUBLE_EQ(agg[1].reverse_factor, 1.0);
+  EXPECT_LE(agg[1].avg_ise, 1.0);
+  // RMSE is non-negative and typically smallest for MOCHE
+  EXPECT_GE(agg[1].avg_rmse, 0.0);
+  EXPECT_LE(agg[0].avg_rmse, agg[1].avg_rmse + 1e-9);
+}
+
+TEST_F(RunnerTest, AggregateOnEmptyResults) {
+  EXPECT_TRUE(Aggregate({}).empty());
+}
+
+TEST(RunnerOptionsTest, LabelFilterCanBeDisabled) {
+  const ts::Dataset ds = ts::MakeArtDataset(5, 0.25);
+  CollectOptions strict;
+  strict.window_sizes = {100};
+  strict.sample_per_combination = 100;  // no cap in practice
+  CollectOptions lax = strict;
+  lax.require_labeled_anomaly = false;
+  auto with_filter = CollectFailedInstances(ds, strict);
+  auto without_filter = CollectFailedInstances(ds, lax);
+  ASSERT_TRUE(with_filter.ok());
+  ASSERT_TRUE(without_filter.ok());
+  EXPECT_GE(without_filter->size(), with_filter->size());
+}
+
+}  // namespace
+}  // namespace harness
+}  // namespace moche

@@ -1,0 +1,50 @@
+#include "harness/table.h"
+
+#include <gtest/gtest.h>
+
+namespace moche {
+namespace harness {
+namespace {
+
+TEST(AsciiTableTest, AlignsColumns) {
+  AsciiTable table({"Method", "ISE"});
+  table.AddRow({"MOCHE", "1.00"});
+  table.AddRow({"GRD", "0.25"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("Method  ISE"), std::string::npos);
+  EXPECT_NE(out.find("MOCHE   1.00"), std::string::npos);
+  EXPECT_NE(out.find("GRD     0.25"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(AsciiTableTest, WideCellsStretchColumns) {
+  AsciiTable table({"A", "B"});
+  table.AddRow({"verylongcell", "x"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("verylongcell  x"), std::string::npos);
+}
+
+TEST(AsciiTableTest, ShortRowsTolerated) {
+  AsciiTable table({"A", "B", "C"});
+  table.AddRow({"1"});
+  EXPECT_FALSE(table.ToString().empty());
+}
+
+TEST(RenderBoxPlotTest, ContainsFiveNumbers) {
+  FiveNumberSummary s;
+  s.min = 0;
+  s.q1 = 1;
+  s.median = 2;
+  s.q3 = 3;
+  s.max = 6;
+  s.mean = 2.4;
+  const std::string out = RenderBoxPlot(s);
+  EXPECT_NE(out.find("0.00"), std::string::npos);
+  EXPECT_NE(out.find("2.00"), std::string::npos);
+  EXPECT_NE(out.find("6.00"), std::string::npos);
+  EXPECT_NE(out.find("mean 2.4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace harness
+}  // namespace moche

@@ -1,0 +1,66 @@
+#include "ks/ecdf.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace moche {
+namespace {
+
+TEST(EcdfTest, StepFunctionValues) {
+  const Ecdf f({1.0, 2.0, 2.0, 5.0});
+  EXPECT_DOUBLE_EQ(f.Evaluate(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(f.Evaluate(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(f.Evaluate(1.5), 0.25);
+  EXPECT_DOUBLE_EQ(f.Evaluate(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(f.Evaluate(4.9), 0.75);
+  EXPECT_DOUBLE_EQ(f.Evaluate(5.0), 1.0);
+  EXPECT_DOUBLE_EQ(f.Evaluate(100.0), 1.0);
+}
+
+TEST(EcdfTest, SortsInput) {
+  const Ecdf f({3.0, 1.0, 2.0});
+  EXPECT_EQ(f.sorted(), (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_EQ(f.size(), 3u);
+}
+
+TEST(EcdfTest, EmptySampleEvaluatesToZero) {
+  const Ecdf f({});
+  EXPECT_DOUBLE_EQ(f.Evaluate(1.0), 0.0);
+}
+
+TEST(EcdfRmseTest, IdenticalSamplesGiveZero) {
+  EXPECT_DOUBLE_EQ(EcdfRmse({1, 2, 3}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(EcdfRmse({5, 5, 5}, {5, 5}), 0.0);
+}
+
+TEST(EcdfRmseTest, HandComputedCase) {
+  // R = {1, 3}, T = {2}. Evaluation points (with repeats): 1, 2, 3.
+  // F_R: 0.5 at 1, 0.5 at 2, 1 at 3. F_T: 0 at 1, 1 at 2, 1 at 3.
+  // Squares: 0.25, 0.25, 0. RMSE = sqrt(0.5/3).
+  EXPECT_NEAR(EcdfRmse({1, 3}, {2}), std::sqrt(0.5 / 3.0), 1e-12);
+}
+
+TEST(EcdfRmseTest, SymmetricInArguments) {
+  const std::vector<double> a{1, 2, 2, 7, 9};
+  const std::vector<double> b{0, 2, 3, 3};
+  EXPECT_DOUBLE_EQ(EcdfRmse(a, b), EcdfRmse(b, a));
+}
+
+TEST(EcdfRmseTest, DisjointSamplesHaveLargeError) {
+  const double rmse = EcdfRmse({1, 2, 3}, {10, 11, 12});
+  EXPECT_GT(rmse, 0.5);
+  EXPECT_LE(rmse, 1.0);
+}
+
+TEST(EcdfRmseTest, EmptyInputGivesZero) {
+  EXPECT_DOUBLE_EQ(EcdfRmse({}, {1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(EcdfRmse({1.0}, {}), 0.0);
+}
+
+TEST(EcdfRmseTest, UnsortedInputsAccepted) {
+  EXPECT_DOUBLE_EQ(EcdfRmse({3, 1, 2}, {2, 3, 1}), 0.0);
+}
+
+}  // namespace
+}  // namespace moche

@@ -1,0 +1,205 @@
+#include "ks/ks_test.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ks/ecdf.h"
+#include "util/rng.h"
+
+namespace moche {
+namespace {
+
+TEST(CriticalValueTest, KnownValues) {
+  // c_alpha = sqrt(-ln(alpha/2)/2); at 0.05 this is the familiar 1.3581.
+  EXPECT_NEAR(ks::CriticalValue(0.05), 1.3581015, 1e-6);
+  EXPECT_NEAR(ks::CriticalValue(0.10), 1.2238734, 1e-6);
+  EXPECT_NEAR(ks::CriticalValue(0.01), 1.6276236, 1e-6);
+}
+
+TEST(CriticalValueTest, ProposionOneBoundary) {
+  // At alpha = 2/e^2 the critical value is exactly 1 (Proposition 1).
+  EXPECT_NEAR(ks::CriticalValue(2.0 / (M_E * M_E)), 1.0, 1e-12);
+}
+
+TEST(ThresholdTest, Formula) {
+  const double alpha = 0.05;
+  EXPECT_NEAR(ks::Threshold(alpha, 100, 50),
+              ks::CriticalValue(alpha) * std::sqrt(150.0 / 5000.0), 1e-12);
+}
+
+TEST(StatisticTest, IdenticalSamplesGiveZero) {
+  EXPECT_DOUBLE_EQ(ks::Statistic({1, 2, 3}, {1, 2, 3}), 0.0);
+}
+
+TEST(StatisticTest, DisjointSamplesGiveOne) {
+  double loc = 0.0;
+  EXPECT_DOUBLE_EQ(ks::Statistic({1, 2}, {10, 20}, &loc), 1.0);
+  EXPECT_DOUBLE_EQ(loc, 2.0);  // the max gap is reached at the last low point
+}
+
+TEST(StatisticTest, PaperExampleSets) {
+  // Example 3/4: R = {14 x4, 20 x4}, T = {13,13,12,20}. D = 0.75 at x=13.
+  const std::vector<double> r{14, 14, 14, 14, 20, 20, 20, 20};
+  const std::vector<double> t{13, 13, 12, 20};
+  double loc = 0.0;
+  EXPECT_DOUBLE_EQ(ks::Statistic(r, t, &loc), 0.75);
+  EXPECT_DOUBLE_EQ(loc, 13.0);
+}
+
+TEST(StatisticTest, SymmetricInArguments) {
+  Rng rng(5);
+  for (int rep = 0; rep < 20; ++rep) {
+    std::vector<double> a;
+    std::vector<double> b;
+    for (int i = 0; i < 30; ++i) a.push_back(rng.Integer(0, 10));
+    for (int i = 0; i < 17; ++i) b.push_back(rng.Integer(0, 10));
+    EXPECT_DOUBLE_EQ(ks::Statistic(a, b), ks::Statistic(b, a));
+  }
+}
+
+TEST(StatisticTest, EmptySampleConventions) {
+  EXPECT_DOUBLE_EQ(ks::Statistic({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(ks::Statistic({1.0}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(ks::Statistic({}, {1.0}), 1.0);
+}
+
+// The merge-based statistic must agree with a brute-force evaluation of
+// max |F_R(x) - F_T(x)| over all sample points.
+TEST(StatisticTest, MatchesBruteForceOnRandomInstances) {
+  Rng rng(42);
+  for (int rep = 0; rep < 50; ++rep) {
+    std::vector<double> r;
+    std::vector<double> t;
+    const int n = static_cast<int>(rng.Integer(1, 40));
+    const int m = static_cast<int>(rng.Integer(1, 40));
+    for (int i = 0; i < n; ++i) r.push_back(rng.Integer(0, 15));
+    for (int i = 0; i < m; ++i) t.push_back(rng.Integer(0, 15));
+
+    const Ecdf fr(r);
+    const Ecdf ft(t);
+    double expected = 0.0;
+    std::vector<double> all = r;
+    all.insert(all.end(), t.begin(), t.end());
+    for (double x : all) {
+      expected = std::max(expected, std::fabs(fr.Evaluate(x) - ft.Evaluate(x)));
+    }
+    EXPECT_NEAR(ks::Statistic(r, t), expected, 1e-12);
+  }
+}
+
+TEST(RunTest, RejectsShiftedDistribution) {
+  Rng rng(7);
+  std::vector<double> r;
+  std::vector<double> t;
+  for (int i = 0; i < 500; ++i) r.push_back(rng.Normal(0.0, 1.0));
+  for (int i = 0; i < 500; ++i) t.push_back(rng.Normal(1.0, 1.0));
+  auto outcome = ks::Run(r, t, 0.05);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->reject);
+  EXPECT_GT(outcome->statistic, outcome->threshold);
+  EXPECT_EQ(outcome->n, 500u);
+  EXPECT_EQ(outcome->m, 500u);
+}
+
+TEST(RunTest, PassesSameDistribution) {
+  Rng rng(11);
+  std::vector<double> r;
+  std::vector<double> t;
+  for (int i = 0; i < 500; ++i) r.push_back(rng.Normal(0.0, 1.0));
+  for (int i = 0; i < 500; ++i) t.push_back(rng.Normal(0.0, 1.0));
+  auto outcome = ks::Run(r, t, 0.01);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->reject);
+}
+
+TEST(RunTest, ValidatesInputs) {
+  EXPECT_TRUE(ks::Run({}, {1.0}, 0.05).status().IsInvalidArgument());
+  EXPECT_TRUE(ks::Run({1.0}, {}, 0.05).status().IsInvalidArgument());
+  EXPECT_TRUE(ks::Run({1.0}, {1.0}, 0.0).status().IsInvalidArgument());
+  EXPECT_TRUE(ks::Run({1.0}, {1.0}, 2.0).status().IsInvalidArgument());
+}
+
+TEST(RunTest, PaperExampleFailsAtPointThree) {
+  const std::vector<double> r{14, 14, 14, 14, 20, 20, 20, 20};
+  const std::vector<double> t{13, 13, 12, 20};
+  auto outcome = ks::Run(r, t, 0.3);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->reject);  // Example 4: the sets fail at alpha = 0.3
+}
+
+TEST(RunSortedTest, AgreesWithRun) {
+  std::vector<double> r{5, 1, 3};
+  std::vector<double> t{2, 2, 8};
+  auto a = ks::Run(r, t, 0.05);
+  std::sort(r.begin(), r.end());
+  std::sort(t.begin(), t.end());
+  auto b = ks::RunSorted(r, t, 0.05);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->statistic, b->statistic);
+  EXPECT_DOUBLE_EQ(a->threshold, b->threshold);
+}
+
+// Larger alpha means a smaller threshold, so rejection is monotone in alpha.
+TEST(RunTest, RejectionMonotoneInAlpha) {
+  Rng rng(13);
+  std::vector<double> r;
+  std::vector<double> t;
+  for (int i = 0; i < 200; ++i) r.push_back(rng.Normal(0.0, 1.0));
+  for (int i = 0; i < 200; ++i) t.push_back(rng.Normal(0.35, 1.0));
+  bool prev_reject = false;
+  for (double alpha : {0.001, 0.01, 0.05, 0.1, 0.3}) {
+    auto outcome = ks::Run(r, t, alpha);
+    ASSERT_TRUE(outcome.ok());
+    // once rejected at a smaller alpha, every larger alpha rejects too
+    if (prev_reject) {
+      EXPECT_TRUE(outcome->reject);
+    }
+    prev_reject = outcome->reject;
+  }
+}
+
+
+TEST(KolmogorovQTest, KnownValuesAndMonotonicity) {
+  EXPECT_DOUBLE_EQ(ks::KolmogorovQ(0.0), 1.0);
+  EXPECT_NEAR(ks::KolmogorovQ(10.0), 0.0, 1e-12);
+  // c_alpha solves the ONE-TERM approximation 2 e^{-2c^2} = alpha, so the
+  // full series agrees to its second term, 2 e^{-8 c_alpha^2} (~1e-5 at
+  // alpha = 0.25, far smaller below).
+  for (double alpha : {0.01, 0.05, 0.1, 0.25}) {
+    const double c = ks::CriticalValue(alpha);
+    EXPECT_NEAR(ks::KolmogorovQ(c), alpha, 3.0 * std::exp(-8.0 * c * c));
+  }
+  EXPECT_GT(ks::KolmogorovQ(0.5), ks::KolmogorovQ(1.0));
+}
+
+// p < alpha must agree with D > Threshold(alpha) on random instances:
+// the two rejection rules are algebraically the same test.
+TEST(PValueTest, EquivalentToThresholdComparison) {
+  Rng rng(99);
+  for (int rep = 0; rep < 100; ++rep) {
+    const size_t n = static_cast<size_t>(rng.Integer(5, 400));
+    const size_t m = static_cast<size_t>(rng.Integer(5, 400));
+    const double d = rng.Uniform(0.0, 1.0);
+    for (double alpha : {0.01, 0.05, 0.2}) {
+      // the full-series p-value and the one-term threshold disagree only
+      // inside a hair-thin band around the threshold; skip that band
+      const double threshold = ks::Threshold(alpha, n, m);
+      if (std::fabs(d - threshold) < 1e-3) continue;
+      const bool by_threshold = d > threshold;
+      const bool by_pvalue = ks::PValueAsymptotic(d, n, m) < alpha;
+      EXPECT_EQ(by_threshold, by_pvalue)
+          << "n=" << n << " m=" << m << " d=" << d << " alpha=" << alpha;
+    }
+  }
+}
+
+TEST(PValueTest, BoundaryBehaviour) {
+  EXPECT_DOUBLE_EQ(ks::PValueAsymptotic(0.0, 100, 100), 1.0);
+  EXPECT_NEAR(ks::PValueAsymptotic(1.0, 500, 500), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace moche

@@ -1,0 +1,108 @@
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ks/ks_test.h"
+#include "util/rng.h"
+
+namespace moche {
+namespace {
+
+TEST(RemovalKsTest, NoRemovalMatchesPlainTest) {
+  const std::vector<double> r{1, 2, 3, 4, 5};
+  const std::vector<double> t{2, 2, 6, 7};
+  RemovalKs removal(r, t, 0.05);
+  auto plain = ks::Run(r, t, 0.05);
+  ASSERT_TRUE(plain.ok());
+  const KsOutcome current = removal.CurrentOutcome();
+  EXPECT_DOUBLE_EQ(current.statistic, plain->statistic);
+  EXPECT_DOUBLE_EQ(current.threshold, plain->threshold);
+  EXPECT_EQ(current.reject, plain->reject);
+}
+
+TEST(RemovalKsTest, RemovalMatchesRecomputedTest) {
+  Rng rng(3);
+  for (int rep = 0; rep < 30; ++rep) {
+    std::vector<double> r;
+    std::vector<double> t;
+    const int n = static_cast<int>(rng.Integer(2, 30));
+    const int m = static_cast<int>(rng.Integer(3, 30));
+    for (int i = 0; i < n; ++i) r.push_back(rng.Integer(0, 8));
+    for (int i = 0; i < m; ++i) t.push_back(rng.Integer(0, 8));
+
+    RemovalKs removal(r, t, 0.05);
+    // Remove a random strict subset of T.
+    std::vector<double> remaining = t;
+    const int remove_count = static_cast<int>(rng.Integer(1, m - 1));
+    for (int c = 0; c < remove_count; ++c) {
+      const size_t pick =
+          static_cast<size_t>(rng.Integer(0, static_cast<int64_t>(remaining.size()) - 1));
+      ASSERT_TRUE(removal.RemoveValue(remaining[pick]).ok());
+      remaining.erase(remaining.begin() + static_cast<long>(pick));
+    }
+    auto direct = ks::Run(r, remaining, 0.05);
+    ASSERT_TRUE(direct.ok());
+    const KsOutcome current = removal.CurrentOutcome();
+    EXPECT_NEAR(current.statistic, direct->statistic, 1e-12);
+    EXPECT_NEAR(current.threshold, direct->threshold, 1e-12);
+    EXPECT_EQ(current.reject, direct->reject);
+    EXPECT_EQ(removal.num_removed(), static_cast<size_t>(remove_count));
+
+    // RemainingTest returns the same multiset we tracked by hand.
+    std::vector<double> got = removal.RemainingTest();
+    std::sort(remaining.begin(), remaining.end());
+    EXPECT_EQ(got, remaining);
+  }
+}
+
+TEST(RemovalKsTest, UnremoveRestores) {
+  const std::vector<double> r{1, 2, 3};
+  const std::vector<double> t{1, 5, 5};
+  RemovalKs removal(r, t, 0.05);
+  const double before = removal.CurrentOutcome().statistic;
+  ASSERT_TRUE(removal.RemoveValue(5).ok());
+  ASSERT_TRUE(removal.UnremoveValue(5).ok());
+  EXPECT_DOUBLE_EQ(removal.CurrentOutcome().statistic, before);
+  EXPECT_EQ(removal.num_removed(), 0u);
+}
+
+TEST(RemovalKsTest, ResetClearsEverything) {
+  const std::vector<double> r{1, 2, 3};
+  const std::vector<double> t{1, 5, 5};
+  RemovalKs removal(r, t, 0.05);
+  ASSERT_TRUE(removal.RemoveValue(5).ok());
+  ASSERT_TRUE(removal.RemoveValue(5).ok());
+  removal.Reset();
+  EXPECT_EQ(removal.num_removed(), 0u);
+  EXPECT_EQ(removal.RemainingTest().size(), 3u);
+}
+
+TEST(RemovalKsTest, ErrorsOnBadRemovals) {
+  const std::vector<double> r{1, 2};
+  const std::vector<double> t{5};
+  RemovalKs removal(r, t, 0.05);
+  // value only in R: removable occurrences in T are zero
+  EXPECT_FALSE(removal.RemoveValue(1).ok());
+  // value not anywhere
+  EXPECT_FALSE(removal.RemoveValue(99).ok());
+  // removing more occurrences than T has
+  ASSERT_TRUE(removal.RemoveValue(5).ok());
+  EXPECT_FALSE(removal.RemoveValue(5).ok());
+  // unremoving something never removed
+  EXPECT_FALSE(removal.UnremoveValue(1).ok());
+}
+
+TEST(RemovalKsTest, PassesReflectsThresholdCrossing) {
+  // Example 4 sets: fail at alpha = 0.3; removing {12, 13} passes.
+  const std::vector<double> r{14, 14, 14, 14, 20, 20, 20, 20};
+  const std::vector<double> t{13, 13, 12, 20};
+  RemovalKs removal(r, t, 0.3);
+  EXPECT_FALSE(removal.Passes());
+  ASSERT_TRUE(removal.RemoveValue(12).ok());
+  ASSERT_TRUE(removal.RemoveValue(13).ok());
+  EXPECT_TRUE(removal.Passes());
+}
+
+}  // namespace
+}  // namespace moche

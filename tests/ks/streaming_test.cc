@@ -1,0 +1,155 @@
+#include "ks/streaming.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace moche {
+namespace {
+
+TEST(StreamingKsTest, ValidatesConstruction) {
+  EXPECT_FALSE(StreamingKs::Create({}, 10, 0.05).ok());
+  EXPECT_FALSE(StreamingKs::Create({1.0}, 0, 0.05).ok());
+  EXPECT_FALSE(StreamingKs::Create({1.0}, 10, 0.0).ok());
+  EXPECT_FALSE(StreamingKs::Create({1.0, NAN}, 10, 0.05).ok());
+  EXPECT_TRUE(StreamingKs::Create({1.0, 2.0}, 10, 0.05).ok());
+}
+
+TEST(StreamingKsTest, RejectsNonFiniteObservations) {
+  auto stream = StreamingKs::Create({1, 2, 3}, 2, 0.05);
+  ASSERT_TRUE(stream.ok());
+  EXPECT_FALSE(stream->Push(NAN).ok());
+  EXPECT_FALSE(stream->Push(INFINITY).ok());
+  EXPECT_TRUE(stream->Push(1.0).ok());
+}
+
+TEST(StreamingKsTest, OutcomeRequiresFullWindow) {
+  auto stream = StreamingKs::Create({1, 2, 3}, 3, 0.05);
+  ASSERT_TRUE(stream.ok());
+  EXPECT_FALSE(stream->WindowFull());
+  EXPECT_FALSE(stream->CurrentOutcome().ok());
+  EXPECT_FALSE(stream->Drifted());
+  ASSERT_TRUE(stream->Push(1.0).ok());
+  ASSERT_TRUE(stream->Push(2.0).ok());
+  ASSERT_TRUE(stream->Push(3.0).ok());
+  EXPECT_TRUE(stream->WindowFull());
+  EXPECT_TRUE(stream->CurrentOutcome().ok());
+}
+
+TEST(StreamingKsTest, IdenticalWindowHasZeroStatistic) {
+  const std::vector<double> ref{1, 2, 3, 4};
+  auto stream = StreamingKs::Create(ref, 4, 0.05);
+  ASSERT_TRUE(stream.ok());
+  for (double v : ref) ASSERT_TRUE(stream->Push(v).ok());
+  auto outcome = stream->CurrentOutcome();
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_DOUBLE_EQ(outcome->statistic, 0.0);
+  EXPECT_FALSE(outcome->reject);
+}
+
+// The core property: the incremental statistic equals a from-scratch
+// ks::Statistic on the current window at every step, across a long random
+// stream with duplicates and evictions.
+TEST(StreamingKsTest, MatchesBatchStatisticAtEveryStep) {
+  Rng rng(77);
+  std::vector<double> ref;
+  for (int i = 0; i < 60; ++i) {
+    ref.push_back(static_cast<double>(rng.Integer(0, 12)));
+  }
+  const size_t window = 25;
+  auto stream = StreamingKs::Create(ref, window, 0.05);
+  ASSERT_TRUE(stream.ok());
+
+  std::deque<double> mirror;
+  for (int step = 0; step < 400; ++step) {
+    // mixture: mostly same support, occasionally shifted (drift)
+    const double v = step < 200
+                         ? static_cast<double>(rng.Integer(0, 12))
+                         : static_cast<double>(rng.Integer(6, 18));
+    ASSERT_TRUE(stream->Push(v).ok());
+    mirror.push_back(v);
+    if (mirror.size() > window) mirror.pop_front();
+
+    if (stream->WindowFull()) {
+      auto outcome = stream->CurrentOutcome();
+      ASSERT_TRUE(outcome.ok());
+      const double expected =
+          ks::Statistic(ref, {mirror.begin(), mirror.end()});
+      ASSERT_NEAR(outcome->statistic, expected, 1e-12) << "step " << step;
+    }
+  }
+}
+
+TEST(StreamingKsTest, WindowContentsMatchArrivalOrder) {
+  auto stream = StreamingKs::Create({5.0, 6.0}, 3, 0.05);
+  ASSERT_TRUE(stream.ok());
+  ASSERT_TRUE(stream->Push(1.0).ok());
+  ASSERT_TRUE(stream->Push(2.0).ok());
+  ASSERT_TRUE(stream->Push(3.0).ok());
+  EXPECT_EQ(stream->WindowContents(), (std::vector<double>{1, 2, 3}));
+  ASSERT_TRUE(stream->Push(4.0).ok());  // evicts 1.0
+  EXPECT_EQ(stream->WindowContents(), (std::vector<double>{2, 3, 4}));
+}
+
+TEST(StreamingKsTest, DetectsDriftAfterDistributionShift) {
+  Rng rng(91);
+  std::vector<double> ref;
+  for (int i = 0; i < 300; ++i) ref.push_back(rng.Normal(0.0, 1.0));
+  const size_t window = 100;
+  auto stream = StreamingKs::Create(ref, window, 0.05);
+  ASSERT_TRUE(stream.ok());
+
+  // in-distribution phase: fill the window, expect no drift
+  for (size_t i = 0; i < window; ++i) {
+    ASSERT_TRUE(stream->Push(rng.Normal(0.0, 1.0)).ok());
+  }
+  EXPECT_FALSE(stream->Drifted());
+
+  // shifted phase: drift must fire once the window fills with N(3,1)
+  bool fired = false;
+  for (int i = 0; i < 150 && !fired; ++i) {
+    ASSERT_TRUE(stream->Push(rng.Normal(3.0, 1.0)).ok());
+    fired = stream->Drifted();
+  }
+  EXPECT_TRUE(fired);
+}
+
+TEST(StreamingKsTest, HeavyDuplicateStream) {
+  // Only three distinct values; exercises the equal-key paths hard.
+  Rng rng(13);
+  std::vector<double> ref;
+  for (int i = 0; i < 40; ++i) {
+    ref.push_back(static_cast<double>(rng.Integer(0, 2)));
+  }
+  const size_t window = 15;
+  auto stream = StreamingKs::Create(ref, window, 0.05);
+  ASSERT_TRUE(stream.ok());
+  std::deque<double> mirror;
+  for (int step = 0; step < 200; ++step) {
+    const double v = static_cast<double>(rng.Integer(0, 2));
+    ASSERT_TRUE(stream->Push(v).ok());
+    mirror.push_back(v);
+    if (mirror.size() > window) mirror.pop_front();
+    if (stream->WindowFull()) {
+      const double expected =
+          ks::Statistic(ref, {mirror.begin(), mirror.end()});
+      ASSERT_NEAR(stream->CurrentOutcome()->statistic, expected, 1e-12);
+    }
+  }
+}
+
+TEST(StreamingKsTest, ThresholdMatchesBatchFormula) {
+  auto stream = StreamingKs::Create({1, 2, 3, 4, 5}, 4, 0.1);
+  ASSERT_TRUE(stream.ok());
+  for (double v : {9.0, 9.0, 9.0, 9.0}) ASSERT_TRUE(stream->Push(v).ok());
+  auto outcome = stream->CurrentOutcome();
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_DOUBLE_EQ(outcome->threshold, ks::Threshold(0.1, 5, 4));
+  EXPECT_TRUE(outcome->reject);  // disjoint supports
+  EXPECT_DOUBLE_EQ(outcome->statistic, 1.0);
+}
+
+}  // namespace
+}  // namespace moche

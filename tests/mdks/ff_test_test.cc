@@ -1,0 +1,138 @@
+#include "mdks/ff_test.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace moche {
+namespace mdks {
+namespace {
+
+std::vector<Point2> GaussianCloud(size_t count, double mx, double my,
+                                  double sd, Rng* rng) {
+  std::vector<Point2> pts(count);
+  for (Point2& p : pts) {
+    p.x = rng->Normal(mx, sd);
+    p.y = rng->Normal(my, sd);
+  }
+  return pts;
+}
+
+TEST(KolmogorovQTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(KolmogorovQ(0.0), 1.0);
+  EXPECT_NEAR(KolmogorovQ(10.0), 0.0, 1e-12);
+  // Q(1.3581) ~ 0.05 — the 1-D alpha=0.05 critical value.
+  EXPECT_NEAR(KolmogorovQ(1.3581015), 0.05, 1e-4);
+  // monotone decreasing
+  EXPECT_GT(KolmogorovQ(0.5), KolmogorovQ(1.0));
+  EXPECT_GT(KolmogorovQ(1.0), KolmogorovQ(1.5));
+}
+
+TEST(Statistic2DTest, IdenticalCloudsGiveZero) {
+  Rng rng(1);
+  const std::vector<Point2> pts = GaussianCloud(50, 0, 0, 1, &rng);
+  EXPECT_DOUBLE_EQ(Statistic2D(pts, pts), 0.0);
+}
+
+TEST(Statistic2DTest, DisjointCloudsNearOne) {
+  Rng rng(2);
+  const std::vector<Point2> a = GaussianCloud(80, 0, 0, 0.5, &rng);
+  const std::vector<Point2> b = GaussianCloud(80, 20, 20, 0.5, &rng);
+  EXPECT_GT(Statistic2D(a, b), 0.9);
+}
+
+TEST(Statistic2DTest, SymmetricInArguments) {
+  Rng rng(3);
+  const std::vector<Point2> a = GaussianCloud(40, 0, 0, 1, &rng);
+  const std::vector<Point2> b = GaussianCloud(30, 1, 0, 1, &rng);
+  EXPECT_DOUBLE_EQ(Statistic2D(a, b), Statistic2D(b, a));
+}
+
+TEST(Statistic2DTest, InvariantUnderMonotoneAxisTransforms) {
+  // Quadrant counts only depend on coordinate ORDER, so any strictly
+  // increasing per-axis map leaves D unchanged.
+  Rng rng(4);
+  std::vector<Point2> a = GaussianCloud(60, 0, 0, 1, &rng);
+  std::vector<Point2> b = GaussianCloud(50, 0.8, -0.3, 1.2, &rng);
+  const double before = Statistic2D(a, b);
+  auto warp = [](std::vector<Point2>* pts) {
+    for (Point2& p : *pts) {
+      p.x = std::exp(p.x);          // strictly increasing
+      p.y = p.y * p.y * p.y + 2.0;  // strictly increasing
+    }
+  };
+  warp(&a);
+  warp(&b);
+  EXPECT_NEAR(Statistic2D(a, b), before, 1e-12);
+}
+
+TEST(Test2DTest, ValidatesInputs) {
+  Rng rng(5);
+  const std::vector<Point2> ok = GaussianCloud(10, 0, 0, 1, &rng);
+  EXPECT_FALSE(Test2D({}, ok, 0.05).ok());
+  EXPECT_FALSE(Test2D(ok, {}, 0.05).ok());
+  EXPECT_FALSE(Test2D(ok, ok, 0.0).ok());
+  EXPECT_FALSE(Test2D(ok, ok, 1.0).ok());
+  std::vector<Point2> bad = ok;
+  bad[0].x = NAN;
+  EXPECT_FALSE(Test2D(bad, ok, 0.05).ok());
+}
+
+TEST(Test2DTest, SameDistributionPasses) {
+  Rng rng(6);
+  const std::vector<Point2> a = GaussianCloud(300, 0, 0, 1, &rng);
+  const std::vector<Point2> b = GaussianCloud(300, 0, 0, 1, &rng);
+  auto outcome = Test2D(a, b, 0.01);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->reject);
+  EXPECT_GT(outcome->p_value, 0.01);
+}
+
+TEST(Test2DTest, ShiftedDistributionFails) {
+  Rng rng(7);
+  const std::vector<Point2> a = GaussianCloud(300, 0, 0, 1, &rng);
+  const std::vector<Point2> b = GaussianCloud(300, 1.2, 1.2, 1, &rng);
+  auto outcome = Test2D(a, b, 0.05);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->reject);
+  EXPECT_LT(outcome->p_value, 0.05);
+}
+
+TEST(Test2DTest, CorrelationChangeIsDetected) {
+  // Same marginals, different dependence structure — the signature case
+  // where two 1-D KS tests see nothing but the 2-D test fires.
+  Rng rng(8);
+  std::vector<Point2> independent;
+  std::vector<Point2> correlated;
+  for (int i = 0; i < 400; ++i) {
+    const double u = rng.Normal();
+    const double v = rng.Normal();
+    independent.push_back({u, v});
+    const double w = rng.Normal();
+    correlated.push_back({w, 0.95 * w + 0.31 * rng.Normal()});
+  }
+  auto outcome = Test2D(independent, correlated, 0.05);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->reject);
+}
+
+TEST(Test2DTest, PValueDecreasesWithShift) {
+  Rng rng(9);
+  const std::vector<Point2> base = GaussianCloud(200, 0, 0, 1, &rng);
+  double prev_p = 1.1;
+  for (double shift : {0.0, 0.6, 1.2, 2.4}) {
+    Rng inner(10);
+    const std::vector<Point2> shifted =
+        GaussianCloud(200, shift, shift, 1, &inner);
+    auto outcome = Test2D(base, shifted, 0.05);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_LE(outcome->p_value, prev_p + 1e-9) << "shift " << shift;
+    prev_p = outcome->p_value;
+  }
+}
+
+}  // namespace
+}  // namespace mdks
+}  // namespace moche

@@ -1,0 +1,157 @@
+#include "signal/fft.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace moche {
+namespace signal {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// O(n^2) reference DFT.
+std::vector<Complex> NaiveDft(const std::vector<Complex>& x) {
+  const size_t n = x.size();
+  std::vector<Complex> out(n);
+  for (size_t k = 0; k < n; ++k) {
+    Complex sum(0, 0);
+    for (size_t j = 0; j < n; ++j) {
+      const double angle = -2.0 * kPi * static_cast<double>(j * k) /
+                           static_cast<double>(n);
+      sum += x[j] * Complex(std::cos(angle), std::sin(angle));
+    }
+    out[k] = sum;
+  }
+  return out;
+}
+
+void ExpectSpectraNear(const std::vector<Complex>& a,
+                       const std::vector<Complex>& b, double tol) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i].real(), b[i].real(), tol) << "index " << i;
+    EXPECT_NEAR(a[i].imag(), b[i].imag(), tol) << "index " << i;
+  }
+}
+
+TEST(FftHelpersTest, PowerOfTwoDetection) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_TRUE(IsPowerOfTwo(1024));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_FALSE(IsPowerOfTwo(1000));
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(5), 8u);
+  EXPECT_EQ(NextPowerOfTwo(1024), 1024u);
+  EXPECT_EQ(NextPowerOfTwo(1025), 2048u);
+}
+
+TEST(FftTest, ImpulseHasFlatSpectrum) {
+  std::vector<Complex> x(8, Complex(0, 0));
+  x[0] = Complex(1, 0);
+  Fft(&x);
+  for (const Complex& c : x) {
+    EXPECT_NEAR(c.real(), 1.0, 1e-12);
+    EXPECT_NEAR(c.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(FftTest, ConstantHasDcOnly) {
+  std::vector<Complex> x(16, Complex(2.0, 0));
+  Fft(&x);
+  EXPECT_NEAR(x[0].real(), 32.0, 1e-10);
+  for (size_t i = 1; i < x.size(); ++i) {
+    EXPECT_NEAR(std::abs(x[i]), 0.0, 1e-10);
+  }
+}
+
+class FftSizeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(FftSizeTest, MatchesNaiveDft) {
+  const size_t n = GetParam();
+  Rng rng(n);
+  std::vector<Complex> x(n);
+  for (Complex& c : x) c = Complex(rng.Uniform(-1, 1), rng.Uniform(-1, 1));
+  std::vector<Complex> fast = x;
+  Fft(&fast);
+  const std::vector<Complex> slow = NaiveDft(x);
+  ExpectSpectraNear(fast, slow, 1e-8 * static_cast<double>(n));
+}
+
+TEST_P(FftSizeTest, RoundTripIsIdentity) {
+  const size_t n = GetParam();
+  Rng rng(n + 1);
+  std::vector<Complex> x(n);
+  for (Complex& c : x) c = Complex(rng.Uniform(-1, 1), rng.Uniform(-1, 1));
+  std::vector<Complex> y = x;
+  Fft(&y);
+  Ifft(&y);
+  ExpectSpectraNear(y, x, 1e-9 * static_cast<double>(n + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftSizeTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 12, 16, 31,
+                                           32, 63, 100, 128, 243, 256));
+
+TEST(FftTest, LinearityHolds) {
+  Rng rng(9);
+  const size_t n = 64;
+  std::vector<Complex> a(n);
+  std::vector<Complex> b(n);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = Complex(rng.Uniform(-1, 1), 0);
+    b[i] = Complex(rng.Uniform(-1, 1), 0);
+  }
+  std::vector<Complex> sum(n);
+  for (size_t i = 0; i < n; ++i) sum[i] = a[i] + 2.0 * b[i];
+  std::vector<Complex> fa = a;
+  std::vector<Complex> fb = b;
+  std::vector<Complex> fsum = sum;
+  Fft(&fa);
+  Fft(&fb);
+  Fft(&fsum);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::abs(fsum[i] - (fa[i] + 2.0 * fb[i])), 0.0, 1e-9);
+  }
+}
+
+TEST(RealFftTest, SpectrumIsConjugateSymmetric) {
+  Rng rng(11);
+  std::vector<double> x(50);
+  for (double& v : x) v = rng.Uniform(-1, 1);
+  const std::vector<Complex> spectrum = RealFft(x);
+  const size_t n = spectrum.size();
+  for (size_t k = 1; k < n / 2; ++k) {
+    EXPECT_NEAR(spectrum[k].real(), spectrum[n - k].real(), 1e-9);
+    EXPECT_NEAR(spectrum[k].imag(), -spectrum[n - k].imag(), 1e-9);
+  }
+}
+
+TEST(CircularConvolveTest, MatchesNaiveConvolution) {
+  Rng rng(13);
+  const size_t n = 20;
+  std::vector<double> a(n);
+  std::vector<double> b(n);
+  for (double& v : a) v = rng.Uniform(-1, 1);
+  for (double& v : b) v = rng.Uniform(-1, 1);
+  const std::vector<double> fast = CircularConvolve(a, b);
+  for (size_t k = 0; k < n; ++k) {
+    double expected = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      expected += a[j] * b[(k + n - j) % n];
+    }
+    EXPECT_NEAR(fast[k], expected, 1e-9);
+  }
+}
+
+TEST(CircularConvolveTest, EmptyInput) {
+  EXPECT_TRUE(CircularConvolve({}, {}).empty());
+}
+
+}  // namespace
+}  // namespace signal
+}  // namespace moche

@@ -1,0 +1,123 @@
+#include "signal/spectral_residual.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace moche {
+namespace signal {
+namespace {
+
+TEST(SpectralResidualTest, ScoresHaveInputLength) {
+  std::vector<double> series(100, 1.0);
+  auto scores = SpectralResidualScores(series);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_EQ(scores->size(), series.size());
+}
+
+TEST(SpectralResidualTest, RejectsTinySeries) {
+  EXPECT_FALSE(SpectralResidualScores({1.0, 2.0}).ok());
+  EXPECT_TRUE(SpectralResidualScores({1.0, 2.0, 3.0}).ok());
+}
+
+TEST(SpectralResidualTest, ImpulseGetsTopScore) {
+  Rng rng(3);
+  std::vector<double> series(200);
+  for (double& v : series) v = rng.Normal(0.0, 0.1);
+  series[120] += 8.0;  // injected point anomaly
+  auto scores = SpectralResidualScores(series);
+  ASSERT_TRUE(scores.ok());
+  const size_t argmax = static_cast<size_t>(
+      std::max_element(scores->begin(), scores->end()) - scores->begin());
+  EXPECT_NEAR(static_cast<double>(argmax), 120.0, 2.0);
+}
+
+TEST(SpectralResidualTest, ImpulseOnSinusoidStandsOut) {
+  std::vector<double> series(256);
+  for (size_t t = 0; t < series.size(); ++t) {
+    series[t] = std::sin(2.0 * 3.14159265 * static_cast<double>(t) / 32.0);
+  }
+  series[97] += 5.0;
+  auto scores = SpectralResidualScores(series);
+  ASSERT_TRUE(scores.ok());
+  // The anomaly's score must be in the top 1% of all scores.
+  std::vector<double> sorted = *scores;
+  std::sort(sorted.begin(), sorted.end());
+  const double p99 = sorted[static_cast<size_t>(0.99 * sorted.size())];
+  EXPECT_GE((*scores)[97], p99);
+}
+
+TEST(SpectralResidualTest, LevelShiftBoundaryScoresHigh) {
+  Rng rng(5);
+  std::vector<double> series(300);
+  for (size_t t = 0; t < series.size(); ++t) {
+    series[t] = rng.Normal(t < 150 ? 0.0 : 4.0, 0.2);
+  }
+  auto scores = SpectralResidualScores(series);
+  ASSERT_TRUE(scores.ok());
+  // The shift region must score in the top decile. (The series endpoints
+  // also score high — the FFT sees the wrap-around of a step as a jump —
+  // so we assert on the boundary region rather than the global argmax.)
+  std::vector<double> sorted = *scores;
+  std::sort(sorted.begin(), sorted.end());
+  const double p90 = sorted[static_cast<size_t>(0.90 * sorted.size())];
+  const double boundary_max =
+      *std::max_element(scores->begin() + 145, scores->begin() + 156);
+  EXPECT_GE(boundary_max, p90);
+}
+
+TEST(SpectralResidualTest, DeterministicForSameInput) {
+  Rng rng(7);
+  std::vector<double> series(128);
+  for (double& v : series) v = rng.Normal();
+  auto a = SpectralResidualScores(series);
+  auto b = SpectralResidualScores(series);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(SpectralResidualTest, OptionsChangeScores) {
+  Rng rng(9);
+  std::vector<double> series(128);
+  for (double& v : series) v = rng.Normal();
+  series[60] += 6.0;
+  SpectralResidualOptions narrow;
+  narrow.score_window = 5;
+  SpectralResidualOptions wide;
+  wide.score_window = 51;
+  auto a = SpectralResidualScores(series, narrow);
+  auto b = SpectralResidualScores(series, wide);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(*a, *b);
+}
+
+
+TEST(SpectralResidualTest, ConstantSeriesScoresAreFinite) {
+  std::vector<double> series(128, 5.0);
+  auto scores = SpectralResidualScores(series);
+  ASSERT_TRUE(scores.ok());
+  for (double s : *scores) {
+    EXPECT_TRUE(std::isfinite(s));
+  }
+}
+
+TEST(SpectralResidualTest, NegativeValuesHandled) {
+  Rng rng(21);
+  std::vector<double> series(100);
+  for (double& v : series) v = rng.Normal(-50.0, 3.0);
+  series[40] = 10.0;  // big positive excursion in a negative series
+  auto scores = SpectralResidualScores(series);
+  ASSERT_TRUE(scores.ok());
+  const size_t argmax = static_cast<size_t>(
+      std::max_element(scores->begin(), scores->end()) - scores->begin());
+  EXPECT_NEAR(static_cast<double>(argmax), 40.0, 2.0);
+}
+
+}  // namespace
+}  // namespace signal
+}  // namespace moche

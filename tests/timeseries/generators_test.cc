@@ -1,0 +1,123 @@
+#include "timeseries/generators.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "timeseries/window.h"
+
+namespace moche {
+namespace ts {
+namespace {
+
+// Table 1 shapes at full scale.
+TEST(GeneratorsTest, Table1SeriesCounts) {
+  EXPECT_EQ(MakeAwsDataset(1).series.size(), 17u);
+  EXPECT_EQ(MakeAdDataset(1).series.size(), 6u);
+  EXPECT_EQ(MakeTrfDataset(1).series.size(), 7u);
+  EXPECT_EQ(MakeTwtDataset(1).series.size(), 10u);
+  EXPECT_EQ(MakeKcDataset(1).series.size(), 7u);
+  EXPECT_EQ(MakeArtDataset(1).series.size(), 6u);
+}
+
+TEST(GeneratorsTest, Table1LengthRanges) {
+  const Dataset aws = MakeAwsDataset(2);
+  EXPECT_EQ(aws.min_length(), 1243u);
+  EXPECT_EQ(aws.max_length(), 4700u);
+  const Dataset ad = MakeAdDataset(2);
+  EXPECT_EQ(ad.min_length(), 1538u);
+  EXPECT_EQ(ad.max_length(), 1624u);
+  const Dataset trf = MakeTrfDataset(2);
+  EXPECT_EQ(trf.min_length(), 1127u);
+  EXPECT_EQ(trf.max_length(), 2500u);
+  const Dataset twt = MakeTwtDataset(2);
+  EXPECT_GE(twt.min_length(), 15831u);
+  EXPECT_LE(twt.max_length(), 15902u);
+  const Dataset kc = MakeKcDataset(2);
+  EXPECT_EQ(kc.min_length(), 1882u);
+  EXPECT_EQ(kc.max_length(), 22695u);
+  const Dataset art = MakeArtDataset(2);
+  EXPECT_EQ(art.min_length(), 4032u);
+  EXPECT_EQ(art.max_length(), 4032u);
+}
+
+TEST(GeneratorsTest, AllSeriesHaveLabels) {
+  for (const Dataset& ds : MakeAllNabLikeDatasets(3, 0.25)) {
+    for (const TimeSeries& s : ds.series) {
+      EXPECT_TRUE(s.has_labels()) << ds.name << "/" << s.name;
+      EXPECT_FALSE(s.name.empty());
+    }
+  }
+}
+
+TEST(GeneratorsTest, MostSeriesContainLabeledAnomalies) {
+  size_t with_labels = 0;
+  size_t total = 0;
+  for (const Dataset& ds : MakeAllNabLikeDatasets(4, 0.25)) {
+    for (const TimeSeries& s : ds.series) {
+      ++total;
+      for (bool b : s.anomaly_labels) {
+        if (b) {
+          ++with_labels;
+          break;
+        }
+      }
+    }
+  }
+  // the ART control series has no anomalies by design; everything else does
+  EXPECT_GE(with_labels + 2, total);
+}
+
+TEST(GeneratorsTest, DeterministicForFixedSeed) {
+  const Dataset a = MakeAwsDataset(42, 0.25);
+  const Dataset b = MakeAwsDataset(42, 0.25);
+  ASSERT_EQ(a.series.size(), b.series.size());
+  for (size_t i = 0; i < a.series.size(); ++i) {
+    EXPECT_EQ(a.series[i].values, b.series[i].values);
+  }
+  const Dataset c = MakeAwsDataset(43, 0.25);
+  EXPECT_NE(a.series[0].values, c.series[0].values);
+}
+
+TEST(GeneratorsTest, LengthScaleShrinksSeries) {
+  const Dataset full = MakeTwtDataset(5, 1.0);
+  const Dataset small = MakeTwtDataset(5, 0.05);
+  EXPECT_LT(small.max_length(), full.max_length() / 4);
+  EXPECT_GE(small.min_length(), 280u);  // floor keeps windows viable
+}
+
+// The whole point of the generators: sliding-window KS tests must fail
+// somewhere in every family, or there is nothing to explain.
+TEST(GeneratorsTest, EveryFamilyProducesFailedWindowTests) {
+  for (const Dataset& ds : MakeAllNabLikeDatasets(6, 0.25)) {
+    size_t failed_total = 0;
+    for (const TimeSeries& s : ds.series) {
+      WindowSweepOptions opt;
+      opt.window = 100;
+      auto failed = FailedWindowTests(s, opt);
+      if (failed.ok()) failed_total += failed->size();
+    }
+    EXPECT_GT(failed_total, 0u) << "dataset " << ds.name;
+  }
+}
+
+TEST(GeneratorsTest, ValuesAreFinite) {
+  for (const Dataset& ds : MakeAllNabLikeDatasets(7, 0.25)) {
+    for (const TimeSeries& s : ds.series) {
+      for (double v : s.values) {
+        ASSERT_TRUE(std::isfinite(v)) << ds.name << "/" << s.name;
+      }
+    }
+  }
+}
+
+TEST(GeneratorsTest, NonNegativeFamiliesStayNonNegative) {
+  // counts and utilizations cannot be negative
+  for (const TimeSeries& s : MakeTwtDataset(8, 0.25).series) {
+    for (double v : s.values) ASSERT_GE(v, 0.0) << s.name;
+  }
+}
+
+}  // namespace
+}  // namespace ts
+}  // namespace moche

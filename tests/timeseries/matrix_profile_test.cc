@@ -1,0 +1,108 @@
+#include "timeseries/matrix_profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace moche {
+namespace ts {
+namespace {
+
+TEST(MatrixProfileTest, ValidatesInputs) {
+  EXPECT_FALSE(StompAbJoin({1, 2, 3}, {1, 2, 3}, 1).ok());
+  EXPECT_FALSE(StompAbJoin({1, 2}, {1, 2, 3}, 3).ok());
+  EXPECT_FALSE(StompAbJoin({1, 2, 3}, {1}, 2).ok());
+  EXPECT_TRUE(StompAbJoin({1, 2, 3}, {1, 2, 3}, 2).ok());
+}
+
+TEST(MatrixProfileTest, IdenticalSeriesGiveZeroProfile) {
+  Rng rng(1);
+  std::vector<double> x(60);
+  for (double& v : x) v = rng.Normal();
+  auto profile = StompAbJoin(x, x, 8);
+  ASSERT_TRUE(profile.ok());
+  for (size_t i = 0; i < profile->distances.size(); ++i) {
+    EXPECT_NEAR(profile->distances[i], 0.0, 1e-6) << "i=" << i;
+    EXPECT_EQ(profile->nearest_index[i], i);
+  }
+}
+
+TEST(MatrixProfileTest, StompMatchesBruteForce) {
+  Rng rng(2);
+  for (int rep = 0; rep < 10; ++rep) {
+    std::vector<double> q(40 + static_cast<size_t>(rng.Integer(0, 30)));
+    std::vector<double> n(50 + static_cast<size_t>(rng.Integer(0, 30)));
+    for (double& v : q) v = rng.Normal();
+    for (double& v : n) v = rng.Normal();
+    const size_t sub = 5 + static_cast<size_t>(rng.Integer(0, 7));
+    auto fast = StompAbJoin(q, n, sub);
+    auto slow = BruteForceAbJoin(q, n, sub);
+    ASSERT_TRUE(fast.ok());
+    ASSERT_TRUE(slow.ok());
+    ASSERT_EQ(fast->distances.size(), slow->distances.size());
+    for (size_t i = 0; i < fast->distances.size(); ++i) {
+      EXPECT_NEAR(fast->distances[i], slow->distances[i], 1e-7)
+          << "rep=" << rep << " i=" << i;
+    }
+  }
+}
+
+TEST(MatrixProfileTest, ZNormalizationIgnoresOffsetAndScale) {
+  Rng rng(3);
+  std::vector<double> base(80);
+  for (double& v : base) v = rng.Normal();
+  std::vector<double> scaled(base.size());
+  for (size_t i = 0; i < base.size(); ++i) scaled[i] = 3.0 * base[i] + 100.0;
+  auto profile = StompAbJoin(scaled, base, 10);
+  ASSERT_TRUE(profile.ok());
+  // the +100 offset costs ~4 digits to cancellation in dot - w*mu*mu
+  for (double d : profile->distances) EXPECT_NEAR(d, 0.0, 2e-4);
+}
+
+TEST(MatrixProfileTest, AnomalousShapeHasLargestDistance) {
+  // periodic reference; query = same pattern with one distorted cycle
+  const size_t period = 16;
+  auto wave = [&](size_t t) {
+    return std::sin(2.0 * 3.14159265 * static_cast<double>(t) /
+                    static_cast<double>(period));
+  };
+  std::vector<double> reference(160);
+  for (size_t t = 0; t < reference.size(); ++t) reference[t] = wave(t);
+  std::vector<double> query(160);
+  for (size_t t = 0; t < query.size(); ++t) query[t] = wave(t);
+  for (size_t t = 80; t < 80 + period; ++t) {
+    query[t] = wave(t) * 0.1 + ((t % 2 == 0) ? 1.2 : -1.2);  // jagged cycle
+  }
+  auto profile = StompAbJoin(query, reference, period);
+  ASSERT_TRUE(profile.ok());
+  const size_t argmax = static_cast<size_t>(
+      std::max_element(profile->distances.begin(), profile->distances.end()) -
+      profile->distances.begin());
+  EXPECT_GE(argmax + period, 80u);
+  EXPECT_LT(argmax, 80u + period);
+}
+
+TEST(MatrixProfileTest, ConstantSubsequenceConventions) {
+  // query has a constant stretch, reference is non-constant
+  std::vector<double> query{5, 5, 5, 5, 5, 1, 2, 3};
+  std::vector<double> reference{1, 2, 3, 4, 3, 2, 1, 0};
+  auto profile = StompAbJoin(query, reference, 4);
+  ASSERT_TRUE(profile.ok());
+  // first subsequence of query is constant -> distance sqrt(4) = 2
+  EXPECT_NEAR(profile->distances[0], 2.0, 1e-9);
+}
+
+TEST(MatrixProfileTest, BothConstantIsZero) {
+  std::vector<double> query{7, 7, 7, 7, 7};
+  std::vector<double> reference{3, 3, 3, 3, 3};
+  auto profile = StompAbJoin(query, reference, 3);
+  ASSERT_TRUE(profile.ok());
+  for (double d : profile->distances) EXPECT_DOUBLE_EQ(d, 0.0);
+}
+
+}  // namespace
+}  // namespace ts
+}  // namespace moche

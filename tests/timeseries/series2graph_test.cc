@@ -1,0 +1,127 @@
+#include "timeseries/series2graph.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace moche {
+namespace ts {
+namespace {
+
+std::vector<double> PeriodicSeries(size_t n, size_t period, double noise,
+                                   uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n);
+  for (size_t t = 0; t < n; ++t) {
+    x[t] = std::sin(2.0 * 3.14159265 * static_cast<double>(t) /
+                    static_cast<double>(period)) +
+           rng.Normal(0.0, noise);
+  }
+  return x;
+}
+
+TEST(Series2GraphTest, ValidatesOptions) {
+  const std::vector<double> train = PeriodicSeries(300, 25, 0.05, 1);
+  Series2GraphOptions opt;
+  opt.pattern_length = 2;
+  EXPECT_FALSE(Series2Graph::Fit(train, opt).ok());
+  opt.pattern_length = 25;
+  opt.num_sectors = 2;
+  EXPECT_FALSE(Series2Graph::Fit(train, opt).ok());
+  opt.num_sectors = 36;
+  EXPECT_TRUE(Series2Graph::Fit(train, opt).ok());
+}
+
+TEST(Series2GraphTest, RejectsTooShortTraining) {
+  Series2GraphOptions opt;
+  opt.pattern_length = 50;
+  EXPECT_FALSE(Series2Graph::Fit({1.0, 2.0, 3.0}, opt).ok());
+}
+
+TEST(Series2GraphTest, ScoresHaveExpectedLength) {
+  const std::vector<double> train = PeriodicSeries(400, 25, 0.05, 2);
+  const std::vector<double> query = PeriodicSeries(200, 25, 0.05, 3);
+  Series2GraphOptions opt;
+  opt.pattern_length = 25;
+  auto graph = Series2Graph::Fit(train, opt);
+  ASSERT_TRUE(graph.ok());
+  auto scores = graph->AnomalyScores(query);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_EQ(scores->size(), query.size() - opt.pattern_length + 1);
+}
+
+TEST(Series2GraphTest, GraphHasEdges) {
+  const std::vector<double> train = PeriodicSeries(500, 25, 0.05, 4);
+  Series2GraphOptions opt;
+  opt.pattern_length = 25;
+  auto graph = Series2Graph::Fit(train, opt);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_GT(graph->num_edges(), 0u);
+}
+
+TEST(Series2GraphTest, ImplantedAnomalyScoresAboveNormal) {
+  const size_t period = 25;
+  const std::vector<double> train = PeriodicSeries(600, period, 0.03, 5);
+  std::vector<double> query = PeriodicSeries(300, period, 0.03, 6);
+  // distort one cycle into a flat segment with spikes
+  for (size_t t = 150; t < 150 + period; ++t) {
+    query[t] = (t % 3 == 0) ? 2.5 : 0.0;
+  }
+  Series2GraphOptions opt;
+  opt.pattern_length = period;
+  auto graph = Series2Graph::Fit(train, opt);
+  ASSERT_TRUE(graph.ok());
+  auto scores = graph->AnomalyScores(query);
+  ASSERT_TRUE(scores.ok());
+
+  // the most anomalous subsequence should overlap the implant
+  const size_t argmax = static_cast<size_t>(
+      std::max_element(scores->begin(), scores->end()) - scores->begin());
+  EXPECT_GE(argmax + period, 150u);
+  EXPECT_LT(argmax, 150u + period);
+}
+
+TEST(Series2GraphTest, NormalQueryScoresLowerThanAnomalous) {
+  const size_t period = 20;
+  const std::vector<double> train = PeriodicSeries(600, period, 0.03, 7);
+  const std::vector<double> normal = PeriodicSeries(200, period, 0.03, 8);
+  std::vector<double> anomalous = PeriodicSeries(200, period, 0.03, 9);
+  Rng rng(10);
+  for (size_t t = 90; t < 90 + period; ++t) anomalous[t] = rng.Uniform(-3, 3);
+
+  Series2GraphOptions opt;
+  opt.pattern_length = period;
+  auto graph = Series2Graph::Fit(train, opt);
+  ASSERT_TRUE(graph.ok());
+  auto s_normal = graph->AnomalyScores(normal);
+  auto s_anom = graph->AnomalyScores(anomalous);
+  ASSERT_TRUE(s_normal.ok());
+  ASSERT_TRUE(s_anom.ok());
+  const double max_normal =
+      *std::max_element(s_normal->begin(), s_normal->end());
+  const double max_anom = *std::max_element(s_anom->begin(), s_anom->end());
+  EXPECT_GT(max_anom, max_normal * 0.99);
+}
+
+TEST(Series2GraphTest, DeterministicScores) {
+  const std::vector<double> train = PeriodicSeries(400, 25, 0.05, 11);
+  const std::vector<double> query = PeriodicSeries(150, 25, 0.05, 12);
+  Series2GraphOptions opt;
+  opt.pattern_length = 25;
+  auto g1 = Series2Graph::Fit(train, opt);
+  auto g2 = Series2Graph::Fit(train, opt);
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(g2.ok());
+  auto s1 = g1->AnomalyScores(query);
+  auto s2 = g2->AnomalyScores(query);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(*s1, *s2);
+}
+
+}  // namespace
+}  // namespace ts
+}  // namespace moche

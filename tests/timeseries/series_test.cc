@@ -1,0 +1,37 @@
+#include "timeseries/series.h"
+
+#include <gtest/gtest.h>
+
+namespace moche {
+namespace ts {
+namespace {
+
+TEST(TimeSeriesTest, LengthAndLabelPresence) {
+  TimeSeries s;
+  s.values = {1, 2, 3};
+  EXPECT_EQ(s.length(), 3u);
+  EXPECT_FALSE(s.has_labels());
+  s.anomaly_labels = {false, true, false};
+  EXPECT_TRUE(s.has_labels());
+  s.anomaly_labels.pop_back();  // mismatched length is "no labels"
+  EXPECT_FALSE(s.has_labels());
+}
+
+TEST(DatasetTest, MinMaxLength) {
+  Dataset ds;
+  ds.series.push_back({"a", {1, 2, 3}, {}});
+  ds.series.push_back({"b", {1, 2, 3, 4, 5}, {}});
+  ds.series.push_back({"c", {1}, {}});
+  EXPECT_EQ(ds.min_length(), 1u);
+  EXPECT_EQ(ds.max_length(), 5u);
+}
+
+TEST(DatasetTest, EmptyDataset) {
+  Dataset ds;
+  EXPECT_EQ(ds.min_length(), 0u);
+  EXPECT_EQ(ds.max_length(), 0u);
+}
+
+}  // namespace
+}  // namespace ts
+}  // namespace moche

@@ -1,0 +1,124 @@
+#include "timeseries/window.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace moche {
+namespace ts {
+namespace {
+
+TimeSeries MakeShiftSeries(size_t n, size_t shift_at, double delta,
+                           uint64_t seed) {
+  Rng rng(seed);
+  TimeSeries s;
+  s.name = "shift";
+  s.values.resize(n);
+  s.anomaly_labels.assign(n, false);
+  for (size_t t = 0; t < n; ++t) {
+    s.values[t] = rng.Normal(t >= shift_at ? delta : 0.0, 1.0);
+  }
+  for (size_t t = shift_at; t < std::min(n, shift_at + 5); ++t) {
+    s.anomaly_labels[t] = true;
+  }
+  return s;
+}
+
+TEST(SweepWindowsTest, TumblingWindowCount) {
+  const TimeSeries s = MakeShiftSeries(1000, 500, 3.0, 1);
+  WindowSweepOptions opt;
+  opt.window = 100;
+  auto tests = SweepWindows(s, opt);
+  ASSERT_TRUE(tests.ok());
+  // pairs start at 0, 100, ..., 800 -> 9 pairs
+  EXPECT_EQ(tests->size(), 9u);
+  EXPECT_EQ((*tests)[0].ref_begin, 0u);
+  EXPECT_EQ((*tests)[0].test_begin, 100u);
+  EXPECT_EQ((*tests)[8].ref_begin, 800u);
+}
+
+TEST(SweepWindowsTest, CustomStep) {
+  const TimeSeries s = MakeShiftSeries(400, 200, 3.0, 2);
+  WindowSweepOptions opt;
+  opt.window = 100;
+  opt.step = 50;
+  auto tests = SweepWindows(s, opt);
+  ASSERT_TRUE(tests.ok());
+  // begins at 0, 50, 100, 150, 200 -> 5 pairs
+  EXPECT_EQ(tests->size(), 5u);
+}
+
+TEST(SweepWindowsTest, TooShortSeriesRejected) {
+  TimeSeries s;
+  s.values.assign(150, 0.0);
+  WindowSweepOptions opt;
+  opt.window = 100;
+  EXPECT_FALSE(SweepWindows(s, opt).ok());
+  opt.window = 0;
+  EXPECT_FALSE(SweepWindows(s, opt).ok());
+}
+
+TEST(FailedWindowTestsTest, ShiftCausesFailure) {
+  const TimeSeries s = MakeShiftSeries(1000, 500, 4.0, 3);
+  WindowSweepOptions opt;
+  opt.window = 100;
+  auto failed = FailedWindowTests(s, opt);
+  ASSERT_TRUE(failed.ok());
+  ASSERT_FALSE(failed->empty());
+  // the pair straddling the shift (ref [400,500), test [500,600)) must fail
+  bool found_straddle = false;
+  for (const WindowTest& wt : *failed) {
+    EXPECT_TRUE(wt.outcome.reject);
+    if (wt.test_begin == 500) found_straddle = true;
+  }
+  EXPECT_TRUE(found_straddle);
+}
+
+TEST(FailedWindowTestsTest, StationarySeriesRarelyFails) {
+  const TimeSeries s = MakeShiftSeries(2000, 2000, 0.0, 4);  // no shift
+  WindowSweepOptions opt;
+  opt.window = 200;
+  auto all = SweepWindows(s, opt);
+  auto failed = FailedWindowTests(s, opt);
+  ASSERT_TRUE(all.ok());
+  ASSERT_TRUE(failed.ok());
+  EXPECT_LT(failed->size(), all->size() / 2 + 1);
+}
+
+TEST(MakeInstanceTest, CopiesWindowsInTemporalOrder) {
+  TimeSeries s;
+  for (int i = 0; i < 12; ++i) s.values.push_back(i);
+  WindowTest wt;
+  wt.ref_begin = 2;
+  wt.test_begin = 6;
+  wt.window = 4;
+  const KsInstance inst = MakeInstance(s, wt, 0.05);
+  EXPECT_EQ(inst.reference, (std::vector<double>{2, 3, 4, 5}));
+  EXPECT_EQ(inst.test, (std::vector<double>{6, 7, 8, 9}));
+  EXPECT_DOUBLE_EQ(inst.alpha, 0.05);
+}
+
+TEST(LabeledAnomalyTest, DetectsOverlap) {
+  TimeSeries s = MakeShiftSeries(300, 150, 3.0, 5);
+  WindowTest wt;
+  wt.window = 50;
+  wt.ref_begin = 100;
+  wt.test_begin = 150;  // labels at [150, 155)
+  EXPECT_TRUE(TestWindowHasLabeledAnomaly(s, wt));
+  wt.ref_begin = 0;
+  wt.test_begin = 50;
+  EXPECT_FALSE(TestWindowHasLabeledAnomaly(s, wt));
+}
+
+TEST(LabeledAnomalyTest, NoLabelsMeansFalse) {
+  TimeSeries s;
+  s.values.assign(100, 0.0);
+  WindowTest wt;
+  wt.window = 10;
+  wt.test_begin = 20;
+  EXPECT_FALSE(TestWindowHasLabeledAnomaly(s, wt));
+}
+
+}  // namespace
+}  // namespace ts
+}  // namespace moche

@@ -1,0 +1,94 @@
+#include "util/csv.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace moche {
+namespace {
+
+TEST(CsvWriteTest, PlainFields) {
+  CsvTable t;
+  t.rows = {{"a", "b"}, {"1", "2"}};
+  EXPECT_EQ(WriteCsvString(t), "a,b\n1,2\n");
+}
+
+TEST(CsvWriteTest, QuotesSpecialCharacters) {
+  CsvTable t;
+  t.rows = {{"x,y", "he said \"hi\"", "line\nbreak"}};
+  EXPECT_EQ(WriteCsvString(t), "\"x,y\",\"he said \"\"hi\"\"\",\"line\nbreak\"\n");
+}
+
+TEST(CsvParseTest, BasicRows) {
+  auto r = ParseCsvString("a,b\n1,2\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 2u);
+  EXPECT_EQ(r->rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(r->rows[1], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvParseTest, HandlesCrLfAndNoTrailingNewline) {
+  auto r = ParseCsvString("a,b\r\nc,d");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 2u);
+  EXPECT_EQ(r->rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvParseTest, QuotedFieldsRoundTrip) {
+  CsvTable t;
+  t.rows = {{"x,y", "\"q\"", "plain"}, {"", "a\nb", "3"}};
+  auto r = ParseCsvString(WriteCsvString(t));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows, t.rows);
+}
+
+TEST(CsvParseTest, UnterminatedQuoteIsError) {
+  auto r = ParseCsvString("\"abc");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(CsvParseTest, EmptyStringIsEmptyTable) {
+  auto r = ParseCsvString("");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->rows.empty());
+}
+
+TEST(CsvFileTest, WriteThenReadRoundTrip) {
+  CsvTable t;
+  t.rows = {{"h1", "h2"}, {"1.5", "x"}};
+  const std::string path = testing::TempDir() + "/moche_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(path, t).ok());
+  auto r = ReadCsvFile(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows, t.rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvFileTest, MissingFileIsNotFound) {
+  auto r = ReadCsvFile("/nonexistent/dir/f.csv");
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(NumericColumnTest, ExtractsWithHeaderSkip) {
+  auto t = ParseCsvString("time,value\n0,1.5\n1,2.5\n");
+  ASSERT_TRUE(t.ok());
+  auto col = NumericColumn(*t, 1, /*skip_rows=*/1);
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ(*col, (std::vector<double>{1.5, 2.5}));
+}
+
+TEST(NumericColumnTest, NonNumericCellIsError) {
+  auto t = ParseCsvString("1,a\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(NumericColumn(*t, 1).status().IsInvalidArgument());
+}
+
+TEST(NumericColumnTest, MissingColumnIsOutOfRange) {
+  auto t = ParseCsvString("1\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(NumericColumn(*t, 3).status().IsOutOfRange());
+}
+
+}  // namespace
+}  // namespace moche

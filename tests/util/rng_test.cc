@@ -1,0 +1,128 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace moche {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int diff = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.Uniform() != b.Uniform()) ++diff;
+  }
+  EXPECT_GT(diff, 0);
+}
+
+TEST(RngTest, UniformRespectsRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(RngTest, IntegerRespectsClosedRange) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.Integer(-1, 3);
+    EXPECT_GE(v, -1);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all 5 values hit in 1000 draws
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, NormalRoughMoments) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sumsq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal(5.0, 2.0);
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng rng(13);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinctInRange) {
+  Rng rng(17);
+  const auto sample = rng.SampleWithoutReplacement(50, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<size_t> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), 20u);
+  for (size_t idx : sample) EXPECT_LT(idx, 50u);
+}
+
+TEST(RngTest, SampleWithoutReplacementFullSet) {
+  Rng rng(19);
+  const auto sample = rng.SampleWithoutReplacement(5, 5);
+  std::set<size_t> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), 5u);
+}
+
+TEST(RngTest, WeightedIndexSkipsZeroWeights) {
+  Rng rng(23);
+  const std::vector<double> w{0.0, 1.0, 0.0, 2.0};
+  for (int i = 0; i < 500; ++i) {
+    const size_t idx = rng.WeightedIndex(w);
+    EXPECT_TRUE(idx == 1 || idx == 3);
+  }
+}
+
+TEST(RngTest, WeightedIndexAllZeroFallsBackToUniform) {
+  Rng rng(29);
+  const std::vector<double> w{0.0, 0.0, 0.0};
+  std::set<size_t> seen;
+  for (int i = 0; i < 300; ++i) seen.insert(rng.WeightedIndex(w));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(RngTest, WeightedIndexRoughlyProportional) {
+  Rng rng(31);
+  const std::vector<double> w{1.0, 3.0};
+  int count1 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.WeightedIndex(w) == 1) ++count1;
+  }
+  EXPECT_NEAR(static_cast<double>(count1) / n, 0.75, 0.02);
+}
+
+}  // namespace
+}  // namespace moche

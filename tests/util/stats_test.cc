@@ -1,0 +1,78 @@
+#include "util/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace moche {
+namespace {
+
+TEST(MeanTest, BasicAndEmpty) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({-5}), -5.0);
+}
+
+TEST(VarianceTest, SampleVariance) {
+  // var of {2,4,4,4,5,5,7,9} with n-1 denominator = 32/7
+  EXPECT_NEAR(Variance({2, 4, 4, 4, 5, 5, 7, 9}), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(Variance({42}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+}
+
+TEST(StdDevTest, SquareRootOfVariance) {
+  EXPECT_NEAR(StdDev({2, 4, 4, 4, 5, 5, 7, 9}), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(QuantileTest, InterpolatesLikeNumpy) {
+  const std::vector<double> v{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 1.75);
+}
+
+TEST(QuantileTest, UnsortedInputAndClamping) {
+  const std::vector<double> v{9, 1, 5};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, -0.5), 1.0);  // clamped to p=0
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.5), 9.0);   // clamped to p=1
+  EXPECT_DOUBLE_EQ(Quantile({}, 0.5), 0.0);
+}
+
+TEST(MedianTest, OddAndEven) {
+  EXPECT_DOUBLE_EQ(Median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4, 1, 3, 2}), 2.5);
+}
+
+TEST(SummarizeTest, FiveNumbersPlusMean) {
+  const FiveNumberSummary s = Summarize({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.q1, 2.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.q3, 4.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+}
+
+TEST(SummarizeTest, EmptyIsAllZero) {
+  const FiveNumberSummary s = Summarize({});
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+}
+
+TEST(ZNormalizeTest, ZeroMeanUnitVariance) {
+  std::vector<double> v{1, 2, 3, 4, 5, 6};
+  ZNormalize(&v);
+  EXPECT_NEAR(Mean(v), 0.0, 1e-12);
+  EXPECT_NEAR(StdDev(v), 1.0, 1e-12);
+}
+
+TEST(ZNormalizeTest, ConstantBecomesZeros) {
+  std::vector<double> v{7, 7, 7};
+  ZNormalize(&v);
+  for (double x : v) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+}  // namespace
+}  // namespace moche

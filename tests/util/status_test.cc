@@ -1,0 +1,124 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace moche {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::AlreadyPasses("x").IsAlreadyPasses());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_EQ(Status::NotFound("missing").message(), "missing");
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad alpha").ToString(),
+            "InvalidArgument: bad alpha");
+  EXPECT_EQ(Status::Internal("").ToString(), "Internal");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusCodeTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kAlreadyPasses),
+               "AlreadyPasses");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r(Status::NotFound("gone"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.status().message(), "gone");
+}
+
+TEST(ResultTest, OkStatusIsNormalizedToInternal) {
+  Result<int> r{Status::OK()};
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInternal());
+}
+
+TEST(ResultTest, ValueOr) {
+  Result<int> ok(7);
+  Result<int> err(Status::Internal("boom"));
+  EXPECT_EQ(ok.value_or(9), 7);
+  EXPECT_EQ(err.value_or(9), 9);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  struct Pair {
+    int a;
+    int b;
+  };
+  Result<Pair> r(Pair{1, 2});
+  EXPECT_EQ(r->a, 1);
+  EXPECT_EQ(r->b, 2);
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status UsesReturnIfError(int x) {
+  MOCHE_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(UsesReturnIfError(1).ok());
+  EXPECT_TRUE(UsesReturnIfError(-1).IsInvalidArgument());
+}
+
+Result<int> HalveEven(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> UsesAssignOrReturn(int x) {
+  MOCHE_ASSIGN_OR_RETURN(const int half, HalveEven(x));
+  return half + 1;
+}
+
+TEST(StatusMacroTest, AssignOrReturnBindsOrPropagates) {
+  Result<int> ok = UsesAssignOrReturn(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 5);
+  EXPECT_TRUE(UsesAssignOrReturn(3).status().IsInvalidArgument());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+}  // namespace
+}  // namespace moche
