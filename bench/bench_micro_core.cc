@@ -7,6 +7,8 @@
 //  * phase 2 with incremental vs paper-faithful full Theorem 3 checks,
 //  * end-to-end Explain.
 
+#include <algorithm>
+
 #include <benchmark/benchmark.h>
 
 #include "core/bounds.h"

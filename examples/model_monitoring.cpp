@@ -11,6 +11,7 @@
 //
 // Run: ./build/examples/model_monitoring
 
+#include <cmath>
 #include <cstdio>
 
 #include "core/moche.h"

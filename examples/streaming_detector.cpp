@@ -8,6 +8,7 @@
 //
 // Run: ./build/examples/streaming_detector
 
+#include <cmath>
 #include <cstdio>
 
 #include "core/moche.h"

@@ -9,6 +9,8 @@
 #ifndef MOCHE_BASELINES_CORNER_SEARCH_H_
 #define MOCHE_BASELINES_CORNER_SEARCH_H_
 
+#include <cstdint>
+
 #include "baselines/explainer.h"
 #include "util/rng.h"
 

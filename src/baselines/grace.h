@@ -9,6 +9,8 @@
 #ifndef MOCHE_BASELINES_GRACE_H_
 #define MOCHE_BASELINES_GRACE_H_
 
+#include <cstdint>
+
 #include "baselines/explainer.h"
 #include "optimize/zeroth_order.h"
 

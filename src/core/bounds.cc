@@ -1,6 +1,7 @@
 #include "core/bounds.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "ks/ks_test.h"

@@ -6,6 +6,7 @@
 #ifndef MOCHE_HARNESS_RUNNER_H_
 #define MOCHE_HARNESS_RUNNER_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 

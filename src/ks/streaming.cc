@@ -1,6 +1,7 @@
 #include "ks/streaming.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <random>
 

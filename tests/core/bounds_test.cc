@@ -5,10 +5,13 @@
 #include <gtest/gtest.h>
 
 #include "ks/ks_test.h"
+#include "testing_util.h"
 #include "util/rng.h"
 
 namespace moche {
 namespace {
+
+using testing_util::kTightTol;
 
 // Example 3/4 instance: R = {14 x4, 20 x4}, T = {13, 13, 12, 20}, alpha 0.3.
 class PaperBoundsTest : public ::testing::Test {
@@ -28,17 +31,17 @@ class PaperBoundsTest : public ::testing::Test {
 TEST_F(PaperBoundsTest, OmegaFormula) {
   const double c = ks::CriticalValue(0.3);
   // Omega(h) = c * sqrt(m-h + (m-h)^2/n), m = 4, n = 8.
-  EXPECT_NEAR(engine_->Omega(1), c * std::sqrt(3.0 + 9.0 / 8.0), 1e-12);
-  EXPECT_NEAR(engine_->Omega(2), c * std::sqrt(2.0 + 4.0 / 8.0), 1e-12);
+  EXPECT_NEAR(engine_->Omega(1), c * std::sqrt(3.0 + 9.0 / 8.0), kTightTol);
+  EXPECT_NEAR(engine_->Omega(2), c * std::sqrt(2.0 + 4.0 / 8.0), kTightTol);
 }
 
 TEST_F(PaperBoundsTest, GammaFormula) {
   // Gamma(i,h) = C_T[i] - ((m-h)/n) C_R[i].
-  EXPECT_NEAR(engine_->Gamma(1, 1), 1.0, 1e-12);
-  EXPECT_NEAR(engine_->Gamma(2, 1), 3.0, 1e-12);
-  EXPECT_NEAR(engine_->Gamma(3, 1), 3.0 - (3.0 / 8.0) * 4.0, 1e-12);
-  EXPECT_NEAR(engine_->Gamma(4, 1), 4.0 - (3.0 / 8.0) * 8.0, 1e-12);
-  EXPECT_NEAR(engine_->Gamma(3, 2), 3.0 - (2.0 / 8.0) * 4.0, 1e-12);
+  EXPECT_NEAR(engine_->Gamma(1, 1), 1.0, kTightTol);
+  EXPECT_NEAR(engine_->Gamma(2, 1), 3.0, kTightTol);
+  EXPECT_NEAR(engine_->Gamma(3, 1), 3.0 - (3.0 / 8.0) * 4.0, kTightTol);
+  EXPECT_NEAR(engine_->Gamma(4, 1), 4.0 - (3.0 / 8.0) * 8.0, kTightTol);
+  EXPECT_NEAR(engine_->Gamma(3, 2), 3.0 - (2.0 / 8.0) * 4.0, kTightTol);
 }
 
 TEST_F(PaperBoundsTest, ExampleFourSizeOneBoundsContradict) {

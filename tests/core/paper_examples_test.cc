@@ -3,6 +3,8 @@
 // Each test follows one example's narrative so a reader can line the file
 // up against the paper text.
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "core/brute_force.h"

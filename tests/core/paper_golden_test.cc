@@ -1,0 +1,111 @@
+// Golden values for the paper's worked example, locked as regression
+// anchors: the KS statistic and critical value, and the behaviour of
+// Moche::Explain across its three outcome branches (AlreadyPasses,
+// NotFound, and a found explanation) on hand-checkable R/T pairs.
+//
+// Running example (paper Examples 3-6):
+//   R = {14,14,14,14,20,20,20,20}, T = {13,13,12,20}
+// Union grid 12 < 13 < 14 < 20 gives
+//   F_R = (0, 0, 1/2, 1),  F_T = (1/4, 3/4, 3/4, 1)
+// so D(R,T) = 3/4, attained at x = 13.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/moche.h"
+#include "ks/ks_test.h"
+#include "testing_util.h"
+
+namespace moche {
+namespace {
+
+using testing_util::kLooseTol;
+using testing_util::kTightTol;
+
+class PaperGoldenValues : public ::testing::Test {
+ protected:
+  const std::vector<double> ref_{14, 14, 14, 14, 20, 20, 20, 20};
+  const std::vector<double> test_{13, 13, 12, 20};
+};
+
+// D(R,T) = 3/4 exactly, attained at x = 13.
+TEST_F(PaperGoldenValues, KsStatistic) {
+  double location = 0.0;
+  EXPECT_NEAR(ks::Statistic(ref_, test_, &location), 0.75, kTightTol);
+  EXPECT_DOUBLE_EQ(location, 13.0);
+}
+
+// c_0.05 = sqrt(-ln(0.025)/2) = 1.3581015..., and the rejection threshold
+// for n = 8, m = 4 is c_0.05 * sqrt(12/32) = 0.8316639...
+TEST_F(PaperGoldenValues, CriticalValueAtAlpha05) {
+  EXPECT_NEAR(ks::CriticalValue(0.05), 1.3581015, kLooseTol);
+  EXPECT_NEAR(ks::Threshold(0.05, 8, 4), 0.8316639, kLooseTol);
+  EXPECT_NEAR(ks::Threshold(0.05, 8, 4),
+              ks::CriticalValue(0.05) * std::sqrt(12.0 / 32.0), kTightTol);
+}
+
+// Branch 1 (AlreadyPasses): at alpha = 0.05 the threshold (0.8317) exceeds
+// D = 0.75, the test passes, and Explain refuses with AlreadyPasses.
+TEST_F(PaperGoldenValues, ExplainAlreadyPassesAtAlpha05) {
+  auto outcome = ks::Run(ref_, test_, 0.05);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->reject);
+
+  Moche engine;
+  auto report = engine.Explain(ref_, test_, 0.05,
+                               IdentityPreference(test_.size()));
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.status().IsAlreadyPasses()) << report.status().ToString();
+}
+
+// Branch 2 (found): at alpha = 0.3 the test fails (threshold 0.5964 < 0.75)
+// and with L = [t4, t3, t2, t1] the unique most comprehensible explanation
+// is I = {t3, t2} = {12, 13}, of minimal size k = 2.
+TEST_F(PaperGoldenValues, ExplainFindsUniqueMinimalExplanation) {
+  Moche engine;
+  auto report = engine.Explain(ref_, test_, 0.3, {3, 2, 1, 0});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->k, 2u);
+  EXPECT_EQ(report->k_hat, 2u);
+  EXPECT_EQ(report->explanation.indices, (std::vector<size_t>{2, 1}));
+  EXPECT_TRUE(report->original.reject);
+  EXPECT_FALSE(report->after.reject);
+
+  const KsInstance inst{ref_, test_, 0.3};
+  EXPECT_TRUE(testing_util::VectorsNear(
+      ExplanationValues(inst, report->explanation), {12.0, 13.0}));
+  EXPECT_TRUE(ValidateExplanation(inst, report->explanation).ok());
+
+  // Same sets, identity preference: the scan prefers t1, t2 and returns
+  // I = {t1, t2} = {13, 13} (also of the minimal size 2).
+  auto identity = engine.Explain(ref_, test_, 0.3,
+                                 IdentityPreference(test_.size()));
+  ASSERT_TRUE(identity.ok()) << identity.status().ToString();
+  EXPECT_EQ(identity->k, 2u);
+  EXPECT_EQ(identity->explanation.indices, (std::vector<size_t>{0, 1}));
+}
+
+// Branch 3 (NotFound): with R and T fully separated, every nonempty
+// remainder of T keeps D = 1, so for alpha large enough (alpha > 2/e^2,
+// cf. Proposition 1) no explanation exists at all.
+TEST_F(PaperGoldenValues, ExplainNotFoundOnSeparatedSamples) {
+  const std::vector<double> sep_ref{10, 11, 12, 13, 14, 15, 16, 17};
+  const std::vector<double> sep_test{1, 2, 3, 4};
+  const double alpha = 0.9;  // > 2/e^2 = 0.2707
+
+  auto outcome = ks::Run(sep_ref, sep_test, alpha);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->reject);
+  EXPECT_DOUBLE_EQ(outcome->statistic, 1.0);
+
+  Moche engine;
+  auto report = engine.Explain(sep_ref, sep_test, alpha,
+                               IdentityPreference(sep_test.size()));
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.status().IsNotFound()) << report.status().ToString();
+}
+
+}  // namespace
+}  // namespace moche

@@ -4,6 +4,8 @@
 // brute-force answer (same size, same lexicographic-minimum explanation),
 // and the Theorem 1 existence check must agree with exhaustive search.
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "core/brute_force.h"

@@ -4,8 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include "testing_util.h"
+
 namespace moche {
 namespace {
+
+using testing_util::kTightTol;
 
 TEST(EcdfTest, StepFunctionValues) {
   const Ecdf f({1.0, 2.0, 2.0, 5.0});
@@ -38,7 +42,7 @@ TEST(EcdfRmseTest, HandComputedCase) {
   // R = {1, 3}, T = {2}. Evaluation points (with repeats): 1, 2, 3.
   // F_R: 0.5 at 1, 0.5 at 2, 1 at 3. F_T: 0 at 1, 1 at 2, 1 at 3.
   // Squares: 0.25, 0.25, 0. RMSE = sqrt(0.5/3).
-  EXPECT_NEAR(EcdfRmse({1, 3}, {2}), std::sqrt(0.5 / 3.0), 1e-12);
+  EXPECT_NEAR(EcdfRmse({1, 3}, {2}), std::sqrt(0.5 / 3.0), kTightTol);
 }
 
 TEST(EcdfRmseTest, SymmetricInArguments) {

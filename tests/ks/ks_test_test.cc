@@ -6,27 +6,31 @@
 #include <gtest/gtest.h>
 
 #include "ks/ecdf.h"
+#include "testing_util.h"
 #include "util/rng.h"
 
 namespace moche {
 namespace {
 
+using testing_util::kLooseTol;
+using testing_util::kTightTol;
+
 TEST(CriticalValueTest, KnownValues) {
   // c_alpha = sqrt(-ln(alpha/2)/2); at 0.05 this is the familiar 1.3581.
-  EXPECT_NEAR(ks::CriticalValue(0.05), 1.3581015, 1e-6);
-  EXPECT_NEAR(ks::CriticalValue(0.10), 1.2238734, 1e-6);
-  EXPECT_NEAR(ks::CriticalValue(0.01), 1.6276236, 1e-6);
+  EXPECT_NEAR(ks::CriticalValue(0.05), 1.3581015, kLooseTol);
+  EXPECT_NEAR(ks::CriticalValue(0.10), 1.2238734, kLooseTol);
+  EXPECT_NEAR(ks::CriticalValue(0.01), 1.6276236, kLooseTol);
 }
 
 TEST(CriticalValueTest, ProposionOneBoundary) {
   // At alpha = 2/e^2 the critical value is exactly 1 (Proposition 1).
-  EXPECT_NEAR(ks::CriticalValue(2.0 / (M_E * M_E)), 1.0, 1e-12);
+  EXPECT_NEAR(ks::CriticalValue(2.0 / (M_E * M_E)), 1.0, kTightTol);
 }
 
 TEST(ThresholdTest, Formula) {
   const double alpha = 0.05;
   EXPECT_NEAR(ks::Threshold(alpha, 100, 50),
-              ks::CriticalValue(alpha) * std::sqrt(150.0 / 5000.0), 1e-12);
+              ks::CriticalValue(alpha) * std::sqrt(150.0 / 5000.0), kTightTol);
 }
 
 TEST(StatisticTest, IdenticalSamplesGiveZero) {
@@ -85,7 +89,7 @@ TEST(StatisticTest, MatchesBruteForceOnRandomInstances) {
     for (double x : all) {
       expected = std::max(expected, std::fabs(fr.Evaluate(x) - ft.Evaluate(x)));
     }
-    EXPECT_NEAR(ks::Statistic(r, t), expected, 1e-12);
+    EXPECT_NEAR(ks::Statistic(r, t), expected, kTightTol);
   }
 }
 
@@ -164,7 +168,7 @@ TEST(RunTest, RejectionMonotoneInAlpha) {
 
 TEST(KolmogorovQTest, KnownValuesAndMonotonicity) {
   EXPECT_DOUBLE_EQ(ks::KolmogorovQ(0.0), 1.0);
-  EXPECT_NEAR(ks::KolmogorovQ(10.0), 0.0, 1e-12);
+  EXPECT_NEAR(ks::KolmogorovQ(10.0), 0.0, kTightTol);
   // c_alpha solves the ONE-TERM approximation 2 e^{-2c^2} = alpha, so the
   // full series agrees to its second term, 2 e^{-8 c_alpha^2} (~1e-5 at
   // alpha = 0.25, far smaller below).
@@ -198,7 +202,7 @@ TEST(PValueTest, EquivalentToThresholdComparison) {
 
 TEST(PValueTest, BoundaryBehaviour) {
   EXPECT_DOUBLE_EQ(ks::PValueAsymptotic(0.0, 100, 100), 1.0);
-  EXPECT_NEAR(ks::PValueAsymptotic(1.0, 500, 500), 0.0, 1e-12);
+  EXPECT_NEAR(ks::PValueAsymptotic(1.0, 500, 500), 0.0, kTightTol);
 }
 
 }  // namespace

@@ -4,10 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include "testing_util.h"
 #include "util/rng.h"
 
 namespace moche {
 namespace {
+
+using testing_util::kTightTol;
 
 TEST(StreamingKsTest, ValidatesConstruction) {
   EXPECT_FALSE(StreamingKs::Create({}, 10, 0.05).ok());
@@ -77,7 +80,7 @@ TEST(StreamingKsTest, MatchesBatchStatisticAtEveryStep) {
       ASSERT_TRUE(outcome.ok());
       const double expected =
           ks::Statistic(ref, {mirror.begin(), mirror.end()});
-      ASSERT_NEAR(outcome->statistic, expected, 1e-12) << "step " << step;
+      ASSERT_NEAR(outcome->statistic, expected, kTightTol) << "step " << step;
     }
   }
 }
@@ -135,7 +138,7 @@ TEST(StreamingKsTest, HeavyDuplicateStream) {
     if (stream->WindowFull()) {
       const double expected =
           ks::Statistic(ref, {mirror.begin(), mirror.end()});
-      ASSERT_NEAR(stream->CurrentOutcome()->statistic, expected, 1e-12);
+      ASSERT_NEAR(stream->CurrentOutcome()->statistic, expected, kTightTol);
     }
   }
 }

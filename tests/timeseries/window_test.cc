@@ -1,5 +1,7 @@
 #include "timeseries/window.h"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "util/rng.h"
