@@ -25,7 +25,13 @@ std::vector<DatasetAggregates> RunStandardExperiment() {
     agg.dataset = ds.name;
     agg.instances = instances->size();
     const auto results = harness::RunMethods(*instances, roster.All());
-    agg.aggregates = harness::Aggregate(results);
+    auto aggregates = harness::Aggregate(results);
+    if (!aggregates.ok()) {
+      std::fprintf(stderr, "aggregate failed for %s: %s\n", ds.name.c_str(),
+                   aggregates.status().ToString().c_str());
+      continue;
+    }
+    agg.aggregates = std::move(aggregates).value();
     out.push_back(std::move(agg));
   }
   return out;

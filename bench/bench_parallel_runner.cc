@@ -1,0 +1,193 @@
+// The parallel batch-explanation engine, end to end: collects failed window
+// tests from a synthetic multi-series workload (all six NAB-like families
+// merged) and runs the method roster over them with 1..N threads, verifying
+// that every parallel aggregate is identical to the sequential one and
+// reporting the wall-clock speedup per thread count.
+//
+// Usage: bench_parallel_runner [--threads 1,2,4,8] [--scale 0.3]
+//                              [--full-roster]
+//
+// Exits non-zero if any parallel run's aggregates differ from the
+// sequential run's. Speedup is hardware-bound: expect ~linear scaling up to
+// the physical core count and a flat line beyond it (a 1-core container
+// shows 1x everywhere — the identity checks still run).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/parallel.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+using namespace moche;
+
+namespace {
+
+std::vector<size_t> ParseThreadList(const char* arg) {
+  std::vector<size_t> out;
+  size_t current = 0;
+  bool have_digit = false;
+  for (const char* p = arg;; ++p) {
+    if (*p >= '0' && *p <= '9') {
+      current = current * 10 + static_cast<size_t>(*p - '0');
+      have_digit = true;
+    } else if (*p == ',' || *p == '\0') {
+      if (have_digit && current > 0) out.push_back(current);
+      current = 0;
+      have_digit = false;
+      if (*p == '\0') break;
+    } else {
+      return {};
+    }
+  }
+  return out;
+}
+
+bool SameAggregates(const std::vector<harness::MethodAggregate>& a,
+                    const std::vector<harness::MethodAggregate>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t j = 0; j < a.size(); ++j) {
+    // Wall times differ run to run; everything else must match bit for bit.
+    if (a[j].method != b[j].method || a[j].avg_ise != b[j].avg_ise ||
+        a[j].avg_rmse != b[j].avg_rmse ||
+        a[j].reverse_factor != b[j].reverse_factor ||
+        a[j].attempted != b[j].attempted || a[j].produced != b[j].produced ||
+        a[j].ise_counted != b[j].ise_counted) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<size_t> thread_counts{1, 2, 4, 8};
+  double scale = 0.3;
+  bool full_roster = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      thread_counts = ParseThreadList(argv[++i]);
+      if (thread_counts.empty()) {
+        std::fprintf(stderr, "bad --threads list\n");
+        return 1;
+      }
+    } else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+      scale = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--full-roster") == 0) {
+      full_roster = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--threads 1,2,4,8] [--scale S] "
+                   "[--full-roster]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+
+  std::printf("=== Parallel batch runner: 1 vs N threads ===\n\n");
+  std::printf("hardware threads: %zu\n", HardwareConcurrency());
+
+  // One synthetic multi-series workload: every series of all six NAB-like
+  // families in a single dataset.
+  ts::Dataset workload;
+  workload.name = "SYN-ALL";
+  for (ts::Dataset& ds :
+       ts::MakeAllNabLikeDatasets(bench::kExperimentSeed, scale)) {
+    for (ts::TimeSeries& s : ds.series) {
+      s.name = ds.name + "/" + s.name;
+      workload.series.push_back(std::move(s));
+    }
+  }
+  std::printf("workload: %zu series\n\n", workload.series.size());
+
+  harness::CollectOptions collect = bench::StandardCollect();
+  collect.window_sizes = {100, 150, 200};
+  collect.sample_per_combination = 4;
+
+  bench::MethodRoster roster;
+  std::vector<baselines::Explainer*> methods;
+  baselines::MocheExplainer moche_method;
+  baselines::GreedyExplainer greedy;
+  baselines::D3Explainer d3;
+  if (full_roster) {
+    methods = roster.All();
+  } else {
+    methods = {&moche_method, &greedy, &d3};
+  }
+
+  // Sequential baseline: collection and explanation on one core.
+  WallTimer timer;
+  auto instances = harness::CollectFailedInstances(workload, collect);
+  const double collect_seq_s = timer.Seconds();
+  if (!instances.ok()) {
+    std::fprintf(stderr, "collect failed: %s\n",
+                 instances.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("instances: %zu (collected sequentially in %.2fs)\n\n",
+              instances->size(), collect_seq_s);
+
+  timer.Restart();
+  const auto sequential = harness::RunMethods(*instances, methods);
+  const double run_seq_s = timer.Seconds();
+  auto base_agg = harness::Aggregate(sequential);
+  if (!base_agg.ok()) {
+    std::fprintf(stderr, "aggregate failed: %s\n",
+                 base_agg.status().ToString().c_str());
+    return 1;
+  }
+
+  harness::AsciiTable table(
+      {"threads", "collect_s", "run_s", "speedup", "aggregates"});
+  table.AddRow({"1 (seq)", bench::Fmt(collect_seq_s), bench::Fmt(run_seq_s),
+                "1.00", "baseline"});
+
+  bool all_identical = true;
+  for (size_t threads : thread_counts) {
+    if (threads <= 1) continue;
+
+    harness::CollectOptions pcollect = collect;
+    pcollect.num_threads = threads;
+    timer.Restart();
+    auto pinstances = harness::CollectFailedInstances(workload, pcollect);
+    const double collect_par_s = timer.Seconds();
+    if (!pinstances.ok()) {
+      std::fprintf(stderr, "parallel collect failed: %s\n",
+                   pinstances.status().ToString().c_str());
+      return 1;
+    }
+
+    harness::RunOptions run_opt;
+    run_opt.num_threads = threads;
+    timer.Restart();
+    const auto parallel =
+        harness::RunMethods(*pinstances, methods, run_opt);
+    const double run_par_s = timer.Seconds();
+
+    auto agg = harness::Aggregate(parallel);
+    const bool identical = agg.ok() && SameAggregates(*base_agg, *agg);
+    all_identical = all_identical && identical;
+
+    table.AddRow({StrFormat("%zu", threads), bench::Fmt(collect_par_s),
+                  bench::Fmt(run_par_s),
+                  bench::Fmt(run_seq_s / run_par_s),
+                  identical ? "identical" : "MISMATCH"});
+  }
+
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("(speedup = sequential run_s / parallel run_s; collection\n"
+              " parallelizes per series, explanation per instance)\n");
+
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "\nFAIL: a parallel run's aggregates diverged from the "
+                 "sequential run\n");
+    return 1;
+  }
+  return 0;
+}

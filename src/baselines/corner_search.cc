@@ -9,8 +9,12 @@ namespace moche {
 namespace baselines {
 
 Result<Explanation> CornerSearchExplainer::Explain(
-    const KsInstance& instance, const PreferenceList& preference) {
+    const KsInstance& instance, const PreferenceList& preference) const {
   MOCHE_RETURN_IF_ERROR(ValidatePreference(preference, instance.test.size()));
+  MOCHE_RETURN_IF_ERROR(
+      ks::ValidateSample(instance.reference, "reference set"));
+  MOCHE_RETURN_IF_ERROR(ks::ValidateSample(instance.test, "test set"));
+  MOCHE_RETURN_IF_ERROR(ks::ValidateAlpha(instance.alpha));
   const size_t m = instance.test.size();
   RemovalKs removal(instance.reference, instance.test, instance.alpha);
   if (removal.Passes()) {

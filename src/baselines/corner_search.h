@@ -41,7 +41,7 @@ class CornerSearchExplainer : public Explainer {
   bool uses_preference() const override { return true; }
 
   Result<Explanation> Explain(const KsInstance& instance,
-                              const PreferenceList& preference) override;
+                              const PreferenceList& preference) const override;
 
  private:
   CornerSearchOptions options_;

@@ -18,8 +18,8 @@ bool AllIntegral(const std::vector<double>& v) {
 
 }  // namespace
 
-Result<Explanation> D3Explainer::Explain(const KsInstance& instance,
-                                         const PreferenceList& preference) {
+Result<Explanation> D3Explainer::Explain(
+    const KsInstance& instance, const PreferenceList& preference) const {
   (void)preference;  // D3 cannot take user preferences (Section 6.1.2)
 
   bool use_pmf = options_.mode == D3Options::DensityMode::kPmf;

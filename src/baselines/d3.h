@@ -28,7 +28,7 @@ class D3Explainer : public Explainer {
   bool uses_preference() const override { return false; }
 
   Result<Explanation> Explain(const KsInstance& instance,
-                              const PreferenceList& preference) override;
+                              const PreferenceList& preference) const override;
 
  private:
   D3Options options_;

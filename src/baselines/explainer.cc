@@ -7,6 +7,10 @@ namespace baselines {
 
 Result<Explanation> GreedyPrefixExplanation(const KsInstance& instance,
                                             const std::vector<size_t>& order) {
+  MOCHE_RETURN_IF_ERROR(
+      ks::ValidateSample(instance.reference, "reference set"));
+  MOCHE_RETURN_IF_ERROR(ks::ValidateSample(instance.test, "test set"));
+  MOCHE_RETURN_IF_ERROR(ks::ValidateAlpha(instance.alpha));
   RemovalKs removal(instance.reference, instance.test, instance.alpha);
   if (removal.Passes()) {
     return Status::AlreadyPasses("the KS test already passes");

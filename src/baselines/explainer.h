@@ -23,6 +23,16 @@ namespace baselines {
 /// S2G cannot take user preferences and hence cannot produce comprehensible
 /// explanations). Implementations with sampling/optimization budgets return
 /// ResourceExhausted when they abort, mirroring the paper's RF experiment.
+///
+/// Thread-safety contract: Explain is const and MUST be safe to call
+/// concurrently on the same object — the parallel experiment runner
+/// (harness::RunMethods) shares one instance of each method across all its
+/// worker threads. Concretely, an implementation keeps all per-call state
+/// on the stack; configuration members set at construction are read-only
+/// afterwards. Stochastic methods (CS, GRC) re-seed a local Rng from their
+/// options on every call, which also makes every call deterministic
+/// regardless of scheduling. Mutable caches require their own
+/// synchronization; none of the shipped explainers has one.
 class Explainer {
  public:
   virtual ~Explainer() = default;
@@ -34,8 +44,8 @@ class Explainer {
   /// GRD, CS and GRC are preference-aware).
   virtual bool uses_preference() const = 0;
 
-  virtual Result<Explanation> Explain(const KsInstance& instance,
-                                      const PreferenceList& preference) = 0;
+  virtual Result<Explanation> Explain(
+      const KsInstance& instance, const PreferenceList& preference) const = 0;
 };
 
 /// Shared helper: walk test-point indices in `order` and keep removing until

@@ -10,9 +10,13 @@
 namespace moche {
 namespace baselines {
 
-Result<Explanation> GraceExplainer::Explain(const KsInstance& instance,
-                                            const PreferenceList& preference) {
+Result<Explanation> GraceExplainer::Explain(
+    const KsInstance& instance, const PreferenceList& preference) const {
   MOCHE_RETURN_IF_ERROR(ValidatePreference(preference, instance.test.size()));
+  MOCHE_RETURN_IF_ERROR(
+      ks::ValidateSample(instance.reference, "reference set"));
+  MOCHE_RETURN_IF_ERROR(ks::ValidateSample(instance.test, "test set"));
+  MOCHE_RETURN_IF_ERROR(ks::ValidateAlpha(instance.alpha));
   const size_t m = instance.test.size();
   const double n = static_cast<double>(instance.reference.size());
   RemovalKs removal(instance.reference, instance.test, instance.alpha);
@@ -47,7 +51,7 @@ Result<Explanation> GraceExplainer::Explain(const KsInstance& instance,
     return scale * removal.CurrentOutcome().statistic;
   };
 
-  const double c_alpha = ks::CriticalValue(instance.alpha);
+  const double c_alpha = ks::internal::CriticalValueUnchecked(instance.alpha);
   optimize::ZerothOrderOptions opt = options_.optimizer;
   opt.target = c_alpha;
   opt.project_unit_box = true;

@@ -38,7 +38,7 @@ class GraceExplainer : public Explainer {
   bool uses_preference() const override { return true; }
 
   Result<Explanation> Explain(const KsInstance& instance,
-                              const PreferenceList& preference) override;
+                              const PreferenceList& preference) const override;
 
  private:
   GraceOptions options_;

@@ -3,8 +3,8 @@
 namespace moche {
 namespace baselines {
 
-Result<Explanation> GreedyExplainer::Explain(const KsInstance& instance,
-                                             const PreferenceList& preference) {
+Result<Explanation> GreedyExplainer::Explain(
+    const KsInstance& instance, const PreferenceList& preference) const {
   MOCHE_RETURN_IF_ERROR(
       ValidatePreference(preference, instance.test.size()));
   return GreedyPrefixExplanation(instance, preference);

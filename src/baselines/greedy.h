@@ -17,7 +17,7 @@ class GreedyExplainer : public Explainer {
   bool uses_preference() const override { return true; }
 
   Result<Explanation> Explain(const KsInstance& instance,
-                              const PreferenceList& preference) override;
+                              const PreferenceList& preference) const override;
 };
 
 }  // namespace baselines

@@ -27,7 +27,7 @@ class MocheExplainer : public Explainer {
   bool uses_preference() const override { return true; }
 
   Result<Explanation> Explain(const KsInstance& instance,
-                              const PreferenceList& preference) override {
+                              const PreferenceList& preference) const override {
     auto report = engine_.Explain(instance, preference);
     MOCHE_RETURN_IF_ERROR(report.status());
     return std::move(report).value().explanation;

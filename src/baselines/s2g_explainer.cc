@@ -8,8 +8,8 @@
 namespace moche {
 namespace baselines {
 
-Result<Explanation> S2gExplainer::Explain(const KsInstance& instance,
-                                          const PreferenceList& preference) {
+Result<Explanation> S2gExplainer::Explain(
+    const KsInstance& instance, const PreferenceList& preference) const {
   (void)preference;  // shape-based detector; no user preference input
   const size_t m = instance.test.size();
   size_t sub_len = static_cast<size_t>(

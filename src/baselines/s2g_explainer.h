@@ -25,7 +25,7 @@ class S2gExplainer : public Explainer {
   bool uses_preference() const override { return false; }
 
   Result<Explanation> Explain(const KsInstance& instance,
-                              const PreferenceList& preference) override;
+                              const PreferenceList& preference) const override;
 
  private:
   S2gOptions options_;

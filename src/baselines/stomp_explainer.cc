@@ -38,8 +38,8 @@ std::vector<size_t> SubsequenceScoreOrder(const std::vector<double>& scores,
 
 }  // namespace
 
-Result<Explanation> StompExplainer::Explain(const KsInstance& instance,
-                                            const PreferenceList& preference) {
+Result<Explanation> StompExplainer::Explain(
+    const KsInstance& instance, const PreferenceList& preference) const {
   (void)preference;  // shape-based detector; no user preference input
   const size_t m = instance.test.size();
   size_t sub_len = static_cast<size_t>(

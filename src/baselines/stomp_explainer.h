@@ -29,7 +29,7 @@ class StompExplainer : public Explainer {
   bool uses_preference() const override { return false; }
 
   Result<Explanation> Explain(const KsInstance& instance,
-                              const PreferenceList& preference) override;
+                              const PreferenceList& preference) const override;
 
  private:
   StompOptions options_;

@@ -27,7 +27,11 @@ int64_t FloorTol(double x) {
 }
 
 BoundsEngine::BoundsEngine(const CumulativeFrame& frame, double alpha)
-    : frame_(frame), alpha_(alpha), c_alpha_(ks::CriticalValue(alpha)) {}
+    : frame_(frame),
+      alpha_(alpha),
+      c_alpha_(ks::internal::CriticalValueUnchecked(alpha)) {
+  MOCHE_DCHECK(ks::ValidateAlpha(alpha).ok());
+}
 
 double BoundsEngine::Omega(size_t h) const {
   MOCHE_DCHECK(h < frame_.m());

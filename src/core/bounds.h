@@ -36,7 +36,9 @@ struct BoundsVectors {
 
 class BoundsEngine {
  public:
-  /// The frame must outlive the engine. alpha in (0, 2).
+  /// The frame must outlive the engine. alpha must satisfy
+  /// ks::ValidateAlpha (a precondition — Moche validates before building an
+  /// engine; checked by MOCHE_DCHECK in debug builds).
   BoundsEngine(const CumulativeFrame& frame, double alpha);
 
   /// Omega(h) = c_alpha * sqrt(m-h + (m-h)^2/n), h in [0, m-1].

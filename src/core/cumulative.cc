@@ -3,37 +3,61 @@
 #include <algorithm>
 
 #include "ks/ks_test.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace moche {
 
 Result<CumulativeFrame> CumulativeFrame::Build(const std::vector<double>& r,
                                                const std::vector<double>& t) {
+  // Validate before sorting: std::sort on a range with NaN is undefined
+  // behavior, so the non-finite check cannot be left to BuildFromSorted.
   MOCHE_RETURN_IF_ERROR(ks::ValidateSample(r, "reference set"));
   MOCHE_RETURN_IF_ERROR(ks::ValidateSample(t, "test set"));
-
   std::vector<double> rs = r;
   std::vector<double> ts = t;
   std::sort(rs.begin(), rs.end());
   std::sort(ts.begin(), ts.end());
+  return BuildFromSortedUnchecked(rs, ts);
+}
+
+Result<CumulativeFrame> CumulativeFrame::BuildFromSorted(
+    const std::vector<double>& r_sorted, const std::vector<double>& t_sorted) {
+  MOCHE_RETURN_IF_ERROR(ks::ValidateSample(r_sorted, "reference set"));
+  MOCHE_RETURN_IF_ERROR(ks::ValidateSample(t_sorted, "test set"));
+  if (!std::is_sorted(r_sorted.begin(), r_sorted.end())) {
+    return Status::InvalidArgument("reference set is not sorted ascending");
+  }
+  if (!std::is_sorted(t_sorted.begin(), t_sorted.end())) {
+    return Status::InvalidArgument("test set is not sorted ascending");
+  }
+  return BuildFromSortedUnchecked(r_sorted, t_sorted);
+}
+
+Result<CumulativeFrame> CumulativeFrame::BuildFromSortedUnchecked(
+    const std::vector<double>& r_sorted, const std::vector<double>& t_sorted) {
+  MOCHE_DCHECK(!r_sorted.empty() && !t_sorted.empty());
+  MOCHE_DCHECK(std::is_sorted(r_sorted.begin(), r_sorted.end()));
+  MOCHE_DCHECK(std::is_sorted(t_sorted.begin(), t_sorted.end()));
 
   CumulativeFrame frame;
-  frame.n_ = r.size();
-  frame.m_ = t.size();
+  frame.n_ = r_sorted.size();
+  frame.m_ = t_sorted.size();
   frame.cum_r_.push_back(0);
   frame.cum_t_.push_back(0);
 
   size_t i = 0;
   size_t j = 0;
-  while (i < rs.size() || j < ts.size()) {
+  while (i < r_sorted.size() || j < t_sorted.size()) {
     double x;
-    if (j >= ts.size() || (i < rs.size() && rs[i] <= ts[j])) {
-      x = rs[i];
+    if (j >= t_sorted.size() ||
+        (i < r_sorted.size() && r_sorted[i] <= t_sorted[j])) {
+      x = r_sorted[i];
     } else {
-      x = ts[j];
+      x = t_sorted[j];
     }
-    while (i < rs.size() && rs[i] == x) ++i;
-    while (j < ts.size() && ts[j] == x) ++j;
+    while (i < r_sorted.size() && r_sorted[i] == x) ++i;
+    while (j < t_sorted.size() && t_sorted[j] == x) ++j;
     frame.values_.push_back(x);
     frame.cum_r_.push_back(static_cast<int64_t>(i));
     frame.cum_t_.push_back(static_cast<int64_t>(j));

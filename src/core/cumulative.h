@@ -27,6 +27,21 @@ class CumulativeFrame {
   static Result<CumulativeFrame> Build(const std::vector<double>& r,
                                        const std::vector<double>& t);
 
+  /// As Build, for inputs already sorted ascending: skips the two sorts and
+  /// the copies. Fails when a multiset is empty or not sorted.
+  static Result<CumulativeFrame> BuildFromSorted(
+      const std::vector<double>& r_sorted,
+      const std::vector<double>& t_sorted);
+
+  /// As BuildFromSorted but with preconditions (non-empty, finite, sorted)
+  /// checked by MOCHE_DCHECK only. The prepared-instance hot path (one
+  /// reference sample validated and sorted once by Moche::Prepare, tested
+  /// against many windows) calls this per window so the per-call cost has
+  /// no redundant O(n) re-validation of the reference.
+  static Result<CumulativeFrame> BuildFromSortedUnchecked(
+      const std::vector<double>& r_sorted,
+      const std::vector<double>& t_sorted);
+
   size_t q() const { return values_.size(); }
   size_t n() const { return n_; }
   size_t m() const { return m_; }

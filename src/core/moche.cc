@@ -1,5 +1,7 @@
 #include "core/moche.h"
 
+#include <algorithm>
+
 #include "core/bounds.h"
 #include "core/cumulative.h"
 #include "util/timer.h"
@@ -10,9 +12,44 @@ Result<MocheReport> Moche::Explain(const std::vector<double>& reference,
                                    const std::vector<double>& test,
                                    double alpha,
                                    const PreferenceList& preference) const {
+  MOCHE_ASSIGN_OR_RETURN(const PreparedReference prepared,
+                         Prepare(reference, alpha));
+  return ExplainPrepared(prepared, test, preference);
+}
+
+Result<PreparedReference> Moche::Prepare(std::vector<double> reference,
+                                         double alpha) const {
+  MOCHE_RETURN_IF_ERROR(ks::ValidateSample(reference, "reference set"));
+  MOCHE_RETURN_IF_ERROR(ks::ValidateAlpha(alpha));
+  PreparedReference prepared;
+  std::sort(reference.begin(), reference.end());
+  prepared.sorted_reference_ = std::move(reference);
+  prepared.alpha_ = alpha;
+  return prepared;
+}
+
+Result<MocheReport> Moche::ExplainPrepared(
+    const PreparedReference& prepared, const std::vector<double>& test,
+    const PreferenceList& preference) const {
   MOCHE_RETURN_IF_ERROR(ValidatePreference(preference, test.size()));
-  MOCHE_ASSIGN_OR_RETURN(const KsOutcome original,
-                         ks::Run(reference, test, alpha));
+  const std::vector<double>& reference = prepared.sorted_reference_;
+  const double alpha = prepared.alpha_;
+
+  // Per-call validation covers only the test window; the reference and
+  // alpha were validated (and R sorted) once by Prepare, so the per-window
+  // cost carries no redundant O(n) re-scans of the reference.
+  MOCHE_RETURN_IF_ERROR(ks::ValidateSample(test, "test set"));
+  std::vector<double> test_sorted = test;
+  std::sort(test_sorted.begin(), test_sorted.end());
+
+  KsOutcome original;
+  original.n = reference.size();
+  original.m = test_sorted.size();
+  original.statistic =
+      ks::StatisticSorted(reference, test_sorted, &original.location);
+  original.threshold =
+      ks::internal::ThresholdUnchecked(alpha, original.n, original.m);
+  original.reject = original.statistic > original.threshold;
   if (!original.reject) {
     return Status::AlreadyPasses(
         "R and T pass the KS test; there is nothing to explain");
@@ -21,8 +58,9 @@ Result<MocheReport> Moche::Explain(const std::vector<double>& reference,
   MocheReport report;
   report.original = original;
 
-  MOCHE_ASSIGN_OR_RETURN(const CumulativeFrame frame,
-                         CumulativeFrame::Build(reference, test));
+  MOCHE_ASSIGN_OR_RETURN(
+      const CumulativeFrame frame,
+      CumulativeFrame::BuildFromSortedUnchecked(reference, test_sorted));
   const BoundsEngine engine(frame, alpha);
 
   WallTimer timer;
@@ -41,10 +79,26 @@ Result<MocheReport> Moche::Explain(const std::vector<double>& reference,
                               &report.build_stats));
   report.seconds_construction = timer.Seconds();
 
-  KsInstance inst{reference, test, alpha};
-  MOCHE_ASSIGN_OR_RETURN(
-      report.after,
-      ks::Run(reference, RemoveExplanation(inst, report.explanation), alpha));
+  // T \ I, built from the index mask directly (copying the reference into a
+  // KsInstance just for RemoveExplanation would cost O(n) per window).
+  std::vector<bool> removed(test.size(), false);
+  for (size_t idx : report.explanation.indices) removed[idx] = true;
+  std::vector<double> remaining;
+  remaining.reserve(test.size() - report.explanation.size());
+  for (size_t i = 0; i < test.size(); ++i) {
+    if (!removed[i]) remaining.push_back(test[i]);
+  }
+  if (remaining.empty()) {
+    return Status::Internal("explanation removed the whole test set");
+  }
+  std::sort(remaining.begin(), remaining.end());
+  report.after.n = reference.size();
+  report.after.m = remaining.size();
+  report.after.statistic =
+      ks::StatisticSorted(reference, remaining, &report.after.location);
+  report.after.threshold = ks::internal::ThresholdUnchecked(
+      alpha, report.after.n, report.after.m);
+  report.after.reject = report.after.statistic > report.after.threshold;
   if (options_.validate_result && report.after.reject) {
     return Status::Internal(
         "constructed explanation does not reverse the KS test");

@@ -53,6 +53,28 @@ struct MocheReport {
   BuildStats build_stats;
 };
 
+/// A reference sample validated and sorted once, for explaining many test
+/// windows against the same R (e.g. the sliding-window sweeps of Section 6:
+/// hundreds of test windows are sliced from one series and compared against
+/// one reference). Construct with Moche::Prepare; immutable afterwards, so
+/// one PreparedReference may be shared by concurrent ExplainPrepared calls.
+class PreparedReference {
+ public:
+  const std::vector<double>& sorted_reference() const {
+    return sorted_reference_;
+  }
+  double alpha() const { return alpha_; }
+
+ private:
+  friend class Moche;
+  // Only Moche::Prepare may construct one: ExplainPrepared's unchecked hot
+  // path relies on the validate-and-sort invariant Prepare establishes.
+  PreparedReference() = default;
+
+  std::vector<double> sorted_reference_;
+  double alpha_ = 0.05;
+};
+
 class Moche {
  public:
   explicit Moche(MocheOptions options = {}) : options_(options) {}
@@ -69,6 +91,19 @@ class Moche {
     return Explain(instance.reference, instance.test, instance.alpha,
                    preference);
   }
+
+  /// Validates and sorts `reference` once for many ExplainPrepared calls.
+  /// InvalidArgument on an empty/non-finite sample or out-of-domain alpha.
+  Result<PreparedReference> Prepare(std::vector<double> reference,
+                                    double alpha) const;
+
+  /// As Explain, but reuses the prepared (already sorted) reference: only
+  /// the test window is sorted per call. Produces bit-identical reports to
+  /// Explain on the same inputs. Thread-safe: Moche and PreparedReference
+  /// are both immutable, so concurrent calls may share them.
+  Result<MocheReport> ExplainPrepared(const PreparedReference& prepared,
+                                      const std::vector<double>& test,
+                                      const PreferenceList& preference) const;
 
   /// Phase 1 only: the explanation size (and lower bound) without building
   /// the explanation. Useful when only conciseness is needed.

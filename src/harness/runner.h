@@ -40,11 +40,18 @@ struct CollectOptions {
   /// (the paper's sampling rule). Series without labels keep everything.
   bool require_labeled_anomaly = true;
   uint64_t seed = 17;
+  /// Threads scanning series concurrently: 1 = sequential (default),
+  /// 0 = one per hardware core. Every (series, window) combination draws
+  /// its sample from an Rng seeded by (seed, series index, window index),
+  /// so the collected instances are identical for every thread count.
+  size_t num_threads = 1;
 };
 
 /// Collects and samples failed window tests across all series of `dataset`,
 /// attaching Spectral-Residual preference lists. Window sizes that do not
-/// fit a series are skipped silently.
+/// fit a series are skipped silently. Series are scanned in parallel when
+/// options.num_threads != 1; the output order (and content) is that of the
+/// sequential scan regardless.
 Result<std::vector<ExperimentInstance>> CollectFailedInstances(
     const ts::Dataset& dataset, const CollectOptions& options);
 
@@ -62,10 +69,29 @@ struct MethodOutcome {
 struct InstanceResults {
   const ExperimentInstance* instance = nullptr;
   std::vector<MethodOutcome> outcomes;
+  /// Wall time of the whole task (all methods on this instance), measured
+  /// inside the worker that ran it.
+  double seconds = 0.0;
+};
+
+struct RunOptions {
+  /// Worker threads explaining instances concurrently: 1 = sequential
+  /// (default), 0 = one per hardware core. Each task is one instance run
+  /// through every method and writes only its own results slot, so the
+  /// result vector (and hence Aggregate) is identical for every thread
+  /// count. Methods are shared across workers — the Explainer contract
+  /// requires const, concurrency-safe Explain.
+  size_t num_threads = 1;
 };
 
 /// Runs every explainer on every instance. Explainers whose Explain returns
 /// a non-OK status count as "not produced" with that status code.
+std::vector<InstanceResults> RunMethods(
+    const std::vector<ExperimentInstance>& instances,
+    const std::vector<baselines::Explainer*>& methods,
+    const RunOptions& options);
+
+/// Sequential convenience overload (RunOptions{}).
 std::vector<InstanceResults> RunMethods(
     const std::vector<ExperimentInstance>& instances,
     const std::vector<baselines::Explainer*>& methods);
@@ -84,7 +110,9 @@ struct MethodAggregate {
 
 /// Aggregates results per method. ISE follows the paper's rule: only
 /// instances where every method produced an explanation contribute.
-std::vector<MethodAggregate> Aggregate(
+/// InvalidArgument when the records are ragged — every record must list
+/// the same methods (same count, same names, same order).
+Result<std::vector<MethodAggregate>> Aggregate(
     const std::vector<InstanceResults>& results);
 
 }  // namespace harness

@@ -9,9 +9,33 @@
 namespace moche {
 namespace ks {
 
-double CriticalValue(double alpha) {
-  MOCHE_CHECK(alpha > 0.0 && alpha < 2.0);
+namespace internal {
+
+double CriticalValueUnchecked(double alpha) {
+  MOCHE_DCHECK(alpha > 0.0 && alpha < 2.0);
   return std::sqrt(-0.5 * std::log(alpha / 2.0));
+}
+
+double ThresholdUnchecked(double alpha, size_t n, size_t m) {
+  MOCHE_DCHECK(n > 0 && m > 0);
+  const double dn = static_cast<double>(n);
+  const double dm = static_cast<double>(m);
+  return CriticalValueUnchecked(alpha) * std::sqrt((dn + dm) / (dn * dm));
+}
+
+}  // namespace internal
+
+Status ValidateAlpha(double alpha) {
+  if (!(alpha > 0.0 && alpha < 2.0)) {
+    return Status::InvalidArgument(
+        StrFormat("alpha must be in (0, 2), got %g", alpha));
+  }
+  return Status::OK();
+}
+
+Result<double> CriticalValue(double alpha) {
+  MOCHE_RETURN_IF_ERROR(ValidateAlpha(alpha));
+  return internal::CriticalValueUnchecked(alpha);
 }
 
 double KolmogorovQ(double lambda) {
@@ -27,23 +51,33 @@ double KolmogorovQ(double lambda) {
   return std::clamp(2.0 * sum, 0.0, 1.0);
 }
 
-double PValueAsymptotic(double d, size_t n, size_t m) {
-  MOCHE_CHECK(n > 0 && m > 0);
+Result<double> PValueAsymptotic(double d, size_t n, size_t m) {
+  if (n == 0 || m == 0) {
+    return Status::InvalidArgument(
+        StrFormat("sample sizes must be positive, got n=%zu m=%zu", n, m));
+  }
   const double dn = static_cast<double>(n);
   const double dm = static_cast<double>(m);
   return KolmogorovQ(d * std::sqrt(dn * dm / (dn + dm)));
 }
 
-double Threshold(double alpha, size_t n, size_t m) {
-  MOCHE_CHECK(n > 0 && m > 0);
-  const double dn = static_cast<double>(n);
-  const double dm = static_cast<double>(m);
-  return CriticalValue(alpha) * std::sqrt((dn + dm) / (dn * dm));
+Result<double> Threshold(double alpha, size_t n, size_t m) {
+  MOCHE_RETURN_IF_ERROR(ValidateAlpha(alpha));
+  if (n == 0 || m == 0) {
+    return Status::InvalidArgument(
+        StrFormat("sample sizes must be positive, got n=%zu m=%zu", n, m));
+  }
+  return internal::ThresholdUnchecked(alpha, n, m);
 }
 
 double StatisticSorted(const std::vector<double>& r_sorted,
                        const std::vector<double>& t_sorted, double* location) {
-  if (r_sorted.empty() && t_sorted.empty()) return 0.0;
+  if (r_sorted.empty() && t_sorted.empty()) {
+    // No x exists; write a deterministic sentinel so callers that always
+    // read *location never see an uninitialized value.
+    if (location != nullptr) *location = 0.0;
+    return 0.0;
+  }
   if (r_sorted.empty() || t_sorted.empty()) {
     if (location != nullptr) {
       *location = r_sorted.empty() ? t_sorted.front() : r_sorted.front();
@@ -102,15 +136,12 @@ Result<KsOutcome> RunSorted(const std::vector<double>& r_sorted,
                             double alpha) {
   MOCHE_RETURN_IF_ERROR(ValidateSample(r_sorted, "reference set"));
   MOCHE_RETURN_IF_ERROR(ValidateSample(t_sorted, "test set"));
-  if (!(alpha > 0.0 && alpha < 2.0)) {
-    return Status::InvalidArgument(
-        StrFormat("alpha must be in (0, 2), got %g", alpha));
-  }
+  MOCHE_RETURN_IF_ERROR(ValidateAlpha(alpha));
   KsOutcome out;
   out.n = r_sorted.size();
   out.m = t_sorted.size();
   out.statistic = StatisticSorted(r_sorted, t_sorted, &out.location);
-  out.threshold = Threshold(alpha, out.n, out.m);
+  out.threshold = internal::ThresholdUnchecked(alpha, out.n, out.m);
   out.reject = out.statistic > out.threshold;
   return out;
 }
@@ -127,6 +158,8 @@ Result<KsOutcome> Run(std::vector<double> r, std::vector<double> t,
 RemovalKs::RemovalKs(const std::vector<double>& r,
                      const std::vector<double>& t, double alpha)
     : alpha_(alpha), n_(r.size()), m_(t.size()) {
+  MOCHE_DCHECK(ks::ValidateAlpha(alpha).ok());
+  MOCHE_DCHECK(!r.empty());
   std::vector<double> rs = r;
   std::vector<double> ts = t;
   std::sort(rs.begin(), rs.end());
@@ -192,12 +225,29 @@ void RemovalKs::Reset() {
 }
 
 KsOutcome RemovalKs::CurrentOutcome() const {
-  MOCHE_CHECK(removed_total_ < m_);
-  const double n = static_cast<double>(n_);
-  const double m_rem = static_cast<double>(m_ - removed_total_);
   KsOutcome out;
   out.n = n_;
   out.m = m_ - removed_total_;
+  if (removed_total_ >= m_) {
+    // The removal set consumed all of T. Mirror StatisticSorted's
+    // one-empty-sample convention (D = 1, reject, location = the smallest
+    // reference value, where |F_R - F_empty| first reaches 1); the
+    // threshold formula diverges at m = 0, so report the degenerate
+    // threshold 0.
+    out.statistic = 1.0;
+    out.threshold = 0.0;
+    out.reject = true;
+    out.location = 0.0;
+    for (size_t i = 0; i < values_.size(); ++i) {
+      if (count_r_[i] > 0) {
+        out.location = values_[i];
+        break;
+      }
+    }
+    return out;
+  }
+  const double n = static_cast<double>(n_);
+  const double m_rem = static_cast<double>(m_ - removed_total_);
   int64_t cum_r = 0;
   int64_t cum_t = 0;
   double best = 0.0;
@@ -214,7 +264,8 @@ KsOutcome RemovalKs::CurrentOutcome() const {
   }
   out.statistic = best;
   out.location = best_x;
-  out.threshold = ks::Threshold(alpha_, n_, m_ - removed_total_);
+  out.threshold = ks::internal::ThresholdUnchecked(alpha_, n_,
+                                                   m_ - removed_total_);
   out.reject = out.statistic > out.threshold;
   return out;
 }

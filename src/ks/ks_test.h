@@ -31,8 +31,13 @@ namespace ks {
 /// used in the error message ("reference set", ...).
 Status ValidateSample(const std::vector<double>& sample, const char* name);
 
-/// c_alpha = sqrt(-0.5 * ln(alpha/2)). Requires 0 < alpha < 2.
-double CriticalValue(double alpha);
+/// Rejects significance levels outside the domain (0, 2) of c_alpha.
+Status ValidateAlpha(double alpha);
+
+/// c_alpha = sqrt(-0.5 * ln(alpha/2)). InvalidArgument unless 0 < alpha < 2
+/// (the whole public ks surface reports bad inputs through Status; it never
+/// aborts).
+Result<double> CriticalValue(double alpha);
 
 /// Kolmogorov tail probability Q_KS(lambda) = 2 sum (-1)^{j-1} e^{-2j^2 l^2}.
 double KolmogorovQ(double lambda);
@@ -41,13 +46,27 @@ double KolmogorovQ(double lambda);
 /// Q_KS(sqrt(nm/(n+m)) * d). Rejecting when p < alpha agrees with the
 /// paper's D > Threshold(alpha, n, m) rule up to the higher-order series
 /// terms the one-term critical value drops (differences < ~1e-4).
-double PValueAsymptotic(double d, size_t n, size_t m);
+/// InvalidArgument when n or m is zero.
+Result<double> PValueAsymptotic(double d, size_t n, size_t m);
 
 /// The rejection threshold p = c_alpha * sqrt((n+m)/(n*m)).
-double Threshold(double alpha, size_t n, size_t m);
+/// InvalidArgument when alpha is outside (0, 2) or n or m is zero.
+Result<double> Threshold(double alpha, size_t n, size_t m);
+
+namespace internal {
+
+/// Precondition-based fast paths for hot loops that already validated their
+/// inputs (ValidateAlpha / non-empty samples). Preconditions are checked
+/// with MOCHE_DCHECK only; release builds compute garbage on bad input.
+double CriticalValueUnchecked(double alpha);
+double ThresholdUnchecked(double alpha, size_t n, size_t m);
+
+}  // namespace internal
 
 /// D(R,T) for samples that are already sorted ascending.
-/// Returns 1.0 if exactly one sample is empty; 0.0 if both are.
+/// Returns 1.0 if exactly one sample is empty; 0.0 if both are. `location`
+/// (when non-null) is always written: the maximizing x, or 0.0 when both
+/// samples are empty and no x exists.
 double StatisticSorted(const std::vector<double>& r_sorted,
                        const std::vector<double>& t_sorted,
                        double* location = nullptr);
@@ -75,7 +94,10 @@ Result<KsOutcome> RunSorted(const std::vector<double>& r_sorted,
 /// repeatedly grow a removal set and re-run the test.
 class RemovalKs {
  public:
-  /// Builds the union grid from (unsorted) samples.
+  /// Builds the union grid from (unsorted) samples. R must be non-empty and
+  /// alpha must satisfy ks::ValidateAlpha — validate before constructing
+  /// (the greedy baselines do); violations are caught by MOCHE_DCHECK in
+  /// debug builds only.
   RemovalKs(const std::vector<double>& r, const std::vector<double>& t,
             double alpha);
 
@@ -91,10 +113,18 @@ class RemovalKs {
   void Reset();
 
   /// KS outcome of R vs T \ S for the current removal set S.
-  /// |T \ S| must be positive.
+  ///
+  /// When the removal set has consumed all of T (|T \ S| = 0), the outcome
+  /// is the degenerate one-empty-sample convention of StatisticSorted:
+  /// D = 1, reject = true, threshold = 0 (the threshold formula diverges at
+  /// m = 0), location = the smallest reference value (where |F_R - F_empty|
+  /// first reaches 1). Greedy callers that strip the whole test set
+  /// therefore see a well-defined "still failing" result instead of a
+  /// crash.
   KsOutcome CurrentOutcome() const;
 
-  /// True iff R and T \ S pass the test at the configured alpha.
+  /// True iff R and T \ S pass the test at the configured alpha. False when
+  /// the whole test set has been removed (see CurrentOutcome).
   bool Passes() const;
 
   size_t num_removed() const { return removed_total_; }

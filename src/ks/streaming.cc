@@ -231,10 +231,7 @@ Result<StreamingKs> StreamingKs::Create(const std::vector<double>& reference,
   if (window_size == 0) {
     return Status::InvalidArgument("window size must be positive");
   }
-  if (!(alpha > 0.0 && alpha < 2.0)) {
-    return Status::InvalidArgument(
-        StrFormat("alpha must be in (0, 2), got %g", alpha));
-  }
+  MOCHE_RETURN_IF_ERROR(ks::ValidateAlpha(alpha));
   StreamingKs stream(reference.size(), window_size, alpha);
   const int64_t m = static_cast<int64_t>(window_size);
   for (double v : reference) {
@@ -286,7 +283,8 @@ Result<KsOutcome> StreamingKs::CurrentOutcome() const {
   out.m = window_size_;
   out.statistic = static_cast<double>(treap_->MaxAbsScore()) /
                   (static_cast<double>(n_) * static_cast<double>(window_size_));
-  out.threshold = ks::Threshold(alpha_, n_, window_size_);
+  // alpha / sizes were validated by StreamingKs::Create.
+  out.threshold = ks::internal::ThresholdUnchecked(alpha_, n_, window_size_);
   out.reject = out.statistic > out.threshold;
   return out;
 }

@@ -1,0 +1,108 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+
+namespace moche {
+
+size_t HardwareConcurrency() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<size_t>(n);
+}
+
+size_t ResolveThreadCount(size_t requested) {
+  if (requested == 0) return HardwareConcurrency();
+  return requested;
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t total = ResolveThreadCount(num_threads);
+  workers_.reserve(total - 1);
+  for (size_t i = 0; i + 1 < total; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  job_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::ParallelFor(size_t count,
+                             const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  // Inline fast path: nothing to distribute, or nobody to distribute to.
+  if (workers_.empty() || count == 1) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  auto job = std::make_shared<internal::ParallelJob>();
+  job->fn = fn;
+  job->count = count;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = job;
+    ++generation_;
+  }
+  job_cv_.notify_all();
+
+  // The calling thread drains indices alongside the workers.
+  Drain(*job);
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&job] {
+    return job->done_count.load(std::memory_order_acquire) == job->count;
+  });
+  if (job_ == job) job_ = nullptr;
+}
+
+void ThreadPool::Drain(internal::ParallelJob& job) {
+  for (size_t i = job.next_index.fetch_add(1, std::memory_order_relaxed);
+       i < job.count;
+       i = job.next_index.fetch_add(1, std::memory_order_relaxed)) {
+    job.fn(i);
+    if (job.done_count.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        job.count) {
+      // Last task overall: wake the caller. Taking the mutex orders this
+      // notify after the caller entered its wait, closing the missed-wakeup
+      // window.
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    std::shared_ptr<internal::ParallelJob> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      job_cv_.wait(lock, [this, seen_generation] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      job = job_;  // null when the job already retired; just wait again
+    }
+    if (job != nullptr) Drain(*job);
+  }
+}
+
+void ParallelFor(size_t num_threads, size_t count,
+                 const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  const size_t threads = std::min(ResolveThreadCount(num_threads), count);
+  if (threads <= 1) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(threads);
+  pool.ParallelFor(count, fn);
+}
+
+}  // namespace moche

@@ -1,0 +1,109 @@
+// A minimal fixed-size thread pool and a deterministic ParallelFor.
+//
+// The pool exists so the experiment harness (and any future sharding/async
+// layer) can fan independent instances out across cores without external
+// dependencies. Design constraints, in order:
+//
+//  * Deterministic task->index mapping: ParallelFor(count, fn) calls fn(i)
+//    exactly once for every i in [0, count). Which worker runs which index
+//    is unspecified, but because every task knows its own index, callers
+//    write results into slot i and the merged output is identical to the
+//    sequential loop regardless of scheduling.
+//  * Exception-free: the library communicates failure through Status, never
+//    by throwing. Tasks must not throw; an escaping exception would cross a
+//    thread boundary and terminate the process.
+//  * No oversubscription surprises: a pool of one thread (or a count of one
+//    task) runs inline on the caller with no synchronization at all, so the
+//    single-threaded configuration is exactly the sequential code path.
+
+#ifndef MOCHE_UTIL_PARALLEL_H_
+#define MOCHE_UTIL_PARALLEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace moche {
+
+/// The number of hardware threads, with a floor of 1 (the standard allows
+/// std::thread::hardware_concurrency() to return 0 when unknown).
+size_t HardwareConcurrency();
+
+/// Resolves a user-facing thread-count knob: 0 means "one per hardware
+/// core", anything else is taken literally.
+size_t ResolveThreadCount(size_t requested);
+
+namespace internal {
+
+/// The state of one ParallelFor call. Heap-allocated and shared between the
+/// caller and the workers so that a worker descheduled across the end of a
+/// job can only ever touch that job's own (already drained) counters, never
+/// a successor job's.
+struct ParallelJob {
+  std::function<void(size_t)> fn;
+  size_t count = 0;
+  std::atomic<size_t> next_index{0};
+  std::atomic<size_t> done_count{0};
+};
+
+}  // namespace internal
+
+/// A fixed pool of worker threads executing one ParallelFor at a time.
+///
+/// Reuse one pool across many ParallelFor calls to amortize thread startup;
+/// the workers sleep between calls. The pool itself is NOT thread-safe:
+/// ParallelFor must not be called concurrently from multiple threads, and
+/// tasks must not call ParallelFor on the pool that is running them.
+class ThreadPool {
+ public:
+  /// Spawns ResolveThreadCount(num_threads) - 1 workers (the calling thread
+  /// is the remaining one: it participates in every ParallelFor).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Blocks until all workers have exited. Must not race a ParallelFor.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total threads that execute tasks (workers + the calling thread).
+  size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Runs fn(i) exactly once for every i in [0, count), distributing
+  /// indices across the pool, and returns once all calls completed.
+  /// fn must be safe to call concurrently for distinct indices and must
+  /// not throw.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  /// Claims and runs indices of `job` until none remain; wakes the caller
+  /// after finishing the job's last task.
+  void Drain(internal::ParallelJob& job);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable job_cv_;   // workers wait here for a new job
+  std::condition_variable done_cv_;  // the caller waits here for completion
+  bool stop_ = false;                // guarded by mutex_
+  uint64_t generation_ = 0;          // guarded by mutex_; +1 per ParallelFor
+  std::shared_ptr<internal::ParallelJob> job_;  // guarded by mutex_
+};
+
+/// One-shot convenience: runs fn(i) for i in [0, count) on a temporary pool
+/// of ResolveThreadCount(num_threads) threads (capped at count). Prefer a
+/// long-lived ThreadPool when calling in a loop.
+void ParallelFor(size_t num_threads, size_t count,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace moche
+
+#endif  // MOCHE_UTIL_PARALLEL_H_

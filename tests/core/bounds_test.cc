@@ -29,7 +29,7 @@ class PaperBoundsTest : public ::testing::Test {
 };
 
 TEST_F(PaperBoundsTest, OmegaFormula) {
-  const double c = ks::CriticalValue(0.3);
+  const double c = *ks::CriticalValue(0.3);
   // Omega(h) = c * sqrt(m-h + (m-h)^2/n), m = 4, n = 8.
   EXPECT_NEAR(engine_->Omega(1), c * std::sqrt(3.0 + 9.0 / 8.0), kTightTol);
   EXPECT_NEAR(engine_->Omega(2), c * std::sqrt(2.0 + 4.0 / 8.0), kTightTol);

@@ -40,10 +40,10 @@ TEST_F(PaperGoldenValues, KsStatistic) {
 // c_0.05 = sqrt(-ln(0.025)/2) = 1.3581015..., and the rejection threshold
 // for n = 8, m = 4 is c_0.05 * sqrt(12/32) = 0.8316639...
 TEST_F(PaperGoldenValues, CriticalValueAtAlpha05) {
-  EXPECT_NEAR(ks::CriticalValue(0.05), 1.3581015, kLooseTol);
-  EXPECT_NEAR(ks::Threshold(0.05, 8, 4), 0.8316639, kLooseTol);
-  EXPECT_NEAR(ks::Threshold(0.05, 8, 4),
-              ks::CriticalValue(0.05) * std::sqrt(12.0 / 32.0), kTightTol);
+  EXPECT_NEAR(*ks::CriticalValue(0.05), 1.3581015, kLooseTol);
+  EXPECT_NEAR(*ks::Threshold(0.05, 8, 4), 0.8316639, kLooseTol);
+  EXPECT_NEAR(*ks::Threshold(0.05, 8, 4),
+              *ks::CriticalValue(0.05) * std::sqrt(12.0 / 32.0), kTightTol);
 }
 
 // Branch 1 (AlreadyPasses): at alpha = 0.05 the threshold (0.8317) exceeds

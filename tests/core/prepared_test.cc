@@ -1,0 +1,130 @@
+// The prepared-instance API: Moche::Prepare sorts/validates the reference
+// once, ExplainPrepared reuses it per test window. Its contract is that
+// reports are bit-identical to the one-shot Explain on the same inputs.
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/moche.h"
+#include "util/rng.h"
+
+namespace moche {
+namespace {
+
+void ExpectSameReport(const MocheReport& a, const MocheReport& b) {
+  EXPECT_EQ(a.k, b.k);
+  EXPECT_EQ(a.k_hat, b.k_hat);
+  EXPECT_EQ(a.explanation.indices, b.explanation.indices);
+  EXPECT_DOUBLE_EQ(a.original.statistic, b.original.statistic);
+  EXPECT_DOUBLE_EQ(a.original.threshold, b.original.threshold);
+  EXPECT_DOUBLE_EQ(a.original.location, b.original.location);
+  EXPECT_EQ(a.original.reject, b.original.reject);
+  EXPECT_DOUBLE_EQ(a.after.statistic, b.after.statistic);
+  EXPECT_EQ(a.after.reject, b.after.reject);
+}
+
+TEST(PreparedReferenceTest, PrepareValidatesInputs) {
+  Moche engine;
+  EXPECT_TRUE(engine.Prepare({}, 0.05).status().IsInvalidArgument());
+  EXPECT_TRUE(engine.Prepare({1.0, 2.0}, 0.0).status().IsInvalidArgument());
+  EXPECT_TRUE(engine.Prepare({1.0, 2.0}, 2.5).status().IsInvalidArgument());
+
+  auto prepared = engine.Prepare({3.0, 1.0, 2.0}, 0.05);
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_EQ(prepared->sorted_reference(),
+            (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_DOUBLE_EQ(prepared->alpha(), 0.05);
+}
+
+TEST(PreparedReferenceTest, MatchesExplainOnPaperExample) {
+  const std::vector<double> r{14, 14, 14, 14, 20, 20, 20, 20};
+  const std::vector<double> t{13, 13, 12, 20};
+  Moche engine;
+  auto direct = engine.Explain(r, t, 0.3, {3, 2, 1, 0});
+  ASSERT_TRUE(direct.ok());
+
+  auto prepared = engine.Prepare(r, 0.3);
+  ASSERT_TRUE(prepared.ok());
+  auto via_prepared = engine.ExplainPrepared(*prepared, t, {3, 2, 1, 0});
+  ASSERT_TRUE(via_prepared.ok());
+  ExpectSameReport(*direct, *via_prepared);
+  EXPECT_EQ(via_prepared->explanation.indices, (std::vector<size_t>{2, 1}));
+}
+
+TEST(PreparedReferenceTest, OneReferenceManyWindowsMatchesExplain) {
+  // The motivating workload: one reference sample, many test windows sliced
+  // from the same stream. Every window's report must equal the one-shot
+  // Explain.
+  Rng rng(71);
+  std::vector<double> reference;
+  for (int i = 0; i < 200; ++i) reference.push_back(rng.Normal(0, 1));
+
+  Moche engine;
+  auto prepared = engine.Prepare(reference, 0.05);
+  ASSERT_TRUE(prepared.ok());
+
+  int explained = 0;
+  for (int window = 0; window < 12; ++window) {
+    std::vector<double> test;
+    const double shift = 0.5 + 0.1 * window;
+    for (int i = 0; i < 80; ++i) test.push_back(rng.Normal(shift, 1.1));
+    PreferenceList pref = RandomPreference(test.size(), &rng);
+
+    auto direct = engine.Explain(reference, test, 0.05, pref);
+    auto via_prepared = engine.ExplainPrepared(*prepared, test, pref);
+    ASSERT_EQ(direct.ok(), via_prepared.ok()) << "window " << window;
+    if (!direct.ok()) {
+      EXPECT_EQ(direct.status().code(), via_prepared.status().code());
+      continue;
+    }
+    ++explained;
+    ExpectSameReport(*direct, *via_prepared);
+  }
+  EXPECT_GE(explained, 8);
+}
+
+TEST(PreparedReferenceTest, AlreadyPassingAndValidationErrors) {
+  Moche engine;
+  auto prepared = engine.Prepare({1, 2, 3, 4}, 0.05);
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_TRUE(engine.ExplainPrepared(*prepared, {1, 2, 3, 4}, {0, 1, 2, 3})
+                  .status()
+                  .IsAlreadyPasses());
+  // bad preference (not a permutation of [0, m))
+  EXPECT_TRUE(engine.ExplainPrepared(*prepared, {9, 9, 9}, {0, 1})
+                  .status()
+                  .IsInvalidArgument());
+  // empty test window
+  EXPECT_TRUE(engine.ExplainPrepared(*prepared, {}, {})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(CumulativeFrameTest, BuildRejectsNonFiniteBeforeSorting) {
+  // Regression: Build must validate before sorting — std::sort on a range
+  // containing NaN is undefined behavior, so validation cannot be deferred
+  // to BuildFromSorted.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(CumulativeFrame::Build({1.0, nan, 0.5}, {1.0})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(CumulativeFrame::Build({1.0}, {2.0, nan})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(CumulativeFrameTest, BuildFromSortedRejectsUnsortedInput) {
+  EXPECT_TRUE(CumulativeFrame::BuildFromSorted({2.0, 1.0}, {1.0})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(CumulativeFrame::BuildFromSorted({1.0}, {2.0, 1.0})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(CumulativeFrame::BuildFromSorted({1.0, 2.0}, {1.0, 3.0}).ok());
+}
+
+}  // namespace
+}  // namespace moche

@@ -43,7 +43,9 @@ TEST(ExportTest, ResultsCsvShape) {
 TEST(ExportTest, AggregatesCsvShape) {
   std::vector<ExperimentInstance> storage;
   const auto results = SmallRun(&storage);
-  const CsvTable table = AggregatesToCsv(Aggregate(results));
+  auto aggregates = Aggregate(results);
+  ASSERT_TRUE(aggregates.ok());
+  const CsvTable table = AggregatesToCsv(*aggregates);
   ASSERT_EQ(table.rows.size(), 3u);  // header + 2 methods
   EXPECT_EQ(table.rows[0][0], "method");
   EXPECT_EQ(table.rows[1][0], "M");

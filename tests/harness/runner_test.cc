@@ -65,7 +65,9 @@ TEST_F(RunnerTest, RunMethodsAndAggregate) {
       RunMethods(instances_, methods);
   ASSERT_EQ(results.size(), instances_.size());
 
-  const std::vector<MethodAggregate> agg = Aggregate(results);
+  auto agg_or = Aggregate(results);
+  ASSERT_TRUE(agg_or.ok()) << agg_or.status().ToString();
+  const std::vector<MethodAggregate>& agg = *agg_or;
   ASSERT_EQ(agg.size(), 3u);
   EXPECT_EQ(agg[0].method, "M");
   // MOCHE always produces and always has the smallest explanation
@@ -80,7 +82,32 @@ TEST_F(RunnerTest, RunMethodsAndAggregate) {
 }
 
 TEST_F(RunnerTest, AggregateOnEmptyResults) {
-  EXPECT_TRUE(Aggregate({}).empty());
+  auto agg = Aggregate({});
+  ASSERT_TRUE(agg.ok());
+  EXPECT_TRUE(agg->empty());
+}
+
+TEST_F(RunnerTest, AggregateRejectsRaggedResults) {
+  baselines::GreedyExplainer grd;
+  baselines::D3Explainer d3;
+  std::vector<baselines::Explainer*> methods{&grd, &d3};
+  std::vector<InstanceResults> results = RunMethods(instances_, methods);
+  ASSERT_GE(results.size(), 2u);
+
+  // Regression: Aggregate used to index every record by the first record's
+  // outcome count — out-of-bounds on ragged input. Now InvalidArgument.
+  std::vector<InstanceResults> ragged = results;
+  ragged[1].outcomes.pop_back();
+  EXPECT_TRUE(Aggregate(ragged).status().IsInvalidArgument());
+
+  std::vector<InstanceResults> longer = results;
+  longer[0].outcomes.pop_back();  // first record shorter than the rest
+  EXPECT_TRUE(Aggregate(longer).status().IsInvalidArgument());
+
+  // Same count but misaligned method names is just as unaggregatable.
+  std::vector<InstanceResults> renamed = results;
+  std::swap(renamed[1].outcomes[0], renamed[1].outcomes[1]);
+  EXPECT_TRUE(Aggregate(renamed).status().IsInvalidArgument());
 }
 
 TEST(RunnerOptionsTest, LabelFilterCanBeDisabled) {

@@ -17,20 +17,45 @@ using testing_util::kTightTol;
 
 TEST(CriticalValueTest, KnownValues) {
   // c_alpha = sqrt(-ln(alpha/2)/2); at 0.05 this is the familiar 1.3581.
-  EXPECT_NEAR(ks::CriticalValue(0.05), 1.3581015, kLooseTol);
-  EXPECT_NEAR(ks::CriticalValue(0.10), 1.2238734, kLooseTol);
-  EXPECT_NEAR(ks::CriticalValue(0.01), 1.6276236, kLooseTol);
+  EXPECT_NEAR(*ks::CriticalValue(0.05), 1.3581015, kLooseTol);
+  EXPECT_NEAR(*ks::CriticalValue(0.10), 1.2238734, kLooseTol);
+  EXPECT_NEAR(*ks::CriticalValue(0.01), 1.6276236, kLooseTol);
 }
 
 TEST(CriticalValueTest, ProposionOneBoundary) {
   // At alpha = 2/e^2 the critical value is exactly 1 (Proposition 1).
-  EXPECT_NEAR(ks::CriticalValue(2.0 / (M_E * M_E)), 1.0, kTightTol);
+  EXPECT_NEAR(*ks::CriticalValue(2.0 / (M_E * M_E)), 1.0, kTightTol);
 }
 
 TEST(ThresholdTest, Formula) {
   const double alpha = 0.05;
-  EXPECT_NEAR(ks::Threshold(alpha, 100, 50),
-              ks::CriticalValue(alpha) * std::sqrt(150.0 / 5000.0), kTightTol);
+  EXPECT_NEAR(*ks::Threshold(alpha, 100, 50),
+              *ks::CriticalValue(alpha) * std::sqrt(150.0 / 5000.0), kTightTol);
+}
+
+// The public ks surface is consistently Status-returning: the same
+// out-of-domain alpha that makes RunSorted return InvalidArgument must make
+// CriticalValue / Threshold / PValueAsymptotic return InvalidArgument too,
+// never abort.
+TEST(CriticalValueTest, OutOfDomainAlphaIsInvalidArgument) {
+  for (double alpha : {0.0, -0.5, 2.0, 3.0}) {
+    EXPECT_TRUE(ks::CriticalValue(alpha).status().IsInvalidArgument())
+        << alpha;
+    EXPECT_TRUE(ks::Threshold(alpha, 10, 10).status().IsInvalidArgument())
+        << alpha;
+    EXPECT_TRUE(ks::ValidateAlpha(alpha).IsInvalidArgument()) << alpha;
+    EXPECT_TRUE(
+        ks::RunSorted({1.0}, {2.0}, alpha).status().IsInvalidArgument())
+        << alpha;
+  }
+  EXPECT_TRUE(ks::ValidateAlpha(0.05).ok());
+}
+
+TEST(ThresholdTest, ZeroSampleSizesAreInvalidArgument) {
+  EXPECT_TRUE(ks::Threshold(0.05, 0, 10).status().IsInvalidArgument());
+  EXPECT_TRUE(ks::Threshold(0.05, 10, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(ks::PValueAsymptotic(0.5, 0, 10).status().IsInvalidArgument());
+  EXPECT_TRUE(ks::PValueAsymptotic(0.5, 10, 0).status().IsInvalidArgument());
 }
 
 TEST(StatisticTest, IdenticalSamplesGiveZero) {
@@ -67,6 +92,18 @@ TEST(StatisticTest, EmptySampleConventions) {
   EXPECT_DOUBLE_EQ(ks::Statistic({}, {}), 0.0);
   EXPECT_DOUBLE_EQ(ks::Statistic({1.0}, {}), 1.0);
   EXPECT_DOUBLE_EQ(ks::Statistic({}, {1.0}), 1.0);
+}
+
+TEST(StatisticTest, LocationAlwaysWrittenEvenForTwoEmptySamples) {
+  // Regression: the both-empty early return used to leave *location
+  // untouched, an uninitialized read for callers that always consume it.
+  double loc = 123.0;
+  EXPECT_DOUBLE_EQ(ks::StatisticSorted({}, {}, &loc), 0.0);
+  EXPECT_DOUBLE_EQ(loc, 0.0);  // deterministic sentinel
+
+  loc = 123.0;
+  EXPECT_DOUBLE_EQ(ks::Statistic({}, {}, &loc), 0.0);
+  EXPECT_DOUBLE_EQ(loc, 0.0);
 }
 
 // The merge-based statistic must agree with a brute-force evaluation of
@@ -173,7 +210,7 @@ TEST(KolmogorovQTest, KnownValuesAndMonotonicity) {
   // full series agrees to its second term, 2 e^{-8 c_alpha^2} (~1e-5 at
   // alpha = 0.25, far smaller below).
   for (double alpha : {0.01, 0.05, 0.1, 0.25}) {
-    const double c = ks::CriticalValue(alpha);
+    const double c = *ks::CriticalValue(alpha);
     EXPECT_NEAR(ks::KolmogorovQ(c), alpha, 3.0 * std::exp(-8.0 * c * c));
   }
   EXPECT_GT(ks::KolmogorovQ(0.5), ks::KolmogorovQ(1.0));
@@ -190,10 +227,10 @@ TEST(PValueTest, EquivalentToThresholdComparison) {
     for (double alpha : {0.01, 0.05, 0.2}) {
       // the full-series p-value and the one-term threshold disagree only
       // inside a hair-thin band around the threshold; skip that band
-      const double threshold = ks::Threshold(alpha, n, m);
+      const double threshold = *ks::Threshold(alpha, n, m);
       if (std::fabs(d - threshold) < 1e-3) continue;
       const bool by_threshold = d > threshold;
-      const bool by_pvalue = ks::PValueAsymptotic(d, n, m) < alpha;
+      const bool by_pvalue = *ks::PValueAsymptotic(d, n, m) < alpha;
       EXPECT_EQ(by_threshold, by_pvalue)
           << "n=" << n << " m=" << m << " d=" << d << " alpha=" << alpha;
     }
@@ -201,8 +238,8 @@ TEST(PValueTest, EquivalentToThresholdComparison) {
 }
 
 TEST(PValueTest, BoundaryBehaviour) {
-  EXPECT_DOUBLE_EQ(ks::PValueAsymptotic(0.0, 100, 100), 1.0);
-  EXPECT_NEAR(ks::PValueAsymptotic(1.0, 500, 500), 0.0, kTightTol);
+  EXPECT_DOUBLE_EQ(*ks::PValueAsymptotic(0.0, 100, 100), 1.0);
+  EXPECT_NEAR(*ks::PValueAsymptotic(1.0, 500, 500), 0.0, kTightTol);
 }
 
 }  // namespace

@@ -62,6 +62,38 @@ TEST(RemovalKsTest, RemovalMatchesRecomputedTest) {
   }
 }
 
+TEST(RemovalKsTest, RemovingAllOfTestSetIsWellDefined) {
+  // Regression: a greedy caller that strips the entire test set used to hit
+  // MOCHE_CHECK(removed_total_ < m_) and abort the process. The degenerate
+  // outcome now follows the one-empty-sample convention: D = 1, reject.
+  // Test values sort below the reference so the degenerate location is
+  // discriminating: it must be the smallest REFERENCE value (where
+  // |F_R - F_empty| first reaches 1), not the smallest union-grid value.
+  const std::vector<double> r{5, 6, 7, 8};
+  const std::vector<double> t{1, 2};
+  RemovalKs removal(r, t, 0.05);
+  ASSERT_TRUE(removal.RemoveValue(1).ok());
+  ASSERT_TRUE(removal.RemoveValue(2).ok());
+  ASSERT_EQ(removal.num_removed(), 2u);
+
+  const KsOutcome outcome = removal.CurrentOutcome();
+  EXPECT_DOUBLE_EQ(outcome.statistic, 1.0);
+  EXPECT_TRUE(outcome.reject);
+  EXPECT_EQ(outcome.m, 0u);
+  EXPECT_EQ(outcome.n, 4u);
+  EXPECT_DOUBLE_EQ(outcome.location, 5.0);  // smallest reference value
+  EXPECT_FALSE(removal.Passes());
+  EXPECT_TRUE(removal.RemainingTest().empty());
+
+  // Removing beyond empty still errors per value; unremoving recovers the
+  // ordinary outcome.
+  EXPECT_TRUE(removal.RemoveValue(1).IsInvalidArgument());
+  ASSERT_TRUE(removal.UnremoveValue(2).ok());
+  auto direct = ks::Run(r, {2}, 0.05);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_DOUBLE_EQ(removal.CurrentOutcome().statistic, direct->statistic);
+}
+
 TEST(RemovalKsTest, UnremoveRestores) {
   const std::vector<double> r{1, 2, 3};
   const std::vector<double> t{1, 5, 5};

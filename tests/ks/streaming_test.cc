@@ -149,7 +149,7 @@ TEST(StreamingKsTest, ThresholdMatchesBatchFormula) {
   for (double v : {9.0, 9.0, 9.0, 9.0}) ASSERT_TRUE(stream->Push(v).ok());
   auto outcome = stream->CurrentOutcome();
   ASSERT_TRUE(outcome.ok());
-  EXPECT_DOUBLE_EQ(outcome->threshold, ks::Threshold(0.1, 5, 4));
+  EXPECT_DOUBLE_EQ(outcome->threshold, *ks::Threshold(0.1, 5, 4));
   EXPECT_TRUE(outcome->reject);  // disjoint supports
   EXPECT_DOUBLE_EQ(outcome->statistic, 1.0);
 }
