@@ -20,6 +20,17 @@ double EpanechnikovKernel(double u) {
   return std::fabs(u) <= 1.0 ? 0.75 * (1.0 - u * u) : 0.0;
 }
 
+// Quantile (util/stats formula) of an already-sorted, finite sample —
+// avoids the copy + sort + NaN scan util's Quantile pays per call.
+double SortedQuantile(const std::vector<double>& sorted, double p) {
+  const double pos = p * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  if (frac == 0.0 || sorted[lo] == sorted[hi]) return sorted[lo];
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
 }  // namespace
 
 Result<Kde> Kde::Fit(const std::vector<double>& sample,
@@ -27,20 +38,37 @@ Result<Kde> Kde::Fit(const std::vector<double>& sample,
   if (sample.empty()) {
     return Status::InvalidArgument("KDE needs a non-empty sample");
   }
+  for (double v : sample) {
+    if (!std::isfinite(v)) {
+      // A NaN would hit std::sort (UB) and poison the bandwidth rules.
+      return Status::InvalidArgument("KDE sample must be finite");
+    }
+  }
+  std::vector<double> sorted = sample;
+  std::sort(sorted.begin(), sorted.end());
   double bandwidth = options.fixed_bandwidth;
   if (options.bandwidth_rule != BandwidthRule::kFixed) {
     const double sigma = StdDev(sample);
     const double n = static_cast<double>(sample.size());
-    const double factor =
-        options.bandwidth_rule == BandwidthRule::kSilverman ? 1.06 : 1.0;
-    bandwidth = factor * sigma * std::pow(n, -0.2);
+    if (options.bandwidth_rule == BandwidthRule::kSilverman) {
+      // Silverman's rule of thumb: 0.9 * min(sigma, IQR/1.34) * n^(-1/5).
+      // The IQR term keeps heavy tails and multimodality from inflating
+      // the bandwidth; a degenerate IQR (many ties) falls back to sigma.
+      const double iqr =
+          SortedQuantile(sorted, 0.75) - SortedQuantile(sorted, 0.25);
+      const double robust_scale = iqr / 1.34;
+      const double scale =
+          robust_scale > 0.0 ? std::min(sigma, robust_scale) : sigma;
+      bandwidth = 0.9 * scale * std::pow(n, -0.2);
+    } else {
+      // Gaussian-reference (Scott) rule: 1.06 * sigma * n^(-1/5).
+      bandwidth = 1.06 * sigma * std::pow(n, -0.2);
+    }
     if (bandwidth <= 1e-12) bandwidth = 1.0;  // constant sample fallback
   }
   if (bandwidth <= 0.0) {
     return Status::InvalidArgument("bandwidth must be positive");
   }
-  std::vector<double> sorted = sample;
-  std::sort(sorted.begin(), sorted.end());
   return Kde(std::move(sorted), bandwidth, options);
 }
 

@@ -18,9 +18,15 @@ enum class Kernel {
 };
 
 enum class BandwidthRule {
-  kSilverman,  // 1.06 * sigma * n^(-1/5)
-  kScott,      // sigma * n^(-1/5)
-  kFixed,      // user-provided
+  /// Silverman's rule of thumb: 0.9 * min(sigma, IQR/1.34) * n^(-1/5).
+  /// The robust scale keeps the bandwidth sane on heavy-tailed or bimodal
+  /// samples where sigma alone oversmooths.
+  kSilverman,
+  /// Gaussian-reference (Scott) rule: 1.06 * sigma * n^(-1/5). Optimal for
+  /// a Gaussian density, oversmooths elsewhere.
+  kScott,
+  /// User-provided fixed_bandwidth.
+  kFixed,
 };
 
 struct KdeOptions {
@@ -32,7 +38,8 @@ struct KdeOptions {
 /// A kernel density estimate over a 1-D sample.
 class Kde {
  public:
-  /// Fails on an empty sample or a non-positive fixed bandwidth.
+  /// Fails on an empty or non-finite sample or a non-positive fixed
+  /// bandwidth.
   static Result<Kde> Fit(const std::vector<double>& sample,
                          const KdeOptions& options = {});
 

@@ -17,6 +17,10 @@ namespace moche {
 namespace harness {
 
 /// RMSE between the ECDFs of R and T \ I (smaller = better explanation).
+/// NaN when the explanation removes all of T (EcdfRmse convention: no ECDF
+/// exists on an empty side). No method that *passes* the KS test can reach
+/// that case — an empty test set never passes — so aggregated RMSE over
+/// produced explanations stays finite.
 double ExplanationRmse(const KsInstance& instance, const Explanation& expl);
 
 /// ISE flags for one failed test: sizes[i] is method i's explanation size;

@@ -1,0 +1,75 @@
+#include "harness/stream_replay.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace moche {
+namespace harness {
+
+Result<ReplayResult> ReplayDataset(const ts::Dataset& dataset,
+                                   const ReplayOptions& options) {
+  if (options.reference_size == 0 || options.window_size == 0) {
+    return Status::InvalidArgument(
+        "reference_size and window_size must be positive");
+  }
+  if (options.ticks_per_batch == 0) {
+    return Status::InvalidArgument("ticks_per_batch must be positive");
+  }
+
+  MOCHE_ASSIGN_OR_RETURN(stream::DriftMonitor monitor,
+                         stream::DriftMonitor::Create(options.monitor));
+
+  ReplayResult result;
+  // streams[i] = the tail of the series backing monitor stream i.
+  std::vector<const ts::TimeSeries*> streams;
+  size_t max_tail = 0;
+  for (const ts::TimeSeries& series : dataset.series) {
+    if (series.length() < options.reference_size + options.window_size) {
+      ++result.series_skipped;
+      continue;
+    }
+    const std::vector<double> reference(
+        series.values.begin(),
+        series.values.begin() + static_cast<long>(options.reference_size));
+    MOCHE_ASSIGN_OR_RETURN(
+        size_t index,
+        monitor.AddStream(series.name, reference, options.window_size));
+    (void)index;
+    streams.push_back(&series);
+    max_tail = std::max(max_tail, series.length() - options.reference_size);
+    result.stream_names.push_back(series.name);
+  }
+  if (streams.empty()) {
+    return Status::InvalidArgument(StrFormat(
+        "no series of '%s' is long enough for reference %zu + window %zu",
+        dataset.name.c_str(), options.reference_size, options.window_size));
+  }
+
+  // Replay in lockstep batches: tick t delivers series value
+  // reference_size + t to its stream; exhausted streams get empty slots.
+  std::vector<std::vector<double>> batch(streams.size());
+  for (size_t t0 = 0; t0 < max_tail; t0 += options.ticks_per_batch) {
+    for (size_t i = 0; i < streams.size(); ++i) {
+      const std::vector<double>& values = streams[i]->values;
+      const size_t begin =
+          std::min(values.size(), options.reference_size + t0);
+      const size_t end =
+          std::min(values.size(), begin + options.ticks_per_batch);
+      batch[i].assign(values.begin() + static_cast<long>(begin),
+                      values.begin() + static_cast<long>(end));
+    }
+    MOCHE_RETURN_IF_ERROR(monitor.PushBatch(batch));
+  }
+
+  const stream::DriftMonitor::Stats stats = monitor.stats();
+  result.observations = stats.observations;
+  result.drift_ticks = stats.drift_ticks;
+  result.cache = monitor.cache_stats();
+  result.events = monitor.events();
+  return result;
+}
+
+}  // namespace harness
+}  // namespace moche

@@ -1,0 +1,54 @@
+// Streaming scenario runner: replays a dataset's series through a
+// stream::DriftMonitor, the online counterpart of the batch runner.h
+// pipeline. Each series becomes one monitored stream — its prefix is the
+// fixed reference sample, the remainder arrives in batched ticks — and
+// every drift the monitor detects is explained on the spot.
+
+#ifndef MOCHE_HARNESS_STREAM_REPLAY_H_
+#define MOCHE_HARNESS_STREAM_REPLAY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "stream/drift_monitor.h"
+#include "timeseries/series.h"
+#include "util/status.h"
+
+namespace moche {
+namespace harness {
+
+struct ReplayOptions {
+  /// Leading observations of each series frozen as its reference sample.
+  size_t reference_size = 200;
+  /// Sliding test-window capacity of each detector.
+  size_t window_size = 100;
+  /// Observations fed to every stream per monitor batch. Batching only
+  /// changes fan-out granularity, never the event log.
+  size_t ticks_per_batch = 64;
+  stream::MonitorOptions monitor;
+};
+
+struct ReplayResult {
+  std::vector<stream::DriftEvent> events;
+  /// stream_names[i] names monitor stream i; look an event's name up as
+  /// stream_names[event.stream].
+  std::vector<std::string> stream_names;
+  size_t series_skipped = 0;   ///< too short for reference + window
+  uint64_t observations = 0;   ///< total pushed across streams
+  uint64_t drift_ticks = 0;    ///< pushes whose window rejected
+  stream::PreparedReferenceCache::Stats cache;
+};
+
+/// Replays every long-enough series of `dataset` through one DriftMonitor.
+/// A series needs reference_size + window_size observations to produce at
+/// least one full window; shorter series are counted in series_skipped.
+/// Deterministic: the result is identical for every
+/// options.monitor.num_threads.
+Result<ReplayResult> ReplayDataset(const ts::Dataset& dataset,
+                                   const ReplayOptions& options);
+
+}  // namespace harness
+}  // namespace moche
+
+#endif  // MOCHE_HARNESS_STREAM_REPLAY_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace moche {
 
@@ -10,14 +11,20 @@ Ecdf::Ecdf(std::vector<double> sample) : sorted_(std::move(sample)) {
 }
 
 double Ecdf::Evaluate(double x) const {
-  if (sorted_.empty()) return 0.0;
+  // An empty sample has no distribution function; 0.0 would silently read
+  // as "F(x) = 0 everywhere", which is a valid CDF value.
+  if (sorted_.empty()) return std::numeric_limits<double>::quiet_NaN();
   const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
   return static_cast<double>(it - sorted_.begin()) /
          static_cast<double>(sorted_.size());
 }
 
 double EcdfRmse(const std::vector<double>& r, const std::vector<double>& t) {
-  if (r.empty() || t.empty()) return 0.0;
+  // 0.0 here would silently read as "distributions identical"; there is no
+  // ECDF to compare against on an empty side, so the error is undefined.
+  if (r.empty() || t.empty()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
   std::vector<double> rs = r;
   std::vector<double> ts = t;
   std::sort(rs.begin(), rs.end());

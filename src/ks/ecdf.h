@@ -17,7 +17,8 @@ class Ecdf {
   /// Builds from an arbitrary-order sample (copied and sorted).
   explicit Ecdf(std::vector<double> sample);
 
-  /// F(x): fraction of sample points <= x. Returns 0 for an empty sample.
+  /// F(x): fraction of sample points <= x. Returns NaN for an empty sample
+  /// (no distribution function exists; 0 would be a valid CDF value).
   double Evaluate(double x) const;
 
   /// Number of sample points.
@@ -34,7 +35,9 @@ class Ecdf {
 /// every point of the merged multiset (n + m evaluation points, repeats
 /// included), as used by the paper's effectiveness metric (Section 6.3):
 ///   RMSE = sqrt( sum_{x in R (+) T'} (F_R(x) - F_T'(x))^2 / (|R| + |T'|) ).
-/// Inputs may be in any order. Returns 0 if either sample is empty.
+/// Inputs may be in any order. Returns NaN if either sample is empty — the
+/// error against a nonexistent ECDF is undefined, and the old 0.0 read as
+/// "distributions identical".
 double EcdfRmse(const std::vector<double>& r, const std::vector<double>& t);
 
 }  // namespace moche

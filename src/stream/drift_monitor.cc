@@ -1,0 +1,196 @@
+#include "stream/drift_monitor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace moche {
+namespace stream {
+
+bool SameEventLogs(const std::vector<DriftEvent>& a,
+                   const std::vector<DriftEvent>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const DriftEvent& x = a[i];
+    const DriftEvent& y = b[i];
+    if (x.stream != y.stream || x.tick != y.tick ||
+        x.outcome.statistic != y.outcome.statistic ||
+        x.outcome.threshold != y.outcome.threshold ||
+        x.explain_status.code() != y.explain_status.code()) {
+      return false;
+    }
+    if (x.explain_status.ok() &&
+        (x.report.k != y.report.k || x.report.k_hat != y.report.k_hat ||
+         x.report.explanation.indices != y.report.explanation.indices)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+DriftMonitor::DriftMonitor(const MonitorOptions& options)
+    : options_(options),
+      engine_(options.moche),
+      cache_(std::make_unique<PreparedReferenceCache>()) {
+  const size_t threads = ResolveThreadCount(options.num_threads);
+  if (threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options.num_threads);
+  }
+}
+
+Result<DriftMonitor> DriftMonitor::Create(const MonitorOptions& options) {
+  MOCHE_RETURN_IF_ERROR(ks::ValidateAlpha(options.alpha));
+  if (options.rearm == RearmPolicy::kEveryKPushes &&
+      options.explain_every_k == 0) {
+    return Status::InvalidArgument(
+        "kEveryKPushes needs explain_every_k >= 1");
+  }
+  return DriftMonitor(options);
+}
+
+Result<size_t> DriftMonitor::AddStream(std::string name,
+                                       const std::vector<double>& reference,
+                                       size_t window_size) {
+  // Prepare first (validates the sample and interns the sorted reference),
+  // then build the detector over the same sample.
+  MOCHE_ASSIGN_OR_RETURN(
+      std::shared_ptr<const PreparedReference> prepared,
+      cache_->GetOrPrepare(engine_, reference, options_.alpha));
+  MOCHE_ASSIGN_OR_RETURN(
+      StreamingKs detector,
+      StreamingKs::Create(reference, window_size, options_.alpha));
+  streams_.emplace_back(std::move(name), std::move(detector),
+                        std::move(prepared));
+  return streams_.size() - 1;
+}
+
+DriftEvent DriftMonitor::Explain(size_t i, const KsOutcome& outcome) {
+  Stream& s = streams_[i];
+  DriftEvent event;
+  event.stream = i;
+  event.tick = s.ticks;
+  event.outcome = outcome;
+  const std::vector<double> window = s.detector.WindowContents();
+  PreferenceList pref = IdentityPreference(window.size());
+  if (options_.preference == WindowPreference::kNewestFirst) {
+    std::reverse(pref.begin(), pref.end());
+  }
+  auto report = engine_.ExplainPrepared(*s.prepared, window, pref);
+  if (report.ok()) {
+    event.report = std::move(report).value();
+  } else {
+    event.explain_status = report.status();
+  }
+  return event;
+}
+
+Status DriftMonitor::DrainStream(size_t i, const std::vector<double>& values,
+                                 std::vector<DriftEvent>* out) {
+  Stream& s = streams_[i];
+  for (double v : values) {
+    MOCHE_RETURN_IF_ERROR(s.detector.Push(v));
+    ++s.ticks;
+    if (!s.detector.WindowFull()) continue;
+    // Validated at construction; the window is full — CurrentOutcome
+    // cannot fail.
+    auto outcome = s.detector.CurrentOutcome();
+    if (!outcome.ok()) return outcome.status();
+    if (!outcome->reject) {
+      s.in_excursion = false;
+      continue;
+    }
+    ++s.drift_ticks;
+    bool fire = false;
+    if (!s.in_excursion) {
+      s.in_excursion = true;
+      fire = true;
+    } else if (options_.rearm == RearmPolicy::kEveryKPushes) {
+      fire = s.pushes_since_explained + 1 >= options_.explain_every_k;
+    }
+    if (fire) {
+      out->push_back(Explain(i, *outcome));
+      s.pushes_since_explained = 0;
+    } else {
+      ++s.pushes_since_explained;
+    }
+  }
+  return Status::OK();
+}
+
+Status DriftMonitor::PushBatch(
+    const std::vector<std::vector<double>>& observations) {
+  if (observations.size() != streams_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("batch has %zu slots for %zu streams",
+                  observations.size(), streams_.size()));
+  }
+  // Validate before fanning out: workers must not fail mid-stream (a
+  // partial drain would leave detector windows half-advanced).
+  for (size_t i = 0; i < observations.size(); ++i) {
+    for (double v : observations[i]) {
+      if (!std::isfinite(v)) {
+        return Status::InvalidArgument(StrFormat(
+            "non-finite observation for stream %zu ('%s')", i,
+            streams_[i].name.c_str()));
+      }
+    }
+  }
+
+  // Stream i's task writes only slot i; the merge below is therefore
+  // independent of which worker ran which stream.
+  std::vector<std::vector<DriftEvent>> buffers(streams_.size());
+  std::vector<Status> statuses(streams_.size());
+  const auto task = [&](size_t i) {
+    statuses[i] = DrainStream(i, observations[i], &buffers[i]);
+  };
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(streams_.size(), task);
+  } else {
+    for (size_t i = 0; i < streams_.size(); ++i) task(i);
+  }
+
+  for (size_t i = 0; i < streams_.size(); ++i) {
+    MOCHE_RETURN_IF_ERROR(statuses[i]);
+  }
+  // Merge in (tick, stream) order: deterministic for any thread count, and
+  // — when streams are fed in lockstep, as the replay harness does — also
+  // independent of how the caller batches the ticks.
+  std::vector<DriftEvent> merged;
+  for (std::vector<DriftEvent>& buffer : buffers) {
+    for (DriftEvent& event : buffer) {
+      merged.push_back(std::move(event));
+    }
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const DriftEvent& a, const DriftEvent& b) {
+                     return a.tick != b.tick ? a.tick < b.tick
+                                             : a.stream < b.stream;
+                   });
+  for (DriftEvent& event : merged) {
+    events_.push_back(std::move(event));
+    ++explanations_total_;
+  }
+  return Status::OK();
+}
+
+Status DriftMonitor::PushTick(const std::vector<double>& values) {
+  std::vector<std::vector<double>> batch(values.size());
+  for (size_t i = 0; i < values.size(); ++i) batch[i] = {values[i]};
+  return PushBatch(batch);
+}
+
+DriftMonitor::Stats DriftMonitor::stats() const {
+  Stats s;
+  s.streams = streams_.size();
+  for (const Stream& stream : streams_) {
+    s.observations += stream.ticks;
+    s.drift_ticks += stream.drift_ticks;
+  }
+  s.explanations = explanations_total_;
+  return s;
+}
+
+}  // namespace stream
+}  // namespace moche

@@ -1,0 +1,188 @@
+// A multi-stream drift-explanation monitor: the paper's Section 6
+// deployment loop as a subsystem.
+//
+// The monitor owns N named streams. Each stream binds an incremental KS
+// detector (StreamingKs, O(log(n+m)) per observation) to an interned
+// PreparedReference; observation batches fan out across a util/parallel
+// ThreadPool, one task per stream. When a stream's window drifts, the
+// monitor runs Moche::ExplainPrepared on the window snapshot and records a
+// DriftEvent. A re-arm policy throttles explanation: one excursion above
+// the threshold yields one event (kOncePerExcursion) or one every k pushes
+// (kEveryKPushes) instead of thousands of duplicates.
+//
+// Determinism contract: stream i's events are produced by stream i's task
+// alone and merged in stream order after every batch, so the event log is
+// bit-identical to the sequential (num_threads = 1) run at any thread
+// count. Everything per-stream is deterministic — the detector's treap
+// priorities depend only on that stream's insertion sequence, and
+// ExplainPrepared is a pure function of (reference, window, preference).
+//
+// Threading contract: the monitor is driven from one thread (AddStream /
+// PushBatch / events must not race each other); internally PushBatch
+// parallelizes across streams. The Moche engine and the interned
+// PreparedReferences are immutable and shared by all workers.
+
+#ifndef MOCHE_STREAM_DRIFT_MONITOR_H_
+#define MOCHE_STREAM_DRIFT_MONITOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/moche.h"
+#include "ks/streaming.h"
+#include "stream/prepared_cache.h"
+#include "util/parallel.h"
+#include "util/status.h"
+
+namespace moche {
+namespace stream {
+
+/// When to re-fire the explainer while a stream stays above threshold.
+enum class RearmPolicy {
+  /// One event per excursion: explain at the first rejecting push, then
+  /// stay silent until the window passes again (which re-arms the stream).
+  kOncePerExcursion,
+  /// As kOncePerExcursion, plus a refreshed explanation every
+  /// `explain_every_k` pushes while the excursion persists (long drifts
+  /// keep reporting on current window contents).
+  kEveryKPushes,
+};
+
+/// Ordering of the preference list handed to ExplainPrepared: which window
+/// points the explanation should prefer to remove on ties.
+enum class WindowPreference {
+  kOldestFirst,  ///< identity order — prefer the oldest observations
+  kNewestFirst,  ///< reversed — prefer the most recent observations
+};
+
+struct MonitorOptions {
+  double alpha = 0.05;
+  RearmPolicy rearm = RearmPolicy::kOncePerExcursion;
+  /// Pushes between refreshed explanations under kEveryKPushes (>= 1).
+  size_t explain_every_k = 0;
+  /// Worker threads for PushBatch: 1 = sequential (default), 0 = one per
+  /// hardware core. The event log is identical for every value.
+  size_t num_threads = 1;
+  WindowPreference preference = WindowPreference::kOldestFirst;
+  /// Engine knobs for the per-event explanations.
+  MocheOptions moche;
+};
+
+/// One drift alarm plus its counterfactual explanation.
+struct DriftEvent {
+  size_t stream = 0;        ///< index of the firing stream
+  uint64_t tick = 0;        ///< per-stream observation count at the alarm
+  KsOutcome outcome;        ///< the failing test (from the detector)
+  /// ExplainPrepared on the window snapshot. Explanation indices are window
+  /// positions in arrival order (0 = oldest surviving observation at tick).
+  /// Only meaningful when explain_status.ok().
+  MocheReport report;
+  Status explain_status;
+};
+
+/// Bit-identity over the deterministic DriftEvent fields (stream, tick,
+/// detector statistic, explanation size/indices, status code); wall times
+/// inside the reports are ignored. The parallel/sequential comparison of
+/// bench_stream_monitor and the determinism tests both use this.
+bool SameEventLogs(const std::vector<DriftEvent>& a,
+                   const std::vector<DriftEvent>& b);
+
+class DriftMonitor {
+ public:
+  struct Stats {
+    size_t streams = 0;
+    uint64_t observations = 0;   ///< total pushes across streams
+    uint64_t drift_ticks = 0;    ///< pushes whose window rejected
+    uint64_t explanations = 0;   ///< DriftEvents emitted
+  };
+
+  /// Validates options (alpha domain, explain_every_k under kEveryKPushes).
+  static Result<DriftMonitor> Create(const MonitorOptions& options);
+
+  DriftMonitor(DriftMonitor&&) noexcept = default;
+  DriftMonitor& operator=(DriftMonitor&&) noexcept = default;
+
+  /// Registers a stream: a StreamingKs over `reference` with the given
+  /// window capacity, bound to the interned PreparedReference for
+  /// (reference, options.alpha). Returns the stream index. Streams sharing
+  /// a reference sort/validate it once (see PreparedReferenceCache).
+  Result<size_t> AddStream(std::string name,
+                           const std::vector<double>& reference,
+                           size_t window_size);
+
+  /// Feeds one batch: observations[i] (possibly empty) goes to stream i,
+  /// in order. Requires observations.size() == num_streams() and finite
+  /// values. Streams are processed concurrently per MonitorOptions::
+  /// num_threads; each batch's events land in the log in (tick, stream)
+  /// order regardless of thread count (and hence regardless of batch
+  /// granularity when streams are fed in lockstep).
+  Status PushBatch(const std::vector<std::vector<double>>& observations);
+
+  /// Convenience: one observation per stream.
+  Status PushTick(const std::vector<double>& values);
+
+  /// The drift-event log, oldest first.
+  const std::vector<DriftEvent>& events() const { return events_; }
+  /// Drops accumulated events (long-running monitors drain the log
+  /// periodically); Stats::explanations keeps counting across clears.
+  void ClearEvents() { events_.clear(); }
+
+  size_t num_streams() const { return streams_.size(); }
+  const std::string& stream_name(size_t i) const { return streams_[i].name; }
+  /// Observations pushed into stream i so far.
+  uint64_t stream_ticks(size_t i) const { return streams_[i].ticks; }
+  /// True while stream i's latest full window rejects.
+  bool stream_in_excursion(size_t i) const {
+    return streams_[i].in_excursion;
+  }
+
+  Stats stats() const;
+  PreparedReferenceCache::Stats cache_stats() const {
+    return cache_->stats();
+  }
+  const MonitorOptions& options() const { return options_; }
+
+ private:
+  struct Stream {
+    std::string name;
+    StreamingKs detector;
+    std::shared_ptr<const PreparedReference> prepared;
+    uint64_t ticks = 0;             // observations pushed so far
+    bool in_excursion = false;      // window currently above threshold
+    uint64_t pushes_since_explained = 0;
+    uint64_t drift_ticks = 0;
+    Stream(std::string name, StreamingKs detector,
+           std::shared_ptr<const PreparedReference> prepared)
+        : name(std::move(name)),
+          detector(std::move(detector)),
+          prepared(std::move(prepared)) {}
+  };
+
+  explicit DriftMonitor(const MonitorOptions& options);
+
+  /// Feeds `values` to stream i sequentially, appending events to `out`.
+  /// Returns the first push failure (impossible after PushBatch's up-front
+  /// validation short of an internal bug).
+  Status DrainStream(size_t i, const std::vector<double>& values,
+                     std::vector<DriftEvent>* out);
+
+  /// Runs ExplainPrepared on stream i's current window.
+  DriftEvent Explain(size_t i, const KsOutcome& outcome);
+
+  MonitorOptions options_;
+  Moche engine_;
+  // unique_ptr: the cache owns a mutex, which would pin the monitor in
+  // place; the monitor must stay movable for Result<DriftMonitor>.
+  std::unique_ptr<PreparedReferenceCache> cache_;
+  std::vector<Stream> streams_;
+  std::vector<DriftEvent> events_;
+  uint64_t explanations_total_ = 0;  // survives ClearEvents
+  std::unique_ptr<ThreadPool> pool_;  // only when num_threads resolves > 1
+};
+
+}  // namespace stream
+}  // namespace moche
+
+#endif  // MOCHE_STREAM_DRIFT_MONITOR_H_

@@ -1,0 +1,90 @@
+#include "stream/prepared_cache.h"
+
+#include <cstring>
+
+namespace moche {
+namespace stream {
+
+namespace {
+
+inline uint64_t Fnv1a(uint64_t hash, uint64_t word) {
+  // 64-bit FNV-1a, one byte at a time over the word.
+  constexpr uint64_t kPrime = 1099511628211ull;
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (word >> (8 * i)) & 0xFFu;
+    hash *= kPrime;
+  }
+  return hash;
+}
+
+inline uint64_t DoubleBits(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "double is not 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+uint64_t ReferenceFingerprint(const std::vector<double>& values,
+                              double alpha) {
+  uint64_t hash = 14695981039346656037ull;  // FNV offset basis
+  hash = Fnv1a(hash, values.size());
+  hash = Fnv1a(hash, DoubleBits(alpha));
+  for (double v : values) hash = Fnv1a(hash, DoubleBits(v));
+  return hash;
+}
+
+Result<std::shared_ptr<const PreparedReference>>
+PreparedReferenceCache::GetOrPrepare(const Moche& engine,
+                                     const std::vector<double>& reference,
+                                     double alpha) {
+  const uint64_t fingerprint = ReferenceFingerprint(reference, alpha);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(fingerprint);
+    if (it != entries_.end()) {
+      for (const Entry& entry : it->second) {
+        if (entry.alpha == alpha && entry.original == reference) {
+          ++hits_;
+          return entry.prepared;
+        }
+      }
+    }
+  }
+
+  // Prepare outside the lock: sorting a large reference must not serialize
+  // unrelated lookups. A racing same-key Prepare is benign — the second
+  // insert sees the first entry and adopts it.
+  auto prepared = engine.Prepare(reference, alpha);
+  if (!prepared.ok()) return prepared.status();
+  auto shared = std::make_shared<const PreparedReference>(
+      std::move(prepared).value());
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Entry>& bucket = entries_[fingerprint];
+  for (const Entry& entry : bucket) {
+    if (entry.alpha == alpha && entry.original == reference) {
+      ++hits_;
+      return entry.prepared;
+    }
+  }
+  ++misses_;
+  bucket.push_back(Entry{reference, alpha, shared});
+  return shared;
+}
+
+PreparedReferenceCache::Stats PreparedReferenceCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s;
+  for (const auto& [fingerprint, bucket] : entries_) {
+    (void)fingerprint;
+    s.entries += bucket.size();
+  }
+  s.hits = hits_;
+  s.misses = misses_;
+  return s;
+}
+
+}  // namespace stream
+}  // namespace moche

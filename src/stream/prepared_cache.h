@@ -1,0 +1,72 @@
+// Interning cache for Moche prepared references.
+//
+// A fleet of drift detectors typically shares a handful of reference
+// samples (one per metric, per model version, ...). Moche::Prepare
+// validates and sorts the reference — O(n log n) — so a monitor that owns
+// thousands of streams over one reference should pay that cost once. The
+// cache keys entries by a fingerprint of the raw observation sequence plus
+// alpha and hands out shared_ptrs to one immutable PreparedReference per
+// distinct (reference, alpha).
+//
+// Keying is by the byte-identical value sequence: two permutations of the
+// same sample intern separately (fingerprinting must not sort — that is
+// the cost being amortized). A fingerprint collision is resolved by an
+// exact comparison against the stored sequence, never by trusting the hash.
+
+#ifndef MOCHE_STREAM_PREPARED_CACHE_H_
+#define MOCHE_STREAM_PREPARED_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/moche.h"
+#include "util/status.h"
+
+namespace moche {
+namespace stream {
+
+/// 64-bit fingerprint of (values, alpha); FNV-1a over the raw double bits.
+uint64_t ReferenceFingerprint(const std::vector<double>& values, double alpha);
+
+/// Thread-safe intern table of PreparedReferences.
+///
+/// GetOrPrepare may be called concurrently; the PreparedReferences it
+/// returns are immutable and safe to share across threads (see
+/// Moche::ExplainPrepared). The cache never evicts — monitors hold a few
+/// distinct references for their whole lifetime.
+class PreparedReferenceCache {
+ public:
+  struct Stats {
+    size_t entries = 0;
+    size_t hits = 0;
+    size_t misses = 0;
+  };
+
+  /// Returns the interned PreparedReference for (reference, alpha),
+  /// preparing (validate + sort) only on the first sight of the sequence.
+  /// InvalidArgument on an empty/non-finite sample or out-of-domain alpha.
+  Result<std::shared_ptr<const PreparedReference>> GetOrPrepare(
+      const Moche& engine, const std::vector<double>& reference, double alpha);
+
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::vector<double> original;  // the unsorted key sequence
+    double alpha = 0.0;
+    std::shared_ptr<const PreparedReference> prepared;
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<uint64_t, std::vector<Entry>> entries_;  // by fingerprint
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
+
+}  // namespace stream
+}  // namespace moche
+
+#endif  // MOCHE_STREAM_PREPARED_CACHE_H_

@@ -419,5 +419,65 @@ std::vector<Dataset> MakeAllNabLikeDatasets(uint64_t seed, double scale) {
           MakeKcDataset(seed, scale),  MakeArtDataset(seed, scale)};
 }
 
+DriftScenario MakeDriftScenario(DriftKind kind, uint64_t seed,
+                                size_t reference_size, size_t length) {
+  Rng rng(seed);
+  DriftScenario sc;
+  sc.kind = kind;
+  switch (kind) {
+    case DriftKind::kMeanShift:
+      sc.name = "mean_shift";
+      break;
+    case DriftKind::kVarianceInflation:
+      sc.name = "variance_inflation";
+      break;
+    case DriftKind::kTransientSpike:
+      sc.name = "transient_spike";
+      break;
+  }
+  sc.name += StrFormat("_%llu", static_cast<unsigned long long>(seed));
+  sc.reference.reserve(reference_size);
+  for (size_t i = 0; i < reference_size; ++i) {
+    sc.reference.push_back(rng.Normal(0.0, 1.0));
+  }
+  sc.drift_begin = length / 2;
+  sc.drift_end =
+      kind == DriftKind::kTransientSpike
+          ? std::min(length, sc.drift_begin + std::max<size_t>(1, length / 8))
+          : length;
+  sc.observations.reserve(length);
+  for (size_t t = 0; t < length; ++t) {
+    const bool drifted = t >= sc.drift_begin && t < sc.drift_end;
+    switch (kind) {
+      case DriftKind::kMeanShift:
+        sc.observations.push_back(rng.Normal(drifted ? 1.5 : 0.0, 1.0));
+        break;
+      case DriftKind::kVarianceInflation:
+        sc.observations.push_back(rng.Normal(0.0, drifted ? 3.0 : 1.0));
+        break;
+      case DriftKind::kTransientSpike:
+        sc.observations.push_back(rng.Normal(0.0, 1.0) +
+                                  (drifted ? 8.0 : 0.0));
+        break;
+    }
+  }
+  return sc;
+}
+
+std::vector<DriftScenario> MakeDriftScenarioSuite(size_t count, uint64_t seed,
+                                                  size_t reference_size,
+                                                  size_t length) {
+  constexpr DriftKind kKinds[] = {DriftKind::kMeanShift,
+                                  DriftKind::kVarianceInflation,
+                                  DriftKind::kTransientSpike};
+  std::vector<DriftScenario> suite;
+  suite.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    suite.push_back(MakeDriftScenario(kKinds[i % 3], seed + i, reference_size,
+                                      length));
+  }
+  return suite;
+}
+
 }  // namespace ts
 }  // namespace moche

@@ -48,6 +48,39 @@ Dataset MakeArtDataset(uint64_t seed, double length_scale = 1.0);
 std::vector<Dataset> MakeAllNabLikeDatasets(uint64_t seed,
                                             double length_scale = 1.0);
 
+/// The drift shapes injected into DriftScenario streams.
+enum class DriftKind {
+  kMeanShift,          ///< N(0,1) -> N(1.5,1) from drift_begin to the end
+  kVarianceInflation,  ///< N(0,1) -> N(0,3) from drift_begin to the end
+  kTransientSpike,     ///< +8 offset on [drift_begin, drift_end), then back
+};
+
+/// One synthetic monitoring stream with known ground-truth drift ticks,
+/// for exercising streaming drift detectors (src/stream): a stationary
+/// N(0,1) reference sample plus an observation stream that is
+/// in-distribution outside [drift_begin, drift_end).
+struct DriftScenario {
+  std::string name;
+  DriftKind kind = DriftKind::kMeanShift;
+  std::vector<double> reference;
+  std::vector<double> observations;
+  size_t drift_begin = 0;  ///< observation index where the drift starts
+  size_t drift_end = 0;    ///< one past the last drifted observation
+};
+
+/// Builds one scenario. The drift starts at length/2; kTransientSpike
+/// reverts after length/8 observations, the persistent kinds run to the
+/// end. Deterministic in (kind, seed, sizes).
+DriftScenario MakeDriftScenario(DriftKind kind, uint64_t seed,
+                                size_t reference_size = 500,
+                                size_t length = 1000);
+
+/// `count` scenarios cycling through the three kinds, seeds derived from
+/// `seed` so every scenario draws an independent stream.
+std::vector<DriftScenario> MakeDriftScenarioSuite(size_t count, uint64_t seed,
+                                                  size_t reference_size = 500,
+                                                  size_t length = 1000);
+
 }  // namespace ts
 }  // namespace moche
 

@@ -2,8 +2,22 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace moche {
+
+namespace {
+
+// NaN breaks the strict weak ordering std::sort requires (UB), so every
+// sorting entry point screens for it and propagates NaN instead.
+bool ContainsNan(const std::vector<double>& v) {
+  for (double x : v) {
+    if (std::isnan(x)) return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 double Mean(const std::vector<double>& v) {
   if (v.empty()) return 0.0;
@@ -24,12 +38,17 @@ double StdDev(const std::vector<double>& v) { return std::sqrt(Variance(v)); }
 
 double Quantile(std::vector<double> v, double p) {
   if (v.empty()) return 0.0;
+  if (ContainsNan(v)) return std::numeric_limits<double>::quiet_NaN();
   p = std::clamp(p, 0.0, 1.0);
   std::sort(v.begin(), v.end());
   const double pos = p * static_cast<double>(v.size() - 1);
   const size_t lo = static_cast<size_t>(pos);
   const size_t hi = std::min(lo + 1, v.size() - 1);
   const double frac = pos - static_cast<double>(lo);
+  // Exact positions and equal neighbors return the order statistic itself:
+  // the interpolation arithmetic would produce NaN on infinities
+  // (0 * inf, inf - inf).
+  if (frac == 0.0 || v[lo] == v[hi]) return v[lo];
   return v[lo] + frac * (v[hi] - v[lo]);
 }
 
@@ -38,6 +57,11 @@ double Median(std::vector<double> v) { return Quantile(std::move(v), 0.5); }
 FiveNumberSummary Summarize(const std::vector<double>& v) {
   FiveNumberSummary s;
   if (v.empty()) return s;
+  if (ContainsNan(v)) {
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    s.min = s.q1 = s.median = s.q3 = s.max = s.mean = nan;
+    return s;
+  }
   std::vector<double> sorted = v;
   std::sort(sorted.begin(), sorted.end());
   s.min = sorted.front();

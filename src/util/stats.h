@@ -19,9 +19,12 @@ double StdDev(const std::vector<double>& v);
 
 /// Linear-interpolated quantile, p in [0, 1]; matches numpy's default.
 /// The input does not need to be sorted. Returns 0 for an empty input.
+/// NaN-propagating: any NaN in the input yields NaN (a NaN would break the
+/// strict weak ordering std::sort requires, so the input is never sorted
+/// with one). Mean/Variance/StdDev propagate NaN arithmetically already.
 double Quantile(std::vector<double> v, double p);
 
-/// Quantile(v, 0.5).
+/// Quantile(v, 0.5). NaN-propagating like Quantile.
 double Median(std::vector<double> v);
 
 /// The summary a box plot draws (paper Figure 6).
@@ -34,7 +37,8 @@ struct FiveNumberSummary {
   double mean = 0.0;  ///< Figure 6 also marks the mean
 };
 
-/// Computes the five-number summary (plus mean) of `v`.
+/// Computes the five-number summary (plus mean) of `v`. NaN-propagating
+/// like Quantile: any NaN in the input yields a summary of all NaNs.
 FiveNumberSummary Summarize(const std::vector<double>& v);
 
 /// z-normalizes `v` in place: (x - mean) / stddev. A (near-)constant input

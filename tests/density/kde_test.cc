@@ -1,10 +1,12 @@
 #include "density/kde.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include <gtest/gtest.h>
 
 #include "util/rng.h"
+#include "util/stats.h"
 
 namespace moche {
 namespace density {
@@ -27,8 +29,60 @@ TEST(KdeTest, SilvermanBandwidthFormula) {
   for (double& v : sample) v = rng.Normal(0, 2.0);
   auto kde = Kde::Fit(sample);
   ASSERT_TRUE(kde.ok());
-  // 1.06 * sigma * n^(-1/5), sigma ~ 2
-  EXPECT_NEAR(kde->bandwidth(), 1.06 * 2.0 * std::pow(200.0, -0.2), 0.35);
+  // Silverman's rule of thumb: 0.9 * min(sigma, IQR/1.34) * n^(-1/5),
+  // computed from the sample itself so the check is exact.
+  const double sigma = StdDev(sample);
+  const double iqr = Quantile(sample, 0.75) - Quantile(sample, 0.25);
+  const double expected =
+      0.9 * std::min(sigma, iqr / 1.34) * std::pow(200.0, -0.2);
+  EXPECT_DOUBLE_EQ(kde->bandwidth(), expected);
+}
+
+TEST(KdeTest, ScottBandwidthIsGaussianReference) {
+  Rng rng(8);
+  std::vector<double> sample(150);
+  for (double& v : sample) v = rng.Normal(0, 1.0);
+  KdeOptions opt;
+  opt.bandwidth_rule = BandwidthRule::kScott;
+  auto kde = Kde::Fit(sample, opt);
+  ASSERT_TRUE(kde.ok());
+  EXPECT_DOUBLE_EQ(kde->bandwidth(),
+                   1.06 * StdDev(sample) * std::pow(150.0, -0.2));
+}
+
+TEST(KdeTest, SilvermanRobustToOutliers) {
+  // Heavy contamination: sigma explodes, the IQR barely moves. The robust
+  // rule must follow the IQR, not sigma.
+  const std::vector<double> sample{0, 0, 0, 0, 1, 1, 1, 1, 100};
+  auto kde = Kde::Fit(sample);
+  ASSERT_TRUE(kde.ok());
+  const double iqr = Quantile(sample, 0.75) - Quantile(sample, 0.25);  // 1
+  ASSERT_LT(iqr / 1.34, StdDev(sample));
+  EXPECT_DOUBLE_EQ(kde->bandwidth(),
+                   0.9 * (iqr / 1.34) * std::pow(9.0, -0.2));
+}
+
+TEST(KdeTest, SilvermanDiffersFromGaussianReferenceOnBimodal) {
+  // Regression for the rule mix-up: kSilverman used to compute the
+  // Gaussian-reference 1.06 * sigma rule. On a bimodal sample the two must
+  // disagree (Silverman caps at 0.9 * sigma even when the IQR is wide).
+  Rng rng(9);
+  std::vector<double> sample;
+  for (int i = 0; i < 100; ++i) sample.push_back(rng.Normal(-5.0, 1.0));
+  for (int i = 0; i < 100; ++i) sample.push_back(rng.Normal(5.0, 1.0));
+  KdeOptions scott;
+  scott.bandwidth_rule = BandwidthRule::kScott;
+  auto silverman = Kde::Fit(sample);
+  auto reference = Kde::Fit(sample, scott);
+  ASSERT_TRUE(silverman.ok());
+  ASSERT_TRUE(reference.ok());
+  EXPECT_NE(silverman->bandwidth(), reference->bandwidth());
+  EXPECT_LT(silverman->bandwidth(), reference->bandwidth());
+}
+
+TEST(KdeTest, RejectsNonFiniteSample) {
+  EXPECT_FALSE(Kde::Fit({1.0, NAN}).ok());
+  EXPECT_FALSE(Kde::Fit({1.0, INFINITY}).ok());
 }
 
 TEST(KdeTest, DensityIntegratesToOne) {
@@ -116,7 +170,9 @@ TEST(KdeTest, ScottVsSilvermanDiffer) {
   auto b = Kde::Fit(sample, scott);
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
-  EXPECT_GT(a->bandwidth(), b->bandwidth());  // 1.06x factor
+  // Silverman's 0.9 * min(sigma, IQR/1.34) sits below the 1.06 * sigma
+  // Gaussian-reference rule.
+  EXPECT_LT(a->bandwidth(), b->bandwidth());
 }
 
 }  // namespace

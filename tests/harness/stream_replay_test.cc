@@ -1,0 +1,114 @@
+#include "harness/stream_replay.h"
+
+#include <gtest/gtest.h>
+
+#include "timeseries/generators.h"
+
+namespace moche {
+namespace harness {
+namespace {
+
+constexpr uint64_t kSeed = 20210416;
+
+// A small multi-series dataset from the drift scenario generator: each
+// scenario's reference + observations concatenated back into one series.
+ts::Dataset ScenarioDataset(size_t count, size_t reference, size_t length) {
+  ts::Dataset ds;
+  ds.name = "DRIFT-SYN";
+  for (ts::DriftScenario& sc :
+       ts::MakeDriftScenarioSuite(count, kSeed, reference, length)) {
+    ts::TimeSeries series;
+    series.name = sc.name;
+    series.values = std::move(sc.reference);
+    series.values.insert(series.values.end(), sc.observations.begin(),
+                         sc.observations.end());
+    ds.series.push_back(std::move(series));
+  }
+  return ds;
+}
+
+ReplayOptions SmallReplay() {
+  ReplayOptions opt;
+  opt.reference_size = 300;
+  opt.window_size = 60;
+  opt.ticks_per_batch = 32;
+  return opt;
+}
+
+TEST(StreamReplayTest, ValidatesOptions) {
+  const ts::Dataset ds = ScenarioDataset(2, 300, 400);
+  ReplayOptions opt = SmallReplay();
+  opt.reference_size = 0;
+  EXPECT_FALSE(ReplayDataset(ds, opt).ok());
+  opt = SmallReplay();
+  opt.ticks_per_batch = 0;
+  EXPECT_FALSE(ReplayDataset(ds, opt).ok());
+}
+
+TEST(StreamReplayTest, ReplaysEverySeriesAndExplainsDrifts) {
+  const ts::Dataset ds = ScenarioDataset(6, 300, 400);
+  auto result = ReplayDataset(ds, SmallReplay());
+  ASSERT_TRUE(result.ok());
+
+  EXPECT_EQ(result->stream_names.size(), 6u);
+  EXPECT_EQ(result->series_skipped, 0u);
+  // Every series streams its post-reference tail.
+  EXPECT_EQ(result->observations, 6u * 400u);
+  // Every scenario drifts, so every stream produces at least one event.
+  std::vector<bool> fired(6, false);
+  for (const stream::DriftEvent& event : result->events) {
+    fired[event.stream] = true;
+    EXPECT_TRUE(event.outcome.reject);
+  }
+  for (size_t i = 0; i < fired.size(); ++i) {
+    EXPECT_TRUE(fired[i]) << "stream " << i << " never fired";
+  }
+  EXPECT_GE(result->drift_ticks, result->events.size());
+}
+
+TEST(StreamReplayTest, SkipsSeriesTooShortForReferencePlusWindow) {
+  ts::Dataset ds = ScenarioDataset(2, 300, 400);
+  ts::TimeSeries runt;
+  runt.name = "runt";
+  runt.values.assign(100, 1.0);  // < reference_size + window_size
+  ds.series.push_back(std::move(runt));
+
+  auto result = ReplayDataset(ds, SmallReplay());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stream_names.size(), 2u);
+  EXPECT_EQ(result->series_skipped, 1u);
+
+  // A dataset with only runts is an error, not an empty result.
+  ts::Dataset empty;
+  empty.name = "RUNTS";
+  ts::TimeSeries only;
+  only.name = "only";
+  only.values.assign(10, 1.0);
+  empty.series.push_back(std::move(only));
+  EXPECT_FALSE(ReplayDataset(empty, SmallReplay()).ok());
+}
+
+TEST(StreamReplayTest, DeterministicAcrossThreadCounts) {
+  const ts::Dataset ds = ScenarioDataset(5, 300, 400);
+  ReplayOptions sequential = SmallReplay();
+  sequential.monitor.rearm = stream::RearmPolicy::kEveryKPushes;
+  sequential.monitor.explain_every_k = 25;
+  sequential.monitor.num_threads = 1;
+  ReplayOptions parallel = sequential;
+  parallel.monitor.num_threads = 4;
+  // Different batching must not change the log either.
+  parallel.ticks_per_batch = 13;
+
+  auto a = ReplayDataset(ds, sequential);
+  auto b = ReplayDataset(ds, parallel);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_FALSE(a->events.empty());
+  EXPECT_TRUE(stream::SameEventLogs(a->events, b->events));
+  EXPECT_EQ(a->observations, b->observations);
+  EXPECT_EQ(a->drift_ticks, b->drift_ticks);
+}
+
+}  // namespace
+}  // namespace harness
+}  // namespace moche

@@ -28,9 +28,11 @@ TEST(EcdfTest, SortsInput) {
   EXPECT_EQ(f.size(), 3u);
 }
 
-TEST(EcdfTest, EmptySampleEvaluatesToZero) {
+TEST(EcdfTest, EmptySampleEvaluatesToNan) {
+  // No distribution function exists for an empty sample; 0.0 would be a
+  // valid CDF value and silently misread downstream.
   const Ecdf f({});
-  EXPECT_DOUBLE_EQ(f.Evaluate(1.0), 0.0);
+  EXPECT_TRUE(std::isnan(f.Evaluate(1.0)));
 }
 
 TEST(EcdfRmseTest, IdenticalSamplesGiveZero) {
@@ -57,9 +59,11 @@ TEST(EcdfRmseTest, DisjointSamplesHaveLargeError) {
   EXPECT_LE(rmse, 1.0);
 }
 
-TEST(EcdfRmseTest, EmptyInputGivesZero) {
-  EXPECT_DOUBLE_EQ(EcdfRmse({}, {1.0}), 0.0);
-  EXPECT_DOUBLE_EQ(EcdfRmse({1.0}, {}), 0.0);
+TEST(EcdfRmseTest, EmptyInputGivesNan) {
+  // 0.0 here used to read as "distributions identical".
+  EXPECT_TRUE(std::isnan(EcdfRmse({}, {1.0})));
+  EXPECT_TRUE(std::isnan(EcdfRmse({1.0}, {})));
+  EXPECT_TRUE(std::isnan(EcdfRmse({}, {})));
 }
 
 TEST(EcdfRmseTest, UnsortedInputsAccepted) {

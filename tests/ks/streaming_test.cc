@@ -143,6 +143,41 @@ TEST(StreamingKsTest, HeavyDuplicateStream) {
   }
 }
 
+// Eviction-heavy differential test: thousands of pushes through a full
+// window, drawn from a tiny value alphabet so nearly every insert/evict
+// hits an equal-key treap path, checked against a from-scratch
+// ks::Statistic recompute at every single tick.
+TEST(StreamingKsTest, EvictionHeavyDifferentialAgainstBatch) {
+  Rng rng(2024);
+  std::vector<double> ref;
+  for (int i = 0; i < 120; ++i) {
+    ref.push_back(static_cast<double>(rng.Integer(0, 6)));
+  }
+  const size_t window = 40;
+  auto stream = StreamingKs::Create(ref, window, 0.05);
+  ASSERT_TRUE(stream.ok());
+
+  std::deque<double> mirror;
+  for (int step = 0; step < 4000; ++step) {
+    // Drifting mixture over a 7-value alphabet: long stretches of heavy
+    // duplication, with the support sliding so both treap tails move.
+    const int phase = step / 800;
+    const double v =
+        static_cast<double>(rng.Integer(phase, phase + 4 + (step % 3)));
+    ASSERT_TRUE(stream->Push(v).ok());
+    mirror.push_back(v);
+    if (mirror.size() > window) mirror.pop_front();
+
+    if (stream->WindowFull()) {
+      auto outcome = stream->CurrentOutcome();
+      ASSERT_TRUE(outcome.ok());
+      const double expected =
+          ks::Statistic(ref, {mirror.begin(), mirror.end()});
+      ASSERT_NEAR(outcome->statistic, expected, kTightTol) << "step " << step;
+    }
+  }
+}
+
 TEST(StreamingKsTest, ThresholdMatchesBatchFormula) {
   auto stream = StreamingKs::Create({1, 2, 3, 4, 5}, 4, 0.1);
   ASSERT_TRUE(stream.ok());

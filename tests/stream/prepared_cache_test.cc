@@ -1,0 +1,104 @@
+#include "stream/prepared_cache.h"
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace moche {
+namespace stream {
+namespace {
+
+TEST(ReferenceFingerprintTest, SensitiveToValuesOrderAndAlpha) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{3.0, 2.0, 1.0};
+  EXPECT_EQ(ReferenceFingerprint(a, 0.05), ReferenceFingerprint(a, 0.05));
+  EXPECT_NE(ReferenceFingerprint(a, 0.05), ReferenceFingerprint(b, 0.05));
+  EXPECT_NE(ReferenceFingerprint(a, 0.05), ReferenceFingerprint(a, 0.01));
+  EXPECT_NE(ReferenceFingerprint(a, 0.05),
+            ReferenceFingerprint({1.0, 2.0}, 0.05));
+}
+
+TEST(PreparedReferenceCacheTest, InternsIdenticalReferences) {
+  Moche engine;
+  PreparedReferenceCache cache;
+  const std::vector<double> ref{5.0, 1.0, 3.0, 2.0, 4.0};
+
+  auto first = cache.GetOrPrepare(engine, ref, 0.05);
+  ASSERT_TRUE(first.ok());
+  auto second = cache.GetOrPrepare(engine, ref, 0.05);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->get(), second->get());  // same interned object
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+
+  // The interned reference is prepared (sorted) once.
+  EXPECT_EQ((*first)->sorted_reference(),
+            (std::vector<double>{1.0, 2.0, 3.0, 4.0, 5.0}));
+}
+
+TEST(PreparedReferenceCacheTest, DistinctAlphaOrValuesGetDistinctEntries) {
+  Moche engine;
+  PreparedReferenceCache cache;
+  const std::vector<double> ref{1.0, 2.0, 3.0};
+
+  auto a = cache.GetOrPrepare(engine, ref, 0.05);
+  auto b = cache.GetOrPrepare(engine, ref, 0.01);
+  auto c = cache.GetOrPrepare(engine, {3.0, 2.0, 1.0}, 0.05);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->get(), b->get());
+  EXPECT_NE(a->get(), c->get());  // keyed by the raw sequence, not the set
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, 3u);
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.hits, 0u);
+}
+
+TEST(PreparedReferenceCacheTest, PropagatesPrepareErrors) {
+  Moche engine;
+  PreparedReferenceCache cache;
+  EXPECT_FALSE(cache.GetOrPrepare(engine, {}, 0.05).ok());
+  EXPECT_FALSE(cache.GetOrPrepare(engine, {1.0, NAN}, 0.05).ok());
+  EXPECT_FALSE(cache.GetOrPrepare(engine, {1.0, 2.0}, 0.0).ok());
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(PreparedReferenceCacheTest, ConcurrentGetOrPrepareIsSafe) {
+  Moche engine;
+  PreparedReferenceCache cache;
+  const std::vector<double> ref_a{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ref_b{9.0, 8.0, 7.0};
+
+  constexpr int kThreads = 8;
+  std::vector<const PreparedReference*> seen(kThreads, nullptr);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      const std::vector<double>& ref = (t % 2 == 0) ? ref_a : ref_b;
+      for (int iter = 0; iter < 50; ++iter) {
+        auto prepared = cache.GetOrPrepare(engine, ref, 0.05);
+        ASSERT_TRUE(prepared.ok());
+        seen[t] = prepared->get();
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  // Every thread of a key group saw the same interned object.
+  for (int t = 2; t < kThreads; ++t) {
+    EXPECT_EQ(seen[t], seen[t % 2]) << "thread " << t;
+  }
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+}  // namespace
+}  // namespace stream
+}  // namespace moche

@@ -118,6 +118,56 @@ TEST(GeneratorsTest, NonNegativeFamiliesStayNonNegative) {
   }
 }
 
+TEST(DriftScenarioTest, ShapesAndGroundTruth) {
+  for (DriftKind kind :
+       {DriftKind::kMeanShift, DriftKind::kVarianceInflation,
+        DriftKind::kTransientSpike}) {
+    const DriftScenario sc = MakeDriftScenario(kind, 11, 200, 800);
+    EXPECT_EQ(sc.kind, kind);
+    EXPECT_EQ(sc.reference.size(), 200u);
+    EXPECT_EQ(sc.observations.size(), 800u);
+    EXPECT_EQ(sc.drift_begin, 400u);
+    if (kind == DriftKind::kTransientSpike) {
+      EXPECT_EQ(sc.drift_end, 400u + 100u);  // length / 8
+    } else {
+      EXPECT_EQ(sc.drift_end, 800u);
+    }
+    for (double v : sc.reference) ASSERT_TRUE(std::isfinite(v));
+    for (double v : sc.observations) ASSERT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(DriftScenarioTest, DriftActuallyShiftsTheDistribution) {
+  const DriftScenario sc =
+      MakeDriftScenario(DriftKind::kMeanShift, 12, 400, 1000);
+  double pre = 0.0;
+  double post = 0.0;
+  for (size_t t = 0; t < sc.drift_begin; ++t) pre += sc.observations[t];
+  for (size_t t = sc.drift_begin; t < sc.drift_end; ++t) {
+    post += sc.observations[t];
+  }
+  pre /= static_cast<double>(sc.drift_begin);
+  post /= static_cast<double>(sc.drift_end - sc.drift_begin);
+  EXPECT_NEAR(pre, 0.0, 0.25);
+  EXPECT_NEAR(post, 1.5, 0.25);
+}
+
+TEST(DriftScenarioTest, DeterministicInSeedAndCyclesKinds) {
+  const auto a = MakeDriftScenarioSuite(6, 21, 100, 300);
+  const auto b = MakeDriftScenarioSuite(6, 21, 100, 300);
+  ASSERT_EQ(a.size(), 6u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].observations, b[i].observations) << i;
+    EXPECT_EQ(a[i].reference, b[i].reference) << i;
+  }
+  EXPECT_EQ(a[0].kind, DriftKind::kMeanShift);
+  EXPECT_EQ(a[1].kind, DriftKind::kVarianceInflation);
+  EXPECT_EQ(a[2].kind, DriftKind::kTransientSpike);
+  EXPECT_EQ(a[3].kind, DriftKind::kMeanShift);
+  // Distinct derived seeds: same kind, different draws.
+  EXPECT_NE(a[0].observations, a[3].observations);
+}
+
 }  // namespace
 }  // namespace ts
 }  // namespace moche

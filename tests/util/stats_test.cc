@@ -61,6 +61,38 @@ TEST(SummarizeTest, EmptyIsAllZero) {
   EXPECT_DOUBLE_EQ(s.max, 0.0);
 }
 
+// A NaN input must propagate as NaN, never reach std::sort (whose strict
+// weak ordering a NaN breaks — UB, the CumulativeFrame::Build bug class).
+TEST(QuantileTest, NanInputPropagatesNan) {
+  EXPECT_TRUE(std::isnan(Quantile({1.0, NAN, 2.0}, 0.5)));
+  EXPECT_TRUE(std::isnan(Quantile({NAN}, 0.0)));
+  EXPECT_TRUE(std::isnan(Median({3.0, NAN, 1.0})));
+}
+
+TEST(QuantileTest, InfinitiesStillOrder) {
+  // Infinities are fine for std::sort; only NaN is rejected.
+  EXPECT_DOUBLE_EQ(Quantile({INFINITY, 1.0, -INFINITY}, 0.5), 1.0);
+  // Interpolating between equal infinite neighbors must not do inf - inf.
+  EXPECT_DOUBLE_EQ(Quantile({1.0, 2.0, INFINITY, INFINITY}, 0.75), INFINITY);
+  EXPECT_DOUBLE_EQ(Quantile({-INFINITY, -INFINITY, 5.0}, 0.25), -INFINITY);
+}
+
+TEST(SummarizeTest, NanInputYieldsAllNanSummary) {
+  const FiveNumberSummary s = Summarize({1.0, NAN, 2.0});
+  EXPECT_TRUE(std::isnan(s.min));
+  EXPECT_TRUE(std::isnan(s.q1));
+  EXPECT_TRUE(std::isnan(s.median));
+  EXPECT_TRUE(std::isnan(s.q3));
+  EXPECT_TRUE(std::isnan(s.max));
+  EXPECT_TRUE(std::isnan(s.mean));
+}
+
+TEST(MeanTest, NanPropagatesArithmetically) {
+  EXPECT_TRUE(std::isnan(Mean({1.0, NAN})));
+  EXPECT_TRUE(std::isnan(Variance({1.0, NAN, 2.0})));
+  EXPECT_TRUE(std::isnan(StdDev({1.0, NAN, 2.0})));
+}
+
 TEST(ZNormalizeTest, ZeroMeanUnitVariance) {
   std::vector<double> v{1, 2, 3, 4, 5, 6};
   ZNormalize(&v);
