@@ -2,7 +2,7 @@
 // method roster, the standard small-scale experiment configuration, and
 // formatting helpers. Every bench prints the paper's rows/series; absolute
 // numbers differ from the paper's testbed, the shapes are what matters
-// (see EXPERIMENTS.md).
+// (see docs/BENCHMARKS.md).
 
 #ifndef MOCHE_BENCH_BENCH_COMMON_H_
 #define MOCHE_BENCH_BENCH_COMMON_H_
@@ -40,7 +40,7 @@ struct MethodRoster {
     // Budgets scaled down from the paper's 24h x Xeon allowance (150k CS
     // samples / 10k GRC steps) so the whole bench suite runs in minutes;
     // the CS:GRC ratio keeps the paper's RF ordering (CS above GRC).
-    // Documented in EXPERIMENTS.md.
+    // Documented in docs/BENCHMARKS.md.
     baselines::GraceOptions grc;
     grc.optimizer.max_iterations = 100;
     grace = baselines::GraceExplainer(grc);

@@ -1,7 +1,7 @@
 // Extension bench (not a paper figure): the incremental KS detector
 // (dos Reis et al. [17], src/ks/streaming.*) vs a from-scratch batch
 // re-test on every arriving observation. This quantifies the substrate
-// choice DESIGN.md makes for the streaming drift-monitor use case.
+// choice behind the streaming drift monitor (docs/ARCHITECTURE.md).
 //
 // Expected shape: the batch cost per update grows ~linearly in n+m (sort +
 // merge), the treap cost grows ~logarithmically; the crossover is

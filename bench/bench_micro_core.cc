@@ -1,15 +1,24 @@
-// google-benchmark micro suite for the core primitives and the two
-// DESIGN.md ablations:
+// Micro suite for the core primitives and the two ablations, on the shared
+// bench runner (bench/runner.h):
 //  * KS statistic (sorted-merge) and RemovalKs re-evaluation,
 //  * Theorem 1 existence check and Theorem 2 condition,
 //  * phase 1 with/without the binary-searched lower bound (MOCHE vs
-//    MOCHE_ns),
+//    MOCHE_ns), which also covers the SizeScan incremental size walk,
 //  * phase 2 with incremental vs paper-faithful full Theorem 3 checks,
 //  * end-to-end Explain.
+//
+// Usage: bench_micro_core [--quick]
+//
+// Emits BENCH_micro_core.json (see docs/BENCHMARKS.md for the schema and
+// how to read a before/after pair). Per-operation metrics report seconds
+// per operation ("s/op"); each repetition runs the same deterministic
+// operation batch, so medians are comparable across runs and commits.
 
 #include <algorithm>
-
-#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <vector>
 
 #include "core/bounds.h"
 #include "core/builder.h"
@@ -17,13 +26,14 @@
 #include "core/size_search.h"
 #include "datasets/synthetic.h"
 #include "ks/ks_test.h"
+#include "runner.h"
 #include "util/rng.h"
 
 namespace {
 
 using namespace moche;
 
-// One failing instance per size, shared across iterations.
+// One failing instance per size, shared across workloads.
 const KsInstance& InstanceForSize(size_t w) {
   static std::map<size_t, KsInstance> cache;
   auto it = cache.find(w);
@@ -48,127 +58,196 @@ const PreferenceList& PreferenceForSize(size_t w) {
   return it->second;
 }
 
-void BM_KsStatistic(benchmark::State& state) {
-  const size_t w = static_cast<size_t>(state.range(0));
-  const KsInstance& inst = InstanceForSize(w);
-  std::vector<double> r = inst.reference;
-  std::vector<double> t = inst.test;
-  std::sort(r.begin(), r.end());
-  std::sort(t.begin(), t.end());
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ks::StatisticSorted(r, t));
-  }
-}
-BENCHMARK(BM_KsStatistic)->Arg(1000)->Arg(10000)->Arg(100000);
+struct Workloads {
+  std::vector<size_t> primitive_sizes;  // KS / RemovalKs / Theorem checks
+  std::vector<size_t> phase1_sizes;
+  std::vector<size_t> phase2_sizes;
+  std::vector<size_t> e2e_sizes;
+  bench::RunnerOptions reps;
+};
 
-void BM_RemovalKsReevaluate(benchmark::State& state) {
-  const size_t w = static_cast<size_t>(state.range(0));
-  const KsInstance& inst = InstanceForSize(w);
-  RemovalKs removal(inst.reference, inst.test, inst.alpha);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(removal.CurrentOutcome().statistic);
-  }
+Workloads FullWorkloads() {
+  Workloads w;
+  w.primitive_sizes = {1000, 10000, 100000};
+  w.phase1_sizes = {1000, 10000, 50000};
+  w.phase2_sizes = {1000, 10000};
+  w.e2e_sizes = {1000, 10000, 100000};
+  w.reps.warmup = 1;
+  w.reps.repetitions = 7;
+  return w;
 }
-BENCHMARK(BM_RemovalKsReevaluate)->Arg(1000)->Arg(10000)->Arg(100000);
 
-void BM_Theorem1Check(benchmark::State& state) {
-  const size_t w = static_cast<size_t>(state.range(0));
-  const KsInstance& inst = InstanceForSize(w);
-  auto frame = CumulativeFrame::Build(inst.reference, inst.test);
-  BoundsEngine engine(*frame, inst.alpha);
-  size_t h = 1;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(engine.ExistsQualified(h));
-    h = h % (w / 2) + 1;
-  }
+Workloads QuickWorkloads() {
+  Workloads w;
+  w.primitive_sizes = {1000, 5000};
+  w.phase1_sizes = {1000, 5000};
+  w.phase2_sizes = {1000};
+  w.e2e_sizes = {1000, 5000};
+  w.reps.warmup = 1;
+  w.reps.repetitions = 3;
+  return w;
 }
-BENCHMARK(BM_Theorem1Check)->Arg(1000)->Arg(10000)->Arg(100000);
 
-void BM_Theorem2Condition(benchmark::State& state) {
-  const size_t w = static_cast<size_t>(state.range(0));
-  const KsInstance& inst = InstanceForSize(w);
-  auto frame = CumulativeFrame::Build(inst.reference, inst.test);
-  BoundsEngine engine(*frame, inst.alpha);
-  size_t h = 1;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(engine.NecessaryCondition(h));
-    h = h % (w / 2) + 1;
-  }
-}
-BENCHMARK(BM_Theorem2Condition)->Arg(1000)->Arg(10000)->Arg(100000);
-
-// Ablation: phase 1 with the Theorem 2 lower bound...
-void BM_Phase1WithLowerBound(benchmark::State& state) {
-  const size_t w = static_cast<size_t>(state.range(0));
-  const KsInstance& inst = InstanceForSize(w);
-  auto frame = CumulativeFrame::Build(inst.reference, inst.test);
-  BoundsEngine engine(*frame, inst.alpha);
-  SizeSearcher searcher(engine);
-  for (auto _ : state) {
-    auto result = searcher.FindSize(true);
-    benchmark::DoNotOptimize(result.ok());
-  }
-}
-BENCHMARK(BM_Phase1WithLowerBound)->Arg(1000)->Arg(10000)->Arg(50000);
-
-// ...and the MOCHE_ns scan from h = 1.
-void BM_Phase1WithoutLowerBound(benchmark::State& state) {
-  const size_t w = static_cast<size_t>(state.range(0));
-  const KsInstance& inst = InstanceForSize(w);
-  auto frame = CumulativeFrame::Build(inst.reference, inst.test);
-  BoundsEngine engine(*frame, inst.alpha);
-  SizeSearcher searcher(engine);
-  for (auto _ : state) {
-    auto result = searcher.FindSize(false);
-    benchmark::DoNotOptimize(result.ok());
-  }
-}
-BENCHMARK(BM_Phase1WithoutLowerBound)->Arg(1000)->Arg(10000)->Arg(50000);
-
-// Ablation: phase 2 with incremental Theorem 3 checks...
-void BM_Phase2Incremental(benchmark::State& state) {
-  const size_t w = static_cast<size_t>(state.range(0));
-  const KsInstance& inst = InstanceForSize(w);
-  auto frame = CumulativeFrame::Build(inst.reference, inst.test);
-  BoundsEngine engine(*frame, inst.alpha);
-  auto size = SizeSearcher(engine).FindSize();
-  const PreferenceList& pref = PreferenceForSize(w);
-  for (auto _ : state) {
-    auto expl = BuildMostComprehensible(engine, size->k, inst.test, pref,
-                                        /*incremental_check=*/true);
-    benchmark::DoNotOptimize(expl.ok());
-  }
-}
-BENCHMARK(BM_Phase2Incremental)->Arg(1000)->Arg(10000);
-
-// ...and with the paper-faithful full O(q) recursion per candidate.
-void BM_Phase2FullCheck(benchmark::State& state) {
-  const size_t w = static_cast<size_t>(state.range(0));
-  const KsInstance& inst = InstanceForSize(w);
-  auto frame = CumulativeFrame::Build(inst.reference, inst.test);
-  BoundsEngine engine(*frame, inst.alpha);
-  auto size = SizeSearcher(engine).FindSize();
-  const PreferenceList& pref = PreferenceForSize(w);
-  for (auto _ : state) {
-    auto expl = BuildMostComprehensible(engine, size->k, inst.test, pref,
-                                        /*incremental_check=*/false);
-    benchmark::DoNotOptimize(expl.ok());
-  }
-}
-BENCHMARK(BM_Phase2FullCheck)->Arg(1000)->Arg(10000);
-
-void BM_ExplainEndToEnd(benchmark::State& state) {
-  const size_t w = static_cast<size_t>(state.range(0));
-  const KsInstance& inst = InstanceForSize(w);
-  const PreferenceList& pref = PreferenceForSize(w);
-  Moche engine;
-  for (auto _ : state) {
-    auto report = engine.Explain(inst, pref);
-    benchmark::DoNotOptimize(report.ok());
-  }
-}
-BENCHMARK(BM_ExplainEndToEnd)->Arg(1000)->Arg(10000)->Arg(100000);
+// Batch size for O(n + m) primitives: keeps one repetition around a few
+// milliseconds so the median is stable without dragging the suite out.
+size_t OpsFor(size_t w) { return std::max<size_t>(4, 400000 / w); }
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") != 0) {
+      std::fprintf(stderr, "usage: %s [--quick]\n", argv[0]);
+      return 1;
+    }
+  }
+  const bool quick = bench::QuickMode(argc, argv);
+  const Workloads wl = quick ? QuickWorkloads() : FullWorkloads();
+  std::vector<bench::BenchResult> results;
+  const std::string kBench = "micro_core";
+
+  std::printf("=== Core micro benchmarks (%s mode) ===\n",
+              quick ? "quick" : "full");
+
+  for (size_t w : wl.primitive_sizes) {
+    const KsInstance& inst = InstanceForSize(w);
+    std::vector<double> r = inst.reference;
+    std::vector<double> t = inst.test;
+    std::sort(r.begin(), r.end());
+    std::sort(t.begin(), t.end());
+    const size_t ops = OpsFor(w);
+
+    volatile double sink = 0.0;
+    auto stats = bench::Measure(
+        [&] {
+          for (size_t i = 0; i < ops; ++i) sink = ks::StatisticSorted(r, t);
+        },
+        wl.reps);
+    bench::AppendTiming(&results, kBench,
+                        "ks_statistic.w" + std::to_string(w), stats, 1,
+                        static_cast<double>(ops), "s/op");
+
+    RemovalKs removal(inst.reference, inst.test, inst.alpha);
+    stats = bench::Measure(
+        [&] {
+          for (size_t i = 0; i < ops; ++i) {
+            sink = removal.CurrentOutcome().statistic;
+          }
+        },
+        wl.reps);
+    bench::AppendTiming(&results, kBench,
+                        "removal_ks.reevaluate.w" + std::to_string(w), stats,
+                        1, static_cast<double>(ops), "s/op");
+
+    auto frame = CumulativeFrame::Build(inst.reference, inst.test);
+    BoundsEngine engine(*frame, inst.alpha);
+    volatile bool bsink = false;
+    stats = bench::Measure(
+        [&] {
+          // The same deterministic h cycle every repetition.
+          size_t h = 1;
+          for (size_t i = 0; i < ops; ++i) {
+            bsink = engine.ExistsQualified(h);
+            h = h % (w / 2) + 1;
+          }
+        },
+        wl.reps);
+    bench::AppendTiming(&results, kBench,
+                        "theorem1_check.w" + std::to_string(w), stats, 1,
+                        static_cast<double>(ops), "s/op");
+
+    stats = bench::Measure(
+        [&] {
+          size_t h = 1;
+          for (size_t i = 0; i < ops; ++i) {
+            bsink = engine.NecessaryCondition(h);
+            h = h % (w / 2) + 1;
+          }
+        },
+        wl.reps);
+    bench::AppendTiming(&results, kBench,
+                        "theorem2_condition.w" + std::to_string(w), stats, 1,
+                        static_cast<double>(ops), "s/op");
+    std::printf("  primitives w=%zu done\n", w);
+  }
+
+  // Ablation: phase 1 with the Theorem 2 lower bound, and the MOCHE_ns
+  // scan from h = 1 (both through SizeSearcher, i.e. the production path).
+  for (size_t w : wl.phase1_sizes) {
+    const KsInstance& inst = InstanceForSize(w);
+    auto frame = CumulativeFrame::Build(inst.reference, inst.test);
+    BoundsEngine engine(*frame, inst.alpha);
+    SizeSearcher searcher(engine);
+    volatile bool bsink = false;
+
+    auto stats = bench::Measure(
+        [&] { bsink = searcher.FindSize(true).ok(); }, wl.reps);
+    bench::AppendTiming(&results, kBench,
+                        "phase1.lower_bound.w" + std::to_string(w), stats, 1,
+                        1.0, "s/op");
+
+    stats = bench::Measure(
+        [&] { bsink = searcher.FindSize(false).ok(); }, wl.reps);
+    bench::AppendTiming(&results, kBench, "phase1.ns.w" + std::to_string(w),
+                        stats, 1, 1.0, "s/op");
+    std::printf("  phase1 w=%zu done\n", w);
+  }
+
+  // Ablation: phase 2 with incremental vs paper-faithful Theorem 3 checks.
+  for (size_t w : wl.phase2_sizes) {
+    const KsInstance& inst = InstanceForSize(w);
+    auto frame = CumulativeFrame::Build(inst.reference, inst.test);
+    BoundsEngine engine(*frame, inst.alpha);
+    auto size = SizeSearcher(engine).FindSize();
+    if (!size.ok()) {
+      std::fprintf(stderr, "phase1 failed at w=%zu: %s\n", w,
+                   size.status().ToString().c_str());
+      return 1;
+    }
+    const PreferenceList& pref = PreferenceForSize(w);
+    volatile bool bsink = false;
+
+    auto stats = bench::Measure(
+        [&] {
+          bsink = BuildMostComprehensible(engine, size->k, inst.test, pref,
+                                          /*incremental_check=*/true)
+                      .ok();
+        },
+        wl.reps);
+    bench::AppendTiming(&results, kBench,
+                        "phase2.incremental.w" + std::to_string(w), stats, 1,
+                        1.0, "s/op");
+
+    stats = bench::Measure(
+        [&] {
+          bsink = BuildMostComprehensible(engine, size->k, inst.test, pref,
+                                          /*incremental_check=*/false)
+                      .ok();
+        },
+        wl.reps);
+    bench::AppendTiming(&results, kBench, "phase2.full.w" + std::to_string(w),
+                        stats, 1, 1.0, "s/op");
+    std::printf("  phase2 w=%zu done\n", w);
+  }
+
+  for (size_t w : wl.e2e_sizes) {
+    const KsInstance& inst = InstanceForSize(w);
+    const PreferenceList& pref = PreferenceForSize(w);
+    Moche engine;
+    volatile bool bsink = false;
+    auto stats = bench::Measure(
+        [&] { bsink = engine.Explain(inst, pref).ok(); }, wl.reps);
+    bench::AppendTiming(&results, kBench, "explain.e2e.w" + std::to_string(w),
+                        stats, 1, 1.0, "s/op");
+    std::printf("  explain w=%zu done\n", w);
+  }
+
+  const Status written = bench::WriteBenchJson("micro_core", results);
+  if (!written.ok()) {
+    std::fprintf(stderr, "BENCH_micro_core.json: %s\n",
+                 written.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote BENCH_micro_core.json (%zu records)\n", results.size());
+  return 0;
+}

@@ -5,12 +5,14 @@
 // reporting the wall-clock speedup per thread count.
 //
 // Usage: bench_parallel_runner [--threads 1,2,4,8] [--scale 0.3]
-//                              [--full-roster]
+//                              [--full-roster] [--quick]
 //
 // Exits non-zero if any parallel run's aggregates differ from the
 // sequential run's. Speedup is hardware-bound: expect ~linear scaling up to
 // the physical core count and a flat line beyond it (a 1-core container
-// shows 1x everywhere — the identity checks still run).
+// shows 1x everywhere — the identity checks still run). Emits
+// BENCH_parallel_runner.json via the shared bench runner; --quick (the CI
+// perf-smoke mode) shrinks the workload and the thread list.
 
 #include <cstdio>
 #include <cstdlib>
@@ -19,6 +21,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "runner.h"
 #include "util/parallel.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -66,9 +69,14 @@ bool SameAggregates(const std::vector<harness::MethodAggregate>& a,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool quick = bench::QuickMode(argc, argv);
   std::vector<size_t> thread_counts{1, 2, 4, 8};
   double scale = 0.3;
   bool full_roster = false;
+  if (quick) {
+    thread_counts = {1, 2};
+    scale = 0.12;
+  }
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       thread_counts = ParseThreadList(argv[++i]);
@@ -80,10 +88,12 @@ int main(int argc, char** argv) {
       scale = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--full-roster") == 0) {
       full_roster = true;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      // already handled by bench::QuickMode
     } else {
       std::fprintf(stderr,
                    "usage: %s [--threads 1,2,4,8] [--scale S] "
-                   "[--full-roster]\n",
+                   "[--full-roster] [--quick]\n",
                    argv[0]);
       return 1;
     }
@@ -106,8 +116,9 @@ int main(int argc, char** argv) {
   std::printf("workload: %zu series\n\n", workload.series.size());
 
   harness::CollectOptions collect = bench::StandardCollect();
-  collect.window_sizes = {100, 150, 200};
-  collect.sample_per_combination = 4;
+  collect.window_sizes = quick ? std::vector<size_t>{100}
+                               : std::vector<size_t>{100, 150, 200};
+  collect.sample_per_combination = quick ? 2 : 4;
 
   bench::MethodRoster roster;
   std::vector<baselines::Explainer*> methods;
@@ -147,6 +158,16 @@ int main(int argc, char** argv) {
   table.AddRow({"1 (seq)", bench::Fmt(collect_seq_s), bench::Fmt(run_seq_s),
                 "1.00", "baseline"});
 
+  const std::string kBench = "parallel_runner";
+  std::vector<bench::BenchResult> records;
+  const auto add_record = [&](const std::string& metric, double value,
+                              const char* unit, size_t threads) {
+    bench::AppendRecord(&records, kBench, metric, value, unit, threads);
+  };
+  add_record("instances", static_cast<double>(instances->size()), "count", 1);
+  add_record("collect.t1.wall", collect_seq_s, "s", 1);
+  add_record("run.t1.wall", run_seq_s, "s", 1);
+
   bool all_identical = true;
   for (size_t threads : thread_counts) {
     if (threads <= 1) continue;
@@ -173,6 +194,13 @@ int main(int argc, char** argv) {
     const bool identical = agg.ok() && SameAggregates(*base_agg, *agg);
     all_identical = all_identical && identical;
 
+    const std::string tkey = StrFormat(".t%zu.", threads);
+    add_record("collect" + tkey + "wall", collect_par_s, "s", threads);
+    add_record("run" + tkey + "wall", run_par_s, "s", threads);
+    add_record("run" + tkey + "speedup", run_seq_s / run_par_s, "x", threads);
+    add_record("run" + tkey + "identical", identical ? 1.0 : 0.0, "bool",
+               threads);
+
     table.AddRow({StrFormat("%zu", threads), bench::Fmt(collect_par_s),
                   bench::Fmt(run_par_s),
                   bench::Fmt(run_seq_s / run_par_s),
@@ -182,6 +210,15 @@ int main(int argc, char** argv) {
   std::printf("%s\n", table.ToString().c_str());
   std::printf("(speedup = sequential run_s / parallel run_s; collection\n"
               " parallelizes per series, explanation per instance)\n");
+
+  const Status written = bench::WriteBenchJson(kBench, records);
+  if (!written.ok()) {
+    std::fprintf(stderr, "BENCH_%s.json: %s\n", kBench.c_str(),
+                 written.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote BENCH_%s.json (%zu records)\n", kBench.c_str(),
+              records.size());
 
   if (!all_identical) {
     std::fprintf(stderr,

@@ -5,14 +5,15 @@
 //
 // Usage: bench_stream_monitor [--streams 64] [--threads 1,2,4,8,0]
 //                             [--length 1500] [--window 150]
-//                             [--reference 1000] [--batch 64]
+//                             [--reference 1000] [--batch 64] [--quick]
 //
 // (0 in --threads = one per hardware core.) Reports observations/sec and
 // explanations/sec per thread count and verifies that every parallel
 // drift-event log — (stream, tick, statistic, explanation indices) — is
 // bit-identical to the sequential run. Exits non-zero on any mismatch.
 // Speedup is hardware-bound: a 1-core container shows ~1x everywhere; the
-// identity checks still run.
+// identity checks still run. Emits BENCH_stream_monitor.json via the shared
+// bench runner; --quick (the CI perf-smoke mode) shrinks every dimension.
 
 #include <cstdio>
 #include <cstdlib>
@@ -20,6 +21,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "runner.h"
 #include "stream/drift_monitor.h"
 #include "util/parallel.h"
 #include "util/string_util.h"
@@ -109,12 +111,19 @@ RunOutcome RunMonitor(const std::vector<ts::DriftScenario>& scenarios,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool quick = bench::QuickMode(argc, argv);
   size_t streams = 64;
   size_t length = 1500;
   size_t window = 150;
   size_t reference_size = 1000;
   size_t batch_ticks = 64;
   std::vector<size_t> thread_counts{1, 2, 4, 8, 0};
+  if (quick) {
+    streams = 16;
+    length = 600;
+    reference_size = 500;
+    thread_counts = {1, 2};
+  }
   for (int i = 1; i < argc; ++i) {
     const auto next = [&](size_t* out) {
       if (i + 1 >= argc) return false;
@@ -135,13 +144,16 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       thread_counts = ParseThreadList(argv[++i]);
       ok = !thread_counts.empty();
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      // already handled by bench::QuickMode
     } else {
       ok = false;
     }
     if (!ok) {
       std::fprintf(stderr,
                    "usage: %s [--streams N] [--threads 1,2,4,0] "
-                   "[--length L] [--window W] [--reference R] [--batch B]\n",
+                   "[--length L] [--window W] [--reference R] [--batch B] "
+                   "[--quick]\n",
                    argv[0]);
       return 1;
     }
@@ -176,6 +188,20 @@ int main(int argc, char** argv) {
                            0),
                 "1.00", "baseline"});
 
+  const std::string kBench = "stream_monitor";
+  std::vector<bench::BenchResult> records;
+  const auto add_record = [&](const std::string& metric, double value,
+                              const char* unit, size_t threads) {
+    bench::AppendRecord(&records, kBench, metric, value, unit, threads);
+  };
+  add_record("streams", static_cast<double>(streams), "count", 1);
+  add_record("events", static_cast<double>(base.events.size()), "count", 1);
+  add_record("cache.entries", static_cast<double>(base.cache.entries),
+             "count", 1);
+  add_record("cache.hits", static_cast<double>(base.cache.hits), "count", 1);
+  add_record("run.t1.wall", base.seconds, "s", 1);
+  add_record("run.t1.obs_rate", base_obs_rate, "obs/s", 1);
+
   bool all_identical = true;
   for (size_t threads : thread_counts) {
     if (threads == 1) continue;
@@ -184,6 +210,18 @@ int main(int argc, char** argv) {
     const bool identical = stream::SameEventLogs(base.events, run.events);
     all_identical = all_identical && identical;
     const size_t resolved = ResolveThreadCount(threads);
+    // "thw" keeps the hardware-count row's key distinct from an explicit
+    // thread count that happens to resolve to the same number.
+    const std::string tkey =
+        threads == 0 ? ".thw." : StrFormat(".t%zu.", threads);
+    add_record("run" + tkey + "wall", run.seconds, "s", resolved);
+    add_record("run" + tkey + "obs_rate",
+               static_cast<double>(run.observations) / run.seconds, "obs/s",
+               resolved);
+    add_record("run" + tkey + "speedup", base.seconds / run.seconds, "x",
+               resolved);
+    add_record("run" + tkey + "identical", identical ? 1.0 : 0.0, "bool",
+               resolved);
     table.AddRow(
         {threads == 0 ? StrFormat("%zu (hw)", resolved)
                       : StrFormat("%zu", threads),
@@ -199,6 +237,15 @@ int main(int argc, char** argv) {
       "(event log compared on (stream, tick, statistic, explanation "
       "indices);\n explanations throttled to one per 75 rejecting pushes "
       "per stream)\n");
+
+  const Status written = bench::WriteBenchJson(kBench, records);
+  if (!written.ok()) {
+    std::fprintf(stderr, "BENCH_%s.json: %s\n", kBench.c_str(),
+                 written.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote BENCH_%s.json (%zu records)\n", kBench.c_str(),
+              records.size());
 
   if (!all_identical) {
     std::fprintf(stderr, "\nFAIL: a parallel run's drift-event log "

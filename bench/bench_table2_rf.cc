@@ -4,7 +4,7 @@
 //
 // Paper reference: CS 0.80-0.93, GRC 0.59-0.82 under a 24 h budget with
 // top-100 candidate pools. Our iteration budgets are smaller (see
-// EXPERIMENTS.md), so absolute RFs differ; CS > GRC and both < 1 is the
+// docs/BENCHMARKS.md), so absolute RFs differ; CS > GRC and both < 1 is the
 // shape to check.
 
 #include <cstdio>

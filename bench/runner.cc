@@ -1,0 +1,429 @@
+#include "runner.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "util/stats.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace moche {
+namespace bench {
+
+namespace {
+
+const char* EnvOr(const char* name, const char* fallback) {
+  const char* value = std::getenv(name);
+  return (value != nullptr && value[0] != '\0') ? value : fallback;
+}
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += StrFormat("\\u%04x", c);
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+// A minimal recursive-descent reader for the flat JSON this file emits:
+// arrays of objects whose values are strings or numbers. Not a general JSON
+// parser — exactly the subset ToJson/WriteBenchJson produce.
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  Result<std::string> ParseString() {
+    SkipSpace();
+    if (!Consume('"')) {
+      return Status::InvalidArgument("expected '\"'");
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Status::InvalidArgument("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Status::InvalidArgument("bad \\u escape digit");
+            }
+          }
+          if (code > 0x7f) {
+            return Status::InvalidArgument(
+                "non-ASCII \\u escape is outside the BENCH_*.json subset");
+          }
+          out += static_cast<char>(code);
+          break;
+        }
+        default:
+          return Status::InvalidArgument(
+              StrFormat("unknown escape \\%c", esc));
+      }
+    }
+    return Status::InvalidArgument("unterminated string");
+  }
+
+  Result<double> ParseNumber() {
+    SkipSpace();
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            std::strchr("+-.eE", text_[pos_]) != nullptr)) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::InvalidArgument("expected a number");
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return Status::InvalidArgument(StrFormat("bad number '%s'",
+                                               token.c_str()));
+    }
+    return value;
+  }
+
+  /// One {"key": string-or-number, ...} object into a BenchResult. All
+  /// seven schema keys must be present exactly once; unknown keys are
+  /// errors — a truncated or hand-edited record must never parse into a
+  /// plausible-looking default (0.0 would read as an infinite speedup).
+  Result<BenchResult> ParseRecord() {
+    if (!Consume('{')) {
+      return Status::InvalidArgument("expected '{'");
+    }
+    BenchResult r;
+    enum Key {
+      kBench = 0,
+      kMetric,
+      kUnit,
+      kCommit,
+      kValue,
+      kThreads,
+      kSamples,
+      kKeyCount
+    };
+    static const char* const kKeyNames[kKeyCount] = {
+        "bench", "metric", "unit", "commit", "value", "threads", "samples"};
+    bool seen[kKeyCount] = {};
+    const auto claim = [&seen](Key k) {
+      if (seen[k]) {
+        return Status::InvalidArgument(
+            StrFormat("duplicate key '%s'", kKeyNames[k]));
+      }
+      seen[k] = true;
+      return Status::OK();
+    };
+    bool first = true;
+    while (!Consume('}')) {
+      if (!first && !Consume(',')) {
+        return Status::InvalidArgument("expected ',' between fields");
+      }
+      first = false;
+      MOCHE_ASSIGN_OR_RETURN(const std::string key, ParseString());
+      if (!Consume(':')) {
+        return Status::InvalidArgument("expected ':' after key");
+      }
+      if (key == "bench") {
+        MOCHE_RETURN_IF_ERROR(claim(kBench));
+        MOCHE_ASSIGN_OR_RETURN(r.bench, ParseString());
+      } else if (key == "metric") {
+        MOCHE_RETURN_IF_ERROR(claim(kMetric));
+        MOCHE_ASSIGN_OR_RETURN(r.metric, ParseString());
+      } else if (key == "unit") {
+        MOCHE_RETURN_IF_ERROR(claim(kUnit));
+        MOCHE_ASSIGN_OR_RETURN(r.unit, ParseString());
+      } else if (key == "commit") {
+        MOCHE_RETURN_IF_ERROR(claim(kCommit));
+        MOCHE_ASSIGN_OR_RETURN(r.commit, ParseString());
+      } else if (key == "value") {
+        MOCHE_RETURN_IF_ERROR(claim(kValue));
+        MOCHE_ASSIGN_OR_RETURN(r.value, ParseNumber());
+      } else if (key == "threads") {
+        MOCHE_RETURN_IF_ERROR(claim(kThreads));
+        MOCHE_ASSIGN_OR_RETURN(const double v, ParseNumber());
+        r.threads = static_cast<size_t>(v);
+      } else if (key == "samples") {
+        MOCHE_RETURN_IF_ERROR(claim(kSamples));
+        MOCHE_ASSIGN_OR_RETURN(const double v, ParseNumber());
+        r.samples = static_cast<size_t>(v);
+      } else {
+        return Status::InvalidArgument(
+            StrFormat("unknown key '%s'", key.c_str()));
+      }
+    }
+    for (int k = 0; k < kKeyCount; ++k) {
+      if (!seen[k]) {
+        return Status::InvalidArgument(
+            StrFormat("record is missing '%s'", kKeyNames[k]));
+      }
+    }
+    MOCHE_RETURN_IF_ERROR(ValidateBenchResult(r));
+    return r;
+  }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status ValidateBenchResult(const BenchResult& result) {
+  if (result.bench.empty()) {
+    return Status::InvalidArgument("bench name is empty");
+  }
+  if (result.metric.empty()) {
+    return Status::InvalidArgument("metric name is empty");
+  }
+  if (result.unit.empty()) {
+    return Status::InvalidArgument(
+        StrFormat("metric '%s' has an empty unit", result.metric.c_str()));
+  }
+  if (!std::isfinite(result.value)) {
+    return Status::InvalidArgument(
+        StrFormat("metric '%s' has a non-finite value", result.metric.c_str()));
+  }
+  if (result.threads == 0) {
+    return Status::InvalidArgument(
+        StrFormat("metric '%s' has threads == 0 (resolve the hardware knob "
+                  "before recording)",
+                  result.metric.c_str()));
+  }
+  if (result.samples == 0) {
+    return Status::InvalidArgument(
+        StrFormat("metric '%s' is backed by zero samples",
+                  result.metric.c_str()));
+  }
+  return Status::OK();
+}
+
+std::string ToJson(const BenchResult& result) {
+  std::string out = "{\"bench\": \"";
+  AppendEscaped(result.bench, &out);
+  out += "\", \"metric\": \"";
+  AppendEscaped(result.metric, &out);
+  out += StrFormat("\", \"value\": %.17g, \"unit\": \"", result.value);
+  AppendEscaped(result.unit, &out);
+  out += StrFormat("\", \"threads\": %zu, \"samples\": %zu, \"commit\": \"",
+                   result.threads, result.samples);
+  AppendEscaped(result.commit, &out);
+  out += "\"}";
+  return out;
+}
+
+Result<BenchResult> FromJson(const std::string& json) {
+  JsonReader reader(json);
+  MOCHE_ASSIGN_OR_RETURN(BenchResult r, reader.ParseRecord());
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing characters after the record");
+  }
+  return r;
+}
+
+Result<std::vector<BenchResult>> ParseBenchJson(const std::string& json) {
+  JsonReader reader(json);
+  if (!reader.Consume('[')) {
+    return Status::InvalidArgument("expected a JSON array");
+  }
+  std::vector<BenchResult> out;
+  bool first = true;
+  while (!reader.Consume(']')) {
+    if (!first && !reader.Consume(',')) {
+      return Status::InvalidArgument("expected ',' between records");
+    }
+    first = false;
+    MOCHE_ASSIGN_OR_RETURN(BenchResult r, reader.ParseRecord());
+    out.push_back(std::move(r));
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing characters after the array");
+  }
+  return out;
+}
+
+Status WriteBenchJson(const std::string& name,
+                      std::vector<BenchResult> results,
+                      std::string out_dir) {
+  if (name.empty()) {
+    return Status::InvalidArgument("bench file name is empty");
+  }
+  const char* commit = EnvOr("MOCHE_BENCH_COMMIT", EnvOr("GITHUB_SHA",
+                                                         "unknown"));
+  for (BenchResult& r : results) {
+    if (r.commit.empty()) r.commit = commit;
+    MOCHE_RETURN_IF_ERROR(ValidateBenchResult(r));
+  }
+  if (out_dir.empty()) out_dir = EnvOr("MOCHE_BENCH_OUT_DIR", ".");
+  const std::string path = out_dir + "/BENCH_" + name + ".json";
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) {
+    return Status::InvalidArgument(
+        StrFormat("cannot open '%s' for writing", path.c_str()));
+  }
+  file << "[\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    file << "  " << ToJson(results[i]) << (i + 1 < results.size() ? "," : "")
+         << "\n";
+  }
+  file << "]\n";
+  file.flush();
+  if (!file) {
+    return Status::Internal(StrFormat("short write to '%s'", path.c_str()));
+  }
+  return Status::OK();
+}
+
+TimingStats SummarizeTimings(const std::vector<double>& seconds) {
+  TimingStats stats;
+  stats.samples = seconds.size();
+  if (seconds.empty()) return stats;
+  stats.median = Median(seconds);
+  stats.p10 = Quantile(seconds, 0.10);
+  stats.p90 = Quantile(seconds, 0.90);
+  stats.min = *std::min_element(seconds.begin(), seconds.end());
+  for (double s : seconds) stats.total += s;
+  return stats;
+}
+
+TimingStats Measure(const std::function<void()>& fn,
+                    const RunnerOptions& options) {
+  for (size_t i = 0; i < options.warmup; ++i) fn();
+  std::vector<double> seconds;
+  seconds.reserve(options.repetitions);
+  WallTimer timer;
+  for (size_t i = 0; i < options.repetitions; ++i) {
+    timer.Restart();
+    fn();
+    seconds.push_back(timer.Seconds());
+  }
+  return SummarizeTimings(seconds);
+}
+
+void AppendTiming(std::vector<BenchResult>* results, const std::string& bench,
+                  const std::string& metric_prefix, const TimingStats& stats,
+                  size_t threads, double ops_per_rep, const char* unit) {
+  const auto record = [&](const char* suffix, double value) {
+    BenchResult r;
+    r.bench = bench;
+    r.metric = metric_prefix + suffix;
+    r.value = value / ops_per_rep;
+    r.unit = unit;
+    r.threads = threads;
+    r.samples = stats.samples;
+    results->push_back(std::move(r));
+  };
+  record(".median", stats.median);
+  record(".p10", stats.p10);
+  record(".p90", stats.p90);
+}
+
+void AppendRecord(std::vector<BenchResult>* results, const std::string& bench,
+                  const std::string& metric, double value, const char* unit,
+                  size_t threads) {
+  BenchResult r;
+  r.bench = bench;
+  r.metric = metric;
+  r.value = value;
+  r.unit = unit;
+  r.threads = threads;
+  results->push_back(std::move(r));
+}
+
+bool QuickMode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) return true;
+  }
+  // Empty means unset, matching the EnvOr convention above.
+  return EnvOr("MOCHE_BENCH_QUICK", nullptr) != nullptr;
+}
+
+}  // namespace bench
+}  // namespace moche

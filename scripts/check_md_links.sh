@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Markdown link checker: verifies that every relative link target in the
+# given markdown files exists on disk, so docs cannot rot silently when
+# files move. External links (http/https/mailto) and pure #anchors are
+# skipped — CI must not depend on network reachability.
+#
+# Usage: scripts/check_md_links.sh [file.md ...]
+# Default file set: README.md, ROADMAP.md, and docs/**/*.md, relative to
+# the repository root (the script's parent directory).
+set -u
+
+cd "$(dirname "$0")/.." || exit 1
+
+files=("$@")
+if [ "${#files[@]}" -eq 0 ]; then
+  files=(README.md ROADMAP.md)
+  while IFS= read -r f; do
+    files+=("$f")
+  done < <(find docs -name '*.md' | sort)
+fi
+
+fail=0
+checked=0
+for file in "${files[@]}"; do
+  if [ ! -f "$file" ]; then
+    echo "MISSING FILE: $file"
+    fail=1
+    continue
+  fi
+  dir=$(dirname "$file")
+  # Inline links and images: the (target) half of [text](target).
+  while IFS= read -r target; do
+    case "$target" in
+      http://* | https://* | mailto:* | '#'*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -z "$path" ] && continue
+    checked=$((checked + 1))
+    if [ ! -e "$dir/$path" ]; then
+      echo "$file: broken link -> $target"
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$file" | sed 's/^](//; s/)$//')
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "markdown link check FAILED"
+  exit 1
+fi
+echo "markdown link check OK (${#files[@]} files, $checked relative links)"

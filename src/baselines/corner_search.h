@@ -22,7 +22,7 @@ struct CornerSearchOptions {
   /// (the paper constrains CS to the top 100 preference-ranked points).
   size_t top_k = 100;
   /// Total random subsets tried across all sizes (the paper's setting
-  /// allows 150,000; benches shrink this, see EXPERIMENTS.md).
+  /// allows 150,000; benches shrink this, see docs/BENCHMARKS.md).
   size_t max_samples = 20000;
   /// Samples tried per subset size before moving to a larger size.
   size_t samples_per_size = 500;

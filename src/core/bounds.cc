@@ -31,6 +31,20 @@ BoundsEngine::BoundsEngine(const CumulativeFrame& frame, double alpha)
       alpha_(alpha),
       c_alpha_(ks::internal::CriticalValueUnchecked(alpha)) {
   MOCHE_DCHECK(ks::ValidateAlpha(alpha).ok());
+  // Flatten the frame once: the Theorem 1/2 inner loops then stream one
+  // contiguous array (no per-element accessor calls, no repeated
+  // int64 -> double conversions; both conversions are exact, counts are
+  // far below 2^53).
+  const size_t q = frame.q();
+  const int64_t m = static_cast<int64_t>(frame.m());
+  coef_.resize(q + 1);
+  for (size_t i = 1; i <= q; ++i) {
+    Coef& c = coef_[i];
+    c.ct = frame.CT(i);
+    c.ct_d = static_cast<double>(c.ct);
+    c.cr_d = static_cast<double>(frame.CR(i));
+    c.rigid = c.ct - m;
+  }
 }
 
 double BoundsEngine::Omega(size_t h) const {
@@ -43,27 +57,28 @@ double BoundsEngine::Omega(size_t h) const {
 double BoundsEngine::Gamma(size_t i, size_t h) const {
   const double rem = static_cast<double>(frame_.m() - h);
   const double n = static_cast<double>(frame_.n());
-  return static_cast<double>(frame_.CT(i)) -
-         (rem / n) * static_cast<double>(frame_.CR(i));
+  return coef_[i].ct_d - (rem / n) * coef_[i].cr_d;
 }
 
 BoundsVectors BoundsEngine::ComputeBounds(size_t h) const {
   const size_t q = frame_.q();
   const int64_t hh = static_cast<int64_t>(h);
-  const int64_t m = static_cast<int64_t>(frame_.m());
   const double omega = Omega(h);
+  const double rem = static_cast<double>(frame_.m() - h);
+  const double scale = rem / static_cast<double>(frame_.n());
 
   BoundsVectors b;
   b.lower.assign(q + 1, 0);
   b.upper.assign(q + 1, 0);
   double running_max_gamma = -std::numeric_limits<double>::infinity();
+  const Coef* coef = coef_.data();
   for (size_t i = 1; i <= q; ++i) {
-    const double gamma = Gamma(i, h);
-    running_max_gamma = std::max(running_max_gamma, gamma);
-    const int64_t lo =
-        std::max({CeilTol(running_max_gamma - omega), hh - m + frame_.CT(i),
-                  int64_t{0}});
-    const int64_t hi = std::min({FloorTol(gamma + omega), frame_.CT(i), hh});
+    const Coef& c = coef[i];
+    const double gamma = c.ct_d - scale * c.cr_d;
+    if (gamma > running_max_gamma) running_max_gamma = gamma;
+    const int64_t lo = std::max({CeilTol(running_max_gamma - omega),
+                                 hh + c.rigid, int64_t{0}});
+    const int64_t hi = std::min({FloorTol(gamma + omega), c.ct, hh});
     b.lower[i] = lo;
     b.upper[i] = hi;
   }
@@ -71,20 +86,52 @@ BoundsVectors BoundsEngine::ComputeBounds(size_t h) const {
 }
 
 bool BoundsEngine::ExistsQualified(size_t h) const {
+  return ExistsQualifiedWithFailure(h, nullptr);
+}
+
+bool BoundsEngine::ExistsQualifiedWithFailure(size_t h,
+                                              ScanFailure* failure) const {
   const size_t q = frame_.q();
   const int64_t hh = static_cast<int64_t>(h);
-  const int64_t m = static_cast<int64_t>(frame_.m());
   const double omega = Omega(h);
+  const double rem = static_cast<double>(frame_.m() - h);
+  const double scale = rem / static_cast<double>(frame_.n());
 
   double running_max_gamma = -std::numeric_limits<double>::infinity();
+  size_t argmax = 0;
+  const Coef* coef = coef_.data();
   for (size_t i = 1; i <= q; ++i) {
-    const double gamma = Gamma(i, h);
-    running_max_gamma = std::max(running_max_gamma, gamma);
-    const int64_t lo =
-        std::max({CeilTol(running_max_gamma - omega), hh - m + frame_.CT(i),
-                  int64_t{0}});
-    const int64_t hi = std::min({FloorTol(gamma + omega), frame_.CT(i), hh});
-    if (lo > hi) return false;
+    const Coef& c = coef[i];
+    const double gamma = c.ct_d - scale * c.cr_d;
+    if (gamma > running_max_gamma) {
+      running_max_gamma = gamma;
+      argmax = i;
+    }
+    const double a = running_max_gamma - omega;  // seeds l_i's ceiling
+    const double b = gamma + omega;              // seeds u_i's floor
+    const int64_t rigid_lo = std::max(hh + c.rigid, int64_t{0});
+    const int64_t rigid_hi = std::min(c.ct, hh);
+    // Fast filter: l_i <= u_i is certain — with no rounding work — when the
+    // real interval [a, b] spans at least one integer (b - a >= 1; the
+    // CeilTol/FloorTol slack only widens it) and neither side conflicts
+    // with the rigid integer bounds (a <= rigid_hi implies
+    // ceil(a - tol) <= rigid_hi; b >= rigid_lo likewise). The rigid bounds
+    // never conflict with each other (C_T[i] <= m and 0 <= h <= m). Only
+    // coordinates near the bounds-crossing region take the exact path, so
+    // decisions are identical to computing l_i/u_i outright.
+    if (a <= static_cast<double>(rigid_hi) &&
+        b >= static_cast<double>(rigid_lo) && b - a >= 1.0) {
+      continue;
+    }
+    const int64_t lo = std::max(CeilTol(a), rigid_lo);
+    const int64_t hi = std::min(FloorTol(b), rigid_hi);
+    if (lo > hi) {
+      if (failure != nullptr) {
+        failure->fail = i;
+        failure->argmax = argmax;
+      }
+      return false;
+    }
   }
   return true;
 }
@@ -92,20 +139,28 @@ bool BoundsEngine::ExistsQualified(size_t h) const {
 bool BoundsEngine::NecessaryCondition(size_t h) const {
   const size_t q = frame_.q();
   const int64_t hh = static_cast<int64_t>(h);
+  const double hh_d = static_cast<double>(h);
   const double omega = Omega(h);
+  const double rem = static_cast<double>(frame_.m() - h);
+  const double scale = rem / static_cast<double>(frame_.n());
 
   double running_max_gamma = -std::numeric_limits<double>::infinity();
+  const Coef* coef = coef_.data();
   for (size_t i = 1; i <= q; ++i) {
-    const double gamma = Gamma(i, h);
-    running_max_gamma = std::max(running_max_gamma, gamma);
+    const double gamma = coef[i].ct_d - scale * coef[i].cr_d;
+    if (gamma > running_max_gamma) running_max_gamma = gamma;
+    const double a = running_max_gamma - omega;
+    const double b = gamma + omega;
+    // Fast filter mirroring ExistsQualified: each Equation 5 clause is
+    // certain to hold when its real-valued form holds with the slack to
+    // spare (floor(b + tol) >= floor(b) >= 0 when b >= 0, and so on).
+    if (b >= 0.0 && a <= hh_d && a <= b) continue;
     // Equation 5a: 0 <= floor(Gamma + Omega)
-    if (FloorTol(gamma + omega) < 0) return false;
+    if (FloorTol(b) < 0) return false;
     // Equation 5b: ceil(M - Omega) <= h
-    if (CeilTol(running_max_gamma - omega) > hh) return false;
+    if (CeilTol(a) > hh) return false;
     // Equation 5c: M - Omega <= Gamma + Omega (real-valued, with slack)
-    if (running_max_gamma - omega > gamma + omega + TolFor(gamma)) {
-      return false;
-    }
+    if (a > b + TolFor(gamma)) return false;
   }
   return true;
 }
@@ -151,6 +206,44 @@ std::vector<double> BoundsEngine::VectorToSubset(
     }
   }
   return out;
+}
+
+bool SizeScan::ExistsQualified(size_t h) {
+  if (have_failure_) {
+    // O(1) probe at the coordinates that sank the previous size:
+    // Gamma(argmax, h) lower-bounds the prefix maximum M(fail, h) because
+    // argmax <= fail, and CeilTol is monotone, so a crossing proven from
+    // the probe alone implies l_fail > u_fail — the full scan would return
+    // false too.
+    const BoundsEngine::Coef& cf = engine_.coef_[last_failure_.fail];
+    const BoundsEngine::Coef& cm = engine_.coef_[last_failure_.argmax];
+    const int64_t hh = static_cast<int64_t>(h);
+    const double omega = engine_.Omega(h);
+    const double rem = static_cast<double>(engine_.frame_.m() - h);
+    const double scale = rem / static_cast<double>(engine_.frame_.n());
+    const double gamma_max = cm.ct_d - scale * cm.cr_d;
+    const double gamma_fail = cf.ct_d - scale * cf.cr_d;
+    const int64_t hi = std::min({FloorTol(gamma_fail + omega), cf.ct, hh});
+    // u_fail is exact; the three l_fail terms are lower bounds (the two
+    // rigid ones exact, the Gamma one via the prefix argmax), so lo > hi
+    // here is a proof, never a guess.
+    const int64_t lo = std::max(
+        {CeilTol(gamma_max - omega), hh + cf.rigid, int64_t{0}});
+    if (lo > hi) {
+      ++probe_refutations_;
+      return false;
+    }
+  }
+  ++full_scans_;
+  BoundsEngine::ScanFailure failure;
+  const bool exists = engine_.ExistsQualifiedWithFailure(h, &failure);
+  if (exists) {
+    have_failure_ = false;
+  } else {
+    last_failure_ = failure;
+    have_failure_ = true;
+  }
+  return exists;
 }
 
 }  // namespace moche

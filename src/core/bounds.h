@@ -8,6 +8,19 @@
 // with M(i,h) = max_{j<=i} Gamma(j,h). Theorem 1: a qualified h-subset exists
 // iff l_i^h <= u_i^h for every i. Theorem 2 relaxes this to a condition
 // monotone in h, enabling the binary-searched lower bound of Section 4.4.
+//
+// Hot-path layout: the constructor flattens the cumulative frame into one
+// interleaved coefficient array (C_T and C_R pre-converted to double, the
+// rigid integer bounds pre-offset), so each Theorem 1/2 check streams a
+// single contiguous array with the (m-h)/n division hoisted out of the
+// loop. SizeScan carries failure state across adjacent candidate sizes so a
+// size walk usually refutes a size in O(1) instead of O(q); decisions are
+// provably identical to the stateless checks (see the class comment).
+//
+// Ownership & thread-safety: a BoundsEngine borrows its CumulativeFrame
+// (the frame must outlive it) and is immutable after construction, so one
+// engine may serve concurrent readers. SizeScan instances are mutable
+// per-caller scratch — share the engine, not the scan.
 
 #ifndef MOCHE_CORE_BOUNDS_H_
 #define MOCHE_CORE_BOUNDS_H_
@@ -23,7 +36,7 @@ namespace moche {
 
 /// Floating-point guard for the ceilings/floors of Lemma 1: values within a
 /// tiny tolerance of an integer round to that integer, so that boundary-exact
-/// instances agree with the direct KS comparison (see DESIGN.md §7).
+/// instances agree with the direct KS comparison (see docs/ARCHITECTURE.md).
 int64_t CeilTol(double x);
 int64_t FloorTol(double x);
 
@@ -54,6 +67,18 @@ class BoundsEngine {
   /// qualified h-subset) exists. O(n + m) with early exit.
   bool ExistsQualified(size_t h) const;
 
+  /// On a false ExistsQualifiedWithFailure result: the first coordinate
+  /// whose bounds crossed and the prefix-argmax of Gamma there, both
+  /// 1-based. SizeScan re-tests these coordinates first at the next size.
+  struct ScanFailure {
+    size_t fail = 0;    ///< first i with l_i > u_i
+    size_t argmax = 0;  ///< argmax_{j<=fail} Gamma(j, h)
+  };
+
+  /// As ExistsQualified; on failure additionally reports where (when
+  /// `failure` is non-null).
+  bool ExistsQualifiedWithFailure(size_t h, ScanFailure* failure) const;
+
   /// Theorem 2's necessary condition (Equation 5); monotone in h.
   bool NecessaryCondition(size_t h) const;
 
@@ -71,9 +96,59 @@ class BoundsEngine {
   double critical_value() const { return c_alpha_; }
 
  private:
+  friend class SizeScan;
+
+  /// One interleaved entry per base-vector coordinate: the per-candidate
+  /// inner loops read exactly this 32-byte struct instead of three parallel
+  /// int64 arrays behind accessor calls (cache-friendly flat layout; the
+  /// int64 -> double conversions happen once, here).
+  struct Coef {
+    double ct_d = 0.0;   // C_T[i]
+    double cr_d = 0.0;   // C_R[i]
+    int64_t ct = 0;      // C_T[i]
+    int64_t rigid = 0;   // C_T[i] - m, so l's rigid term is h + rigid
+  };
+
   const CumulativeFrame& frame_;
   double alpha_;
   double c_alpha_;
+  std::vector<Coef> coef_;  // length q+1; coef_[0] is the C[0] = 0 entry
+};
+
+/// A Theorem 1 size walk that maintains bounds state incrementally across
+/// adjacent candidate removal-set sizes instead of re-evaluating the full
+/// cumulative frame per candidate.
+///
+/// When the check at size h fails, the engine reports the first failing
+/// coordinate i* and the prefix-argmax j* of Gamma there. At the next size,
+/// Gamma(j*, h') lower-bounds the prefix maximum M(i*, h') (j* <= i*), so
+///   CeilTol(Gamma(j*,h') - Omega(h')) > u_{i*}^{h'}
+/// already proves l_{i*} > u_{i*} — an O(1) refutation. The bounds-conflict
+/// region moves slowly with h, so consecutive sizes usually fail at the
+/// same coordinates and the walk degenerates to O(1) per size; whenever the
+/// O(1) probe cannot refute, the full O(n+m) check runs and re-seeds the
+/// state. Every answer is bit-identical to BoundsEngine::ExistsQualified —
+/// the probe only short-circuits sizes whose failure it proves outright.
+///
+/// Mutable per-caller scratch: not thread-safe; share the engine instead.
+class SizeScan {
+ public:
+  explicit SizeScan(const BoundsEngine& engine) : engine_(engine) {}
+
+  /// Bit-identical to engine.ExistsQualified(h), in any call order.
+  bool ExistsQualified(size_t h);
+
+  /// Sizes refuted by the O(1) probe vs full O(n+m) scans, for tests and
+  /// the efficiency counters.
+  size_t probe_refutations() const { return probe_refutations_; }
+  size_t full_scans() const { return full_scans_; }
+
+ private:
+  const BoundsEngine& engine_;
+  BoundsEngine::ScanFailure last_failure_;
+  bool have_failure_ = false;
+  size_t probe_refutations_ = 0;
+  size_t full_scans_ = 0;
 };
 
 }  // namespace moche

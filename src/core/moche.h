@@ -9,6 +9,19 @@
 //  * NotFound when no explanation exists (possible only for alpha > 2/e^2,
 //    cf. Proposition 1),
 //  * otherwise the unique most comprehensible counterfactual explanation.
+//
+// Ownership & thread-safety: Moche and PreparedReference are immutable
+// after construction — one engine and one prepared reference may be shared
+// by any number of concurrent Explain/ExplainPrepared calls (the batch
+// harness and the stream monitor both do). Each call owns all of its
+// mutable state on the stack; no call mutates its inputs.
+//
+// Input conventions: samples must be non-empty and finite —
+// ks::ValidateSample rejects NaN/Inf up front with InvalidArgument, so the
+// numeric core never sorts or compares a NaN (which would be UB). alpha
+// must lie in (0, 2), the domain of the critical value c_alpha. The
+// determinism, data-flow, and NaN/empty-sample contracts are collected in
+// docs/ARCHITECTURE.md.
 
 #ifndef MOCHE_CORE_MOCHE_H_
 #define MOCHE_CORE_MOCHE_H_

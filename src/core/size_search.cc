@@ -41,10 +41,16 @@ Result<SizeSearchResult> SizeSearcher::FindSize(bool use_lower_bound) const {
     MOCHE_ASSIGN_OR_RETURN(start, LowerBound(&result.theorem2_checks));
   }
   result.k_hat = start;
+  // The walk over adjacent candidate sizes carries SizeScan's failure
+  // state: sizes that fail for the same reason as their predecessor are
+  // refuted in O(1), with answers bit-identical to the stateless check.
+  SizeScan scan(engine_);
   for (size_t h = start; h <= m - 1; ++h) {
     ++result.theorem1_checks;
-    if (engine_.ExistsQualified(h)) {
+    if (scan.ExistsQualified(h)) {
       result.k = h;
+      result.probe_refutations = scan.probe_refutations();
+      result.full_scans = scan.full_scans();
       return result;
     }
   }

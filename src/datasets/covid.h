@@ -8,7 +8,9 @@
 //    and in FHA, large enough that the KS test fails at alpha = 0.05 and
 //    the MOCHE explanation has ~291 points (~8.6 % of |T|), matching the
 //    numbers the paper reports.
-// DESIGN.md §5 documents why the substitution preserves behaviour.
+// The substitution preserves behaviour because only the failing-window
+// geometry (where and how strongly the KS test rejects) enters the
+// algorithm, not the raw epidemiological values.
 
 #ifndef MOCHE_DATASETS_COVID_H_
 #define MOCHE_DATASETS_COVID_H_

@@ -4,6 +4,18 @@
 // hypothesis ("T is sampled from the same distribution as R") is rejected at
 // significance level alpha when D exceeds the threshold
 //   p = c_alpha * sqrt((n+m)/(n*m)),  c_alpha = sqrt(-ln(alpha/2)/2).
+//
+// Ownership & thread-safety: the free functions are pure and thread-safe;
+// RemovalKs owns its union grid and is mutable per-caller scratch (not
+// thread-safe — each worker builds its own).
+//
+// NaN/empty-sample conventions (shared with the rest of the tree, see
+// docs/ARCHITECTURE.md): the Status-returning entry points reject empty
+// samples and non-finite values via ValidateSample (a NaN must never reach
+// std::sort — strict-weak-ordering UB); the Statistic* primitives assume
+// validated input and define the degenerate cases deterministically —
+// D = 1 when exactly one sample is empty (location: the smallest value of
+// the non-empty sample), D = 0 and location 0.0 when both are.
 
 #ifndef MOCHE_KS_KS_TEST_H_
 #define MOCHE_KS_KS_TEST_H_

@@ -21,6 +21,14 @@
 // PushBatch / events must not race each other); internally PushBatch
 // parallelizes across streams. The Moche engine and the interned
 // PreparedReferences are immutable and shared by all workers.
+//
+// Ownership: the monitor owns its streams, the event log, the
+// prepared-reference cache, and (when num_threads resolves > 1) the thread
+// pool; AddStream copies the reference it is given. Observations must be
+// finite — PushBatch validates up front and rejects NaN/Inf with
+// InvalidArgument before touching any stream, so a bad batch never
+// half-applies (the NaN/empty-sample conventions are collected in
+// docs/ARCHITECTURE.md).
 
 #ifndef MOCHE_STREAM_DRIFT_MONITOR_H_
 #define MOCHE_STREAM_DRIFT_MONITOR_H_

@@ -1,6 +1,6 @@
 // Synthetic stand-ins for the six NAB dataset families of the paper's
-// Table 1 (the NAB corpus itself is not redistributable here; DESIGN.md §5
-// documents the substitution). Each generator produces the same number of
+// Table 1 (the NAB corpus itself is not redistributable here, so each
+// family is synthesized to match). Each generator produces the same number of
 // series and the same length ranges as Table 1, with injected anomalies and
 // distribution drifts (spikes, level shifts, variance changes, bursts) and
 // ground-truth labels, so sliding-window KS tests fail in the same way they

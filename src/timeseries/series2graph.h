@@ -13,7 +13,7 @@
 //   5. Normality of a query subsequence = mean over its transition path of
 //      w(e) * (deg(source) - 1); anomaly score = 1 / (1 + normality).
 //
-// Simplifications vs. the original (documented in DESIGN.md §5): nodes are
+// Simplifications vs. the original: nodes are
 // angular sectors rather than per-sector density maxima, and the embedding
 // uses fixed moving-average offsets rather than the full rotated convolution
 // set. What the baseline contributes to the paper's experiments — a

@@ -15,6 +15,14 @@
 //  * No oversubscription surprises: a pool of one thread (or a count of one
 //    task) runs inline on the caller with no synchronization at all, so the
 //    single-threaded configuration is exactly the sequential code path.
+//
+// Ownership & thread-safety: a ThreadPool owns its workers and joins them
+// in the destructor. The pool itself is single-driver — ParallelFor must
+// not be called concurrently from multiple threads, and tasks must not
+// call ParallelFor on the pool running them (no re-entrancy). Tasks may
+// freely share immutable state; anything mutable must be per-index (the
+// slot-writing rule above). The repo-wide thread-count convention is
+// 1 = sequential, 0 = one thread per hardware core (ResolveThreadCount).
 
 #ifndef MOCHE_UTIL_PARALLEL_H_
 #define MOCHE_UTIL_PARALLEL_H_

@@ -104,6 +104,61 @@ TEST(SizeSearchTest, LowerBoundNeverExceedsTrueSize) {
   }
 }
 
+// SizeScan is the stateful walk FindSize drives; its O(1) probe may only
+// ever refute sizes the stateless check refutes too.
+TEST(SizeSearchTest, SizeScanMatchesStatelessCheckInOrderAndOutOfOrder) {
+  Rng rng(31);
+  int failing = 0;
+  for (int rep = 0; rep < 40 && failing < 15; ++rep) {
+    std::vector<double> r;
+    std::vector<double> t;
+    for (int i = 0; i < 60; ++i) r.push_back(rng.Normal(0, 1));
+    for (int i = 0; i < 40; ++i) t.push_back(rng.Normal(1.0, 1.4));
+    auto outcome = ks::Run(r, t, 0.05);
+    ASSERT_TRUE(outcome.ok());
+    if (!outcome->reject) continue;
+    ++failing;
+    auto frame = CumulativeFrame::Build(r, t);
+    ASSERT_TRUE(frame.ok());
+    BoundsEngine engine(*frame, 0.05);
+
+    SizeScan ascending(engine);
+    for (size_t h = 1; h < t.size(); ++h) {
+      EXPECT_EQ(ascending.ExistsQualified(h), engine.ExistsQualified(h))
+          << "h=" << h;
+    }
+    // The probe's refutation argument does not rely on adjacency; any
+    // revisit order must agree too.
+    SizeScan shuffled(engine);
+    for (size_t step = 0; step < 2 * t.size(); ++step) {
+      const size_t h = static_cast<size_t>(
+          rng.Integer(1, static_cast<int64_t>(t.size()) - 1));
+      EXPECT_EQ(shuffled.ExistsQualified(h), engine.ExistsQualified(h))
+          << "h=" << h;
+    }
+  }
+  EXPECT_GE(failing, 5);
+}
+
+TEST(SizeSearchTest, ProbeRefutationsAccountedInFindSize) {
+  Rng rng(41);
+  std::vector<double> r;
+  std::vector<double> t;
+  for (int i = 0; i < 400; ++i) r.push_back(rng.Normal(0, 1));
+  for (int i = 0; i < 300; ++i) t.push_back(rng.Normal(1.5, 1));
+  auto frame = CumulativeFrame::Build(r, t);
+  ASSERT_TRUE(frame.ok());
+  BoundsEngine engine(*frame, 0.05);
+  // The MOCHE_ns ablation walks every size from 1; a strong mean shift
+  // keeps the same coordinates failing, so the probe must fire.
+  auto result = SizeSearcher(engine).FindSize(false);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->probe_refutations + result->full_scans,
+            result->theorem1_checks);
+  EXPECT_GT(result->probe_refutations, 0u);
+  EXPECT_LT(result->full_scans, result->theorem1_checks);
+}
+
 TEST(SizeSearchTest, TinyTestSetRejected) {
   auto frame = CumulativeFrame::Build({1, 2, 3}, {9});
   ASSERT_TRUE(frame.ok());
