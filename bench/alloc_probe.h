@@ -1,0 +1,28 @@
+// The bench-side face of the counting global operator new behind the
+// machine-readable `expl.steady_allocs` metric (allocation CALLS performed
+// by a warmed-up hot path; the zero-allocation pipeline's acceptance
+// number).
+//
+// Single source of truth: the replaceable allocation functions and the
+// AllocationProbe live in tests/testing_alloc.h (the fixture the
+// regression tests use) — this header includes them so the bench and test
+// probes can never drift apart, and re-exports the two names under
+// moche::bench. Including this header DEFINES the program-wide operator
+// new/delete set, so include it from exactly ONE translation unit per
+// bench binary.
+
+#ifndef MOCHE_BENCH_ALLOC_PROBE_H_
+#define MOCHE_BENCH_ALLOC_PROBE_H_
+
+#include "../tests/testing_alloc.h"
+
+namespace moche {
+namespace bench {
+
+using testing_alloc::AllocationCount;
+using testing_alloc::AllocationProbe;
+
+}  // namespace bench
+}  // namespace moche
+
+#endif  // MOCHE_BENCH_ALLOC_PROBE_H_

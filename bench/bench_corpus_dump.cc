@@ -1,0 +1,119 @@
+// Full-precision identity corpus: 399 deterministic failing KS instances,
+// each explained under three engine configurations, dumped with every
+// decision-relevant number at round-trip precision (%.17g). A perf PR that
+// claims "bit-identical reports" regenerates this dump before and after the
+// change and diffs the two files byte-for-byte (docs/BENCHMARKS.md).
+//
+// Usage: bench_corpus_dump [--out FILE] [--instances N]
+//
+// The corpus is a deterministic grid over instance size, contamination and
+// seed (Kifer-style synthetic drift, the paper's Section 6.4 workload) with
+// a seeded random preference list per instance; nothing depends on wall
+// time, the host, or iteration order of any container.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/moche.h"
+#include "datasets/synthetic.h"
+#include "util/rng.h"
+
+using namespace moche;
+
+namespace {
+
+struct Config {
+  const char* name;
+  MocheOptions options;
+};
+
+void DumpReport(std::FILE* f, const char* config, const MocheReport& r) {
+  std::fprintf(f, "  %s k=%zu k_hat=%zu t1=%zu t2=%zu probe=%zu full=%zu "
+                  "cand=%zu steps=%zu\n",
+               config, r.k, r.k_hat, r.size_stats.theorem1_checks,
+               r.size_stats.theorem2_checks, r.size_stats.probe_refutations,
+               r.size_stats.full_scans, r.build_stats.candidates_checked,
+               r.build_stats.recursion_steps);
+  std::fprintf(f, "  %s D=%.17g p=%.17g loc=%.17g after_D=%.17g "
+                  "after_p=%.17g\n",
+               config, r.original.statistic, r.original.threshold,
+               r.original.location, r.after.statistic, r.after.threshold);
+  std::fprintf(f, "  %s I=", config);
+  for (size_t idx : r.explanation.indices) std::fprintf(f, "%zu,", idx);
+  std::fprintf(f, "\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "corpus_dump.txt";
+  size_t want = 399;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--instances") == 0 && i + 1 < argc) {
+      want = static_cast<size_t>(std::atoll(argv[++i]));
+    } else {
+      std::fprintf(stderr, "usage: %s [--out FILE] [--instances N]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+
+  const Config configs[] = {
+      {"lb+inc", {}},
+      {"ns+inc", {/*use_lower_bound=*/false, true, true}},
+      {"lb+full", {true, /*incremental_partial_check=*/false, true}},
+  };
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+
+  const size_t sizes[] = {40, 60, 90, 130, 200, 300, 450, 700, 1000};
+  const double contaminations[] = {0.05, 0.1, 0.2};
+  const double alphas[] = {0.05, 0.01};
+  size_t dumped = 0;
+  // Deterministic grid; seeds advance until `want` failing instances dumped.
+  for (uint64_t seed = 1; dumped < want && seed < 4096; ++seed) {
+    for (size_t w : sizes) {
+      for (double p : contaminations) {
+        for (double alpha : alphas) {
+          if (dumped >= want) break;
+          datasets::DriftOptions opt;
+          opt.size = w;
+          opt.contamination = p;
+          opt.alpha = alpha;
+          opt.seed = seed * 7919 + w;
+          auto inst = datasets::MakeKiferDriftInstance(opt);
+          if (!inst.ok()) continue;
+          Rng rng(opt.seed ^ 0xC0FFEEull);
+          const PreferenceList pref = RandomPreference(w, &rng);
+          std::fprintf(f, "instance %zu w=%zu p=%.17g alpha=%.17g seed=%"
+                          PRIu64 "\n",
+                       dumped, w, p, alpha, opt.seed);
+          for (const Config& config : configs) {
+            const Moche engine(config.options);
+            auto report = engine.Explain(*inst, pref);
+            if (!report.ok()) {
+              std::fprintf(f, "  %s status=%s\n", config.name,
+                           StatusCodeToString(report.status().code()));
+              continue;
+            }
+            DumpReport(f, config.name, *report);
+          }
+          ++dumped;
+        }
+      }
+    }
+  }
+  std::fclose(f);
+  std::printf("dumped %zu instances to %s\n", dumped, out_path.c_str());
+  return dumped == want ? 0 : 1;
+}

@@ -5,7 +5,12 @@
 //  * phase 1 with/without the binary-searched lower bound (MOCHE vs
 //    MOCHE_ns), which also covers the SizeScan incremental size walk,
 //  * phase 2 with incremental vs paper-faithful full Theorem 3 checks,
-//  * end-to-end Explain.
+//  * end-to-end Explain,
+//  * the prepared-explain hot path (one prepared reference, one recycled
+//    ExplainWorkspace + report) and its steady-state allocation count —
+//    `expl.steady_allocs` counts heap allocation calls per warmed-up
+//    ExplainPreparedInto call via the alloc_probe.h operator-new hooks;
+//    the zero-allocation pipeline keeps it at exactly 0.
 //
 // Usage: bench_micro_core [--quick]
 //
@@ -20,6 +25,7 @@
 #include <map>
 #include <vector>
 
+#include "alloc_probe.h"
 #include "core/bounds.h"
 #include "core/builder.h"
 #include "core/moche.h"
@@ -241,6 +247,64 @@ int main(int argc, char** argv) {
                         stats, 1, 1.0, "s/op");
     std::printf("  explain w=%zu done\n", w);
   }
+
+  // The prepared-explain hot path: the reference is validated and sorted
+  // once, and one workspace + report pair is recycled across calls — the
+  // steady state of the Section 6 sweeps and the stream monitor.
+  // expl.steady_allocs counts heap allocation calls per warmed-up call
+  // (exactly 0 under the zero-allocation pipeline), aggregated across the
+  // measured sizes.
+  size_t steady_allocs_total = 0;
+  size_t steady_allocs_ops = 0;
+  for (size_t w : wl.e2e_sizes) {
+    const KsInstance& inst = InstanceForSize(w);
+    const PreferenceList& pref = PreferenceForSize(w);
+    Moche engine;
+    auto prepared = engine.Prepare(inst.reference, inst.alpha);
+    if (!prepared.ok()) {
+      std::fprintf(stderr, "prepare failed at w=%zu: %s\n", w,
+                   prepared.status().ToString().c_str());
+      return 1;
+    }
+    ExplainWorkspace workspace;
+    MocheReport report;
+    volatile bool bsink = false;
+    auto stats = bench::Measure(
+        [&] {
+          bsink = engine
+                      .ExplainPreparedInto(*prepared, inst.test, pref,
+                                           &workspace, &report)
+                      .ok();
+        },
+        wl.reps);
+    bench::AppendTiming(&results, kBench,
+                        "explain.prepared.w" + std::to_string(w), stats, 1,
+                        1.0, "s/op");
+
+    // Allocation steady state: everything is warm after Measure's runs.
+    const size_t kAllocOps = 10;
+    bench::AllocationProbe probe;
+    for (size_t i = 0; i < kAllocOps; ++i) {
+      bsink = engine
+                  .ExplainPreparedInto(*prepared, inst.test, pref, &workspace,
+                                       &report)
+                  .ok();
+    }
+    const size_t allocs = probe.Delta();
+    steady_allocs_total += allocs;
+    steady_allocs_ops += kAllocOps;
+    bench::AppendRecord(&results, kBench,
+                        "expl.steady_allocs.w" + std::to_string(w),
+                        static_cast<double>(allocs) /
+                            static_cast<double>(kAllocOps),
+                        "count", 1);
+    std::printf("  explain.prepared w=%zu done (%zu allocs / %zu ops)\n", w,
+                allocs, kAllocOps);
+  }
+  bench::AppendRecord(&results, kBench, "expl.steady_allocs",
+                      static_cast<double>(steady_allocs_total) /
+                          static_cast<double>(steady_allocs_ops),
+                      "count", 1);
 
   const Status written = bench::WriteBenchJson("micro_core", results);
   if (!written.ok()) {

@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Compares freshly produced BENCH_<name>.json files against the checked-in
+# baseline pair (docs/bench/BENCH_<name>.after.json) and prints a warning
+# for every shared metric that moved outside tolerance.
+#
+#   scripts/compare_bench.sh <fresh_dir> [baseline_dir]
+#
+#     fresh_dir     directory holding the just-run BENCH_*.json files
+#     baseline_dir  defaults to docs/bench (the committed pairs)
+#
+# Warn-only by design: CI's perf-smoke machines are noisy and quick-mode
+# workloads are small, so a hard gate would flap — the job reads the
+# warnings, a human decides. The script exits non-zero only on usage
+# errors or unreadable files, never on a perf delta.
+#
+# Two metric classes, split by unit:
+#   * timing/throughput (s, s/op, obs/s, x): warn when the fresh value
+#     differs from the baseline by more than MOCHE_BENCH_TOLERANCE_PCT
+#     (default 60 — structural regressions, not scheduler noise)
+#   * exact contracts (bool, count — identity checks, allocation counts):
+#     warn on ANY difference; `expl.steady_allocs` creeping above zero is
+#     an allocation regression, not noise.
+#
+# Metrics present on only one side (workload-size differences between
+# quick and full mode) are skipped silently.
+
+set -u
+
+if [ $# -lt 1 ] || [ $# -gt 2 ]; then
+  echo "usage: $0 <fresh_dir> [baseline_dir]" >&2
+  exit 2
+fi
+fresh_dir=$1
+baseline_dir=${2:-docs/bench}
+tolerance_pct=${MOCHE_BENCH_TOLERANCE_PCT:-60}
+
+if ! command -v jq > /dev/null 2>&1; then
+  echo "compare_bench: jq not found; skipping comparison (warn-only)" >&2
+  exit 0
+fi
+
+compared_any=0
+warnings=0
+
+for fresh in "$fresh_dir"/BENCH_*.json; do
+  [ -e "$fresh" ] || continue
+  name=$(basename "$fresh" .json)
+  baseline="$baseline_dir/$name.after.json"
+  if [ ! -f "$baseline" ]; then
+    echo "compare_bench: no baseline $baseline; skipping $name"
+    continue
+  fi
+  compared_any=1
+  echo "== $name: fresh $fresh vs baseline $baseline (tolerance ${tolerance_pct}%)"
+
+  # metric<TAB>unit<TAB>fresh<TAB>base for metrics present in both files.
+  while IFS=$'\t' read -r metric unit fresh_value base_value; do
+    case "$unit" in
+      bool|count)
+        differs=$(jq -n --argjson a "$fresh_value" --argjson b "$base_value" \
+          '(($a - $b) | fabs) > 1e-9')
+        if [ "$differs" = "true" ]; then
+          echo "WARNING: $name $metric ($unit) changed: baseline $base_value -> fresh $fresh_value"
+          warnings=$((warnings + 1))
+        fi
+        ;;
+      *)
+        out_of_tol=$(jq -n --argjson a "$fresh_value" --argjson b "$base_value" \
+          --argjson tol "$tolerance_pct" \
+          'if $b == 0 then ($a != 0) else ((($a - $b) / $b | fabs) * 100) > $tol end')
+        if [ "$out_of_tol" = "true" ]; then
+          ratio=$(jq -n --argjson a "$fresh_value" --argjson b "$base_value" \
+            'if $b == 0 then "inf" else (($a / $b * 100) | round | tostring) + "%" end')
+          echo "WARNING: $name $metric ($unit) at $ratio of baseline: $base_value -> $fresh_value"
+          warnings=$((warnings + 1))
+        fi
+        ;;
+    esac
+  done < <(jq -r --slurpfile base "$baseline" '
+      ( [ $base[0][] | {key: .metric, value: .} ] | from_entries ) as $b
+      | .[]
+      | select($b[.metric] != null)
+      | [.metric, .unit, (.value | tostring), ($b[.metric].value | tostring)]
+      | @tsv' "$fresh")
+done
+
+if [ "$compared_any" = "0" ]; then
+  echo "compare_bench: nothing to compare in $fresh_dir"
+fi
+if [ "$warnings" = "0" ]; then
+  echo "compare_bench: all shared metrics within tolerance"
+else
+  echo "compare_bench: $warnings metric(s) outside tolerance (warn-only; see above)"
+fi
+exit 0

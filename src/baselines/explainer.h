@@ -12,6 +12,7 @@
 #include "core/explanation.h"
 #include "core/instance.h"
 #include "core/preference.h"
+#include "core/workspace.h"
 #include "util/status.h"
 
 namespace moche {
@@ -46,6 +47,21 @@ class Explainer {
 
   virtual Result<Explanation> Explain(
       const KsInstance& instance, const PreferenceList& preference) const = 0;
+
+  /// As Explain, but may run inside the caller-owned workspace so a hot
+  /// loop (harness::RunMethods hands each worker thread one workspace and
+  /// calls this per instance) avoids per-call scratch allocation. Results
+  /// MUST be identical to Explain on the same inputs; the base
+  /// implementation simply ignores the workspace, and only methods with
+  /// reusable scratch (MOCHE) override. The same thread-safety contract as
+  /// Explain applies to the method object; the workspace itself is
+  /// per-caller mutable state and must not be shared across threads.
+  virtual Result<Explanation> ExplainReusing(
+      const KsInstance& instance, const PreferenceList& preference,
+      ExplainWorkspace* workspace) const {
+    (void)workspace;
+    return Explain(instance, preference);
+  }
 };
 
 /// Shared helper: walk test-point indices in `order` and keep removing until

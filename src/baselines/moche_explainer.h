@@ -33,6 +33,21 @@ class MocheExplainer : public Explainer {
     return std::move(report).value().explanation;
   }
 
+  /// MOCHE's scratch (sorted copies, cumulative frame, bounds/builder
+  /// buffers) all lives in the workspace, so the batch harness's per-worker
+  /// reuse eliminates the per-instance allocation churn. Reports are
+  /// bit-identical to Explain (Moche::ExplainInto's contract); the returned
+  /// explanation still owns its indices.
+  Result<Explanation> ExplainReusing(
+      const KsInstance& instance, const PreferenceList& preference,
+      ExplainWorkspace* workspace) const override {
+    MocheReport report;
+    MOCHE_RETURN_IF_ERROR(engine_.ExplainInto(instance.reference,
+                                              instance.test, instance.alpha,
+                                              preference, workspace, &report));
+    return std::move(report.explanation);
+  }
+
  private:
   Moche engine_;
   std::string name_;

@@ -26,18 +26,24 @@ int64_t FloorTol(double x) {
   return static_cast<int64_t>(std::floor(x + TolFor(x)));
 }
 
-BoundsEngine::BoundsEngine(const CumulativeFrame& frame, double alpha)
-    : frame_(frame),
-      alpha_(alpha),
-      c_alpha_(ks::internal::CriticalValueUnchecked(alpha)) {
+BoundsEngine::BoundsEngine(const CumulativeFrame& frame, double alpha) {
+  Reset(frame, alpha);
+}
+
+void BoundsEngine::Reset(const CumulativeFrame& frame, double alpha) {
   MOCHE_DCHECK(ks::ValidateAlpha(alpha).ok());
+  frame_ = &frame;
+  alpha_ = alpha;
+  c_alpha_ = ks::internal::CriticalValueUnchecked(alpha);
   // Flatten the frame once: the Theorem 1/2 inner loops then stream one
   // contiguous array (no per-element accessor calls, no repeated
   // int64 -> double conversions; both conversions are exact, counts are
-  // far below 2^53).
+  // far below 2^53). resize keeps capacity, so a recycled engine's rebuild
+  // is allocation-free once warm.
   const size_t q = frame.q();
   const int64_t m = static_cast<int64_t>(frame.m());
   coef_.resize(q + 1);
+  coef_[0] = Coef{};
   for (size_t i = 1; i <= q; ++i) {
     Coef& c = coef_[i];
     c.ct = frame.CT(i);
@@ -48,28 +54,34 @@ BoundsEngine::BoundsEngine(const CumulativeFrame& frame, double alpha)
 }
 
 double BoundsEngine::Omega(size_t h) const {
-  MOCHE_DCHECK(h < frame_.m());
-  const double rem = static_cast<double>(frame_.m() - h);
-  const double n = static_cast<double>(frame_.n());
+  MOCHE_DCHECK(h < frame_->m());
+  const double rem = static_cast<double>(frame_->m() - h);
+  const double n = static_cast<double>(frame_->n());
   return c_alpha_ * std::sqrt(rem + rem * rem / n);
 }
 
 double BoundsEngine::Gamma(size_t i, size_t h) const {
-  const double rem = static_cast<double>(frame_.m() - h);
-  const double n = static_cast<double>(frame_.n());
+  const double rem = static_cast<double>(frame_->m() - h);
+  const double n = static_cast<double>(frame_->n());
   return coef_[i].ct_d - (rem / n) * coef_[i].cr_d;
 }
 
 BoundsVectors BoundsEngine::ComputeBounds(size_t h) const {
-  const size_t q = frame_.q();
+  BoundsVectors b;
+  ComputeBoundsInto(h, &b.lower, &b.upper);
+  return b;
+}
+
+void BoundsEngine::ComputeBoundsInto(size_t h, std::vector<int64_t>* lower,
+                                     std::vector<int64_t>* upper) const {
+  const size_t q = frame_->q();
   const int64_t hh = static_cast<int64_t>(h);
   const double omega = Omega(h);
-  const double rem = static_cast<double>(frame_.m() - h);
-  const double scale = rem / static_cast<double>(frame_.n());
+  const double rem = static_cast<double>(frame_->m() - h);
+  const double scale = rem / static_cast<double>(frame_->n());
 
-  BoundsVectors b;
-  b.lower.assign(q + 1, 0);
-  b.upper.assign(q + 1, 0);
+  lower->assign(q + 1, 0);
+  upper->assign(q + 1, 0);
   double running_max_gamma = -std::numeric_limits<double>::infinity();
   const Coef* coef = coef_.data();
   for (size_t i = 1; i <= q; ++i) {
@@ -79,10 +91,9 @@ BoundsVectors BoundsEngine::ComputeBounds(size_t h) const {
     const int64_t lo = std::max({CeilTol(running_max_gamma - omega),
                                  hh + c.rigid, int64_t{0}});
     const int64_t hi = std::min({FloorTol(gamma + omega), c.ct, hh});
-    b.lower[i] = lo;
-    b.upper[i] = hi;
+    (*lower)[i] = lo;
+    (*upper)[i] = hi;
   }
-  return b;
 }
 
 bool BoundsEngine::ExistsQualified(size_t h) const {
@@ -91,11 +102,11 @@ bool BoundsEngine::ExistsQualified(size_t h) const {
 
 bool BoundsEngine::ExistsQualifiedWithFailure(size_t h,
                                               ScanFailure* failure) const {
-  const size_t q = frame_.q();
+  const size_t q = frame_->q();
   const int64_t hh = static_cast<int64_t>(h);
   const double omega = Omega(h);
-  const double rem = static_cast<double>(frame_.m() - h);
-  const double scale = rem / static_cast<double>(frame_.n());
+  const double rem = static_cast<double>(frame_->m() - h);
+  const double scale = rem / static_cast<double>(frame_->n());
 
   double running_max_gamma = -std::numeric_limits<double>::infinity();
   size_t argmax = 0;
@@ -137,12 +148,12 @@ bool BoundsEngine::ExistsQualifiedWithFailure(size_t h,
 }
 
 bool BoundsEngine::NecessaryCondition(size_t h) const {
-  const size_t q = frame_.q();
+  const size_t q = frame_->q();
   const int64_t hh = static_cast<int64_t>(h);
   const double hh_d = static_cast<double>(h);
   const double omega = Omega(h);
-  const double rem = static_cast<double>(frame_.m() - h);
-  const double scale = rem / static_cast<double>(frame_.n());
+  const double rem = static_cast<double>(frame_->m() - h);
+  const double scale = rem / static_cast<double>(frame_->n());
 
   double running_max_gamma = -std::numeric_limits<double>::infinity();
   const Coef* coef = coef_.data();
@@ -167,7 +178,7 @@ bool BoundsEngine::NecessaryCondition(size_t h) const {
 
 Result<std::vector<int64_t>> BoundsEngine::ConstructQualifiedVector(
     size_t h) const {
-  const size_t q = frame_.q();
+  const size_t q = frame_->q();
   const BoundsVectors b = ComputeBounds(h);
   for (size_t i = 1; i <= q; ++i) {
     if (b.lower[i] > b.upper[i]) {
@@ -179,7 +190,7 @@ Result<std::vector<int64_t>> BoundsEngine::ConstructQualifiedVector(
   std::vector<int64_t> cum(q + 1, 0);
   cum[q] = b.upper[q];
   for (size_t i = q; i >= 1; --i) {
-    const int64_t lo_step = cum[i] - frame_.CountT(i);  // C[i-1] >= this
+    const int64_t lo_step = cum[i] - frame_->CountT(i);  // C[i-1] >= this
     const int64_t lo = std::max(b.lower[i - 1], lo_step);
     const int64_t hi = std::min(b.upper[i - 1], cum[i]);
     if (lo > hi) {
@@ -200,9 +211,10 @@ Result<std::vector<int64_t>> BoundsEngine::ConstructQualifiedVector(
 std::vector<double> BoundsEngine::VectorToSubset(
     const std::vector<int64_t>& cum) const {
   std::vector<double> out;
-  for (size_t i = 1; i <= frame_.q(); ++i) {
+  out.reserve(static_cast<size_t>(cum[frame_->q()]));
+  for (size_t i = 1; i <= frame_->q(); ++i) {
     for (int64_t c = cum[i - 1]; c < cum[i]; ++c) {
-      out.push_back(frame_.Value(i));
+      out.push_back(frame_->Value(i));
     }
   }
   return out;
@@ -219,8 +231,8 @@ bool SizeScan::ExistsQualified(size_t h) {
     const BoundsEngine::Coef& cm = engine_.coef_[last_failure_.argmax];
     const int64_t hh = static_cast<int64_t>(h);
     const double omega = engine_.Omega(h);
-    const double rem = static_cast<double>(engine_.frame_.m() - h);
-    const double scale = rem / static_cast<double>(engine_.frame_.n());
+    const double rem = static_cast<double>(engine_.frame_->m() - h);
+    const double scale = rem / static_cast<double>(engine_.frame_->n());
     const double gamma_max = cm.ct_d - scale * cm.cr_d;
     const double gamma_fail = cf.ct_d - scale * cf.cr_d;
     const int64_t hi = std::min({FloorTol(gamma_fail + omega), cf.ct, hh});

@@ -49,10 +49,20 @@ struct BoundsVectors {
 
 class BoundsEngine {
  public:
+  /// An unbound engine: every query requires a Reset (or the binding
+  /// constructor) first. Exists so a reusable workspace can carry one
+  /// engine — and its coefficient array's capacity — across many instances.
+  BoundsEngine() = default;
+
   /// The frame must outlive the engine. alpha must satisfy
   /// ks::ValidateAlpha (a precondition — Moche validates before building an
   /// engine; checked by MOCHE_DCHECK in debug builds).
   BoundsEngine(const CumulativeFrame& frame, double alpha);
+
+  /// Rebinds the engine to a (frame, alpha) pair, rebuilding the flattened
+  /// coefficient array in place: a warm engine recycled across same-sized
+  /// instances allocates nothing. Same preconditions as the constructor.
+  void Reset(const CumulativeFrame& frame, double alpha);
 
   /// Omega(h) = c_alpha * sqrt(m-h + (m-h)^2/n), h in [0, m-1].
   double Omega(size_t h) const;
@@ -62,6 +72,12 @@ class BoundsEngine {
 
   /// The closed-form bounds of Equation 4 for subset size h.
   BoundsVectors ComputeBounds(size_t h) const;
+
+  /// As ComputeBounds, writing into caller-owned vectors (assign-style, so
+  /// reused vectors keep their capacity). `lower` and `upper` end up with
+  /// length q+1.
+  void ComputeBoundsInto(size_t h, std::vector<int64_t>* lower,
+                         std::vector<int64_t>* upper) const;
 
   /// Theorem 1: true iff a qualified h-cumulative vector (equivalently a
   /// qualified h-subset) exists. O(n + m) with early exit.
@@ -91,9 +107,13 @@ class BoundsEngine {
   /// (x_i repeated C[i]-C[i-1] times).
   std::vector<double> VectorToSubset(const std::vector<int64_t>& cum) const;
 
-  const CumulativeFrame& frame() const { return frame_; }
+  const CumulativeFrame& frame() const { return *frame_; }
   double alpha() const { return alpha_; }
   double critical_value() const { return c_alpha_; }
+
+  /// Heap bytes retained by the coefficient array (capacity-based; see
+  /// CumulativeFrame::FootprintBytes).
+  size_t FootprintBytes() const { return coef_.capacity() * sizeof(Coef); }
 
  private:
   friend class SizeScan;
@@ -109,9 +129,11 @@ class BoundsEngine {
     int64_t rigid = 0;   // C_T[i] - m, so l's rigid term is h + rigid
   };
 
-  const CumulativeFrame& frame_;
-  double alpha_;
-  double c_alpha_;
+  // A pointer, not a reference, so Reset can rebind a reused engine. Null
+  // only in the unbound default-constructed state.
+  const CumulativeFrame* frame_ = nullptr;
+  double alpha_ = 0.0;
+  double c_alpha_ = 0.0;
   std::vector<Coef> coef_;  // length q+1; coef_[0] is the C[0] = 0 entry
 };
 

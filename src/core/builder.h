@@ -9,6 +9,7 @@
 
 #include "core/bounds.h"
 #include "core/explanation.h"
+#include "core/partial.h"
 #include "core/preference.h"
 #include "util/status.h"
 
@@ -31,6 +32,47 @@ Result<Explanation> BuildMostComprehensible(const BoundsEngine& engine,
                                             const PreferenceList& pref,
                                             bool incremental_check = true,
                                             BuildStats* stats = nullptr);
+
+/// Caller-owned scratch for BuildMostComprehensibleInto. Members are
+/// rebuilt in place on every call (internal state, do not interpret);
+/// reusing one BuildScratch across calls is what makes the warm scan
+/// allocation-free. ExplainWorkspace embeds one.
+struct BuildScratch {
+  std::vector<size_t> value_index;
+  PartialExplanationChecker checker;
+  std::vector<unsigned char> pref_seen;
+
+  size_t FootprintBytes() const {
+    return value_index.capacity() * sizeof(size_t) +
+           checker.FootprintBytes() + pref_seen.capacity();
+  }
+};
+
+/// As BuildMostComprehensible, borrowing caller-owned scratch so a warm
+/// caller (the ExplainWorkspace hot path) runs the scan without heap
+/// allocation; the explanation is written into `out` (cleared first,
+/// capacity reused). `stats`, when non-null, is overwritten — not
+/// accumulated into. Results are identical to BuildMostComprehensible.
+Status BuildMostComprehensibleInto(const BoundsEngine& engine, size_t k,
+                                   const std::vector<double>& test,
+                                   const PreferenceList& pref,
+                                   bool incremental_check, BuildStats* stats,
+                                   BuildScratch* scratch, Explanation* out);
+
+namespace internal {
+
+/// The body behind BuildMostComprehensibleInto with `pref` validation as a
+/// PRECONDITION: the caller must have run ValidatePreference(pref,
+/// test.size()) already (the public entry points do; Moche's explain
+/// pipeline validates once at its entry instead of re-paying the O(m)
+/// permutation check per call). Mirrors the ks::internal::*Unchecked
+/// pattern.
+Status BuildMostComprehensiblePrevalidated(
+    const BoundsEngine& engine, size_t k, const std::vector<double>& test,
+    const PreferenceList& pref, bool incremental_check, BuildStats* stats,
+    BuildScratch* scratch, Explanation* out);
+
+}  // namespace internal
 
 }  // namespace moche
 

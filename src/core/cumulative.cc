@@ -36,15 +36,31 @@ Result<CumulativeFrame> CumulativeFrame::BuildFromSorted(
 
 Result<CumulativeFrame> CumulativeFrame::BuildFromSortedUnchecked(
     const std::vector<double>& r_sorted, const std::vector<double>& t_sorted) {
+  CumulativeFrame frame;
+  BuildFromSortedUncheckedInto(r_sorted, t_sorted, &frame);
+  return frame;
+}
+
+void CumulativeFrame::BuildFromSortedUncheckedInto(
+    const std::vector<double>& r_sorted, const std::vector<double>& t_sorted,
+    CumulativeFrame* out) {
   MOCHE_DCHECK(!r_sorted.empty() && !t_sorted.empty());
   MOCHE_DCHECK(std::is_sorted(r_sorted.begin(), r_sorted.end()));
   MOCHE_DCHECK(std::is_sorted(t_sorted.begin(), t_sorted.end()));
 
-  CumulativeFrame frame;
-  frame.n_ = r_sorted.size();
-  frame.m_ = t_sorted.size();
-  frame.cum_r_.push_back(0);
-  frame.cum_t_.push_back(0);
+  out->n_ = r_sorted.size();
+  out->m_ = t_sorted.size();
+  // clear() keeps capacity; n + m bounds q, so a warm frame never
+  // reallocates mid-merge.
+  out->values_.clear();
+  out->cum_r_.clear();
+  out->cum_t_.clear();
+  const size_t q_bound = r_sorted.size() + t_sorted.size();
+  out->values_.reserve(q_bound);
+  out->cum_r_.reserve(q_bound + 1);
+  out->cum_t_.reserve(q_bound + 1);
+  out->cum_r_.push_back(0);
+  out->cum_t_.push_back(0);
 
   size_t i = 0;
   size_t j = 0;
@@ -58,11 +74,10 @@ Result<CumulativeFrame> CumulativeFrame::BuildFromSortedUnchecked(
     }
     while (i < r_sorted.size() && r_sorted[i] == x) ++i;
     while (j < t_sorted.size() && t_sorted[j] == x) ++j;
-    frame.values_.push_back(x);
-    frame.cum_r_.push_back(static_cast<int64_t>(i));
-    frame.cum_t_.push_back(static_cast<int64_t>(j));
+    out->values_.push_back(x);
+    out->cum_r_.push_back(static_cast<int64_t>(i));
+    out->cum_t_.push_back(static_cast<int64_t>(j));
   }
-  return frame;
 }
 
 Result<size_t> CumulativeFrame::IndexOfValue(double value) const {

@@ -22,6 +22,11 @@ namespace moche {
 
 class CumulativeFrame {
  public:
+  /// An empty frame (q = n = m = 0), the state a reusable frame starts in;
+  /// fill it with BuildFromSortedUncheckedInto. Every accessor requires a
+  /// built frame.
+  CumulativeFrame() = default;
+
   /// Builds the base vector and the cumulative vectors of R and T.
   /// Fails when either multiset is empty.
   static Result<CumulativeFrame> Build(const std::vector<double>& r,
@@ -41,6 +46,21 @@ class CumulativeFrame {
   static Result<CumulativeFrame> BuildFromSortedUnchecked(
       const std::vector<double>& r_sorted,
       const std::vector<double>& t_sorted);
+
+  /// As BuildFromSortedUnchecked, but rebuilds `out` in place, reusing its
+  /// existing array capacity: a frame cycled through many same-sized
+  /// instances stops allocating once warm. This is the ExplainWorkspace hot
+  /// path; results are identical to BuildFromSortedUnchecked.
+  static void BuildFromSortedUncheckedInto(
+      const std::vector<double>& r_sorted,
+      const std::vector<double>& t_sorted, CumulativeFrame* out);
+
+  /// Heap bytes retained by the frame's arrays (capacity, not size) — the
+  /// workspace-footprint accounting the stream monitor reports.
+  size_t FootprintBytes() const {
+    return values_.capacity() * sizeof(double) +
+           (cum_r_.capacity() + cum_t_.capacity()) * sizeof(int64_t);
+  }
 
   size_t q() const { return values_.size(); }
   size_t n() const { return n_; }
@@ -67,8 +87,6 @@ class CumulativeFrame {
       const std::vector<double>& subset) const;
 
  private:
-  CumulativeFrame() = default;
-
   size_t n_ = 0;
   size_t m_ = 0;
   std::vector<double> values_;   // x_1..x_q, ascending

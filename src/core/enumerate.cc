@@ -1,5 +1,7 @@
 #include "core/enumerate.h"
 
+#include <algorithm>
+
 #include "core/partial.h"
 #include "util/string_util.h"
 
@@ -22,6 +24,9 @@ class Enumerator {
   Result<std::vector<Explanation>> Run() {
     MOCHE_ASSIGN_OR_RETURN(PartialExplanationChecker checker,
                            PartialExplanationChecker::Create(engine_, k_));
+    // Reserve hint only — count is caller-controlled and may be "all of
+    // them" (huge), so clamp instead of trusting it with an allocation.
+    results_.reserve(std::min(options_.count, pref_.size()));
     std::vector<size_t> chosen;
     chosen.reserve(k_);
     MOCHE_RETURN_IF_ERROR(Dfs(0, &checker, &chosen));

@@ -12,9 +12,11 @@ Result<MocheReport> Moche::Explain(const std::vector<double>& reference,
                                    const std::vector<double>& test,
                                    double alpha,
                                    const PreferenceList& preference) const {
-  MOCHE_ASSIGN_OR_RETURN(const PreparedReference prepared,
-                         Prepare(reference, alpha));
-  return ExplainPrepared(prepared, test, preference);
+  ExplainWorkspace workspace;
+  MocheReport report;
+  MOCHE_RETURN_IF_ERROR(
+      ExplainInto(reference, test, alpha, preference, &workspace, &report));
+  return report;
 }
 
 Result<PreparedReference> Moche::Prepare(std::vector<double> reference,
@@ -31,15 +33,52 @@ Result<PreparedReference> Moche::Prepare(std::vector<double> reference,
 Result<MocheReport> Moche::ExplainPrepared(
     const PreparedReference& prepared, const std::vector<double>& test,
     const PreferenceList& preference) const {
-  MOCHE_RETURN_IF_ERROR(ValidatePreference(preference, test.size()));
-  const std::vector<double>& reference = prepared.sorted_reference_;
-  const double alpha = prepared.alpha_;
+  ExplainWorkspace workspace;
+  MocheReport report;
+  MOCHE_RETURN_IF_ERROR(
+      ExplainPreparedInto(prepared, test, preference, &workspace, &report));
+  return report;
+}
+
+Status Moche::ExplainPreparedInto(const PreparedReference& prepared,
+                                  const std::vector<double>& test,
+                                  const PreferenceList& preference,
+                                  ExplainWorkspace* workspace,
+                                  MocheReport* report) const {
+  return ExplainSortedInto(prepared.sorted_reference_, prepared.alpha_, test,
+                           preference, workspace, report);
+}
+
+Status Moche::ExplainInto(const std::vector<double>& reference,
+                          const std::vector<double>& test, double alpha,
+                          const PreferenceList& preference,
+                          ExplainWorkspace* workspace,
+                          MocheReport* report) const {
+  MOCHE_RETURN_IF_ERROR(ks::ValidateSample(reference, "reference set"));
+  MOCHE_RETURN_IF_ERROR(ks::ValidateAlpha(alpha));
+  std::vector<double>& sorted = workspace->reference_sorted_;
+  sorted.assign(reference.begin(), reference.end());
+  std::sort(sorted.begin(), sorted.end());
+  return ExplainSortedInto(sorted, alpha, test, preference, workspace,
+                           report);
+}
+
+Status Moche::ExplainSortedInto(const std::vector<double>& sorted_reference,
+                                double alpha, const std::vector<double>& test,
+                                const PreferenceList& preference,
+                                ExplainWorkspace* workspace,
+                                MocheReport* report) const {
+  ExplainWorkspace& ws = *workspace;
+  MOCHE_RETURN_IF_ERROR(
+      ValidatePreference(preference, test.size(), &ws.build_.pref_seen));
+  const std::vector<double>& reference = sorted_reference;
 
   // Per-call validation covers only the test window; the reference and
-  // alpha were validated (and R sorted) once by Prepare, so the per-window
+  // alpha were validated (and R sorted) by the caller, so the per-window
   // cost carries no redundant O(n) re-scans of the reference.
   MOCHE_RETURN_IF_ERROR(ks::ValidateSample(test, "test set"));
-  std::vector<double> test_sorted = test;
+  std::vector<double>& test_sorted = ws.test_sorted_;
+  test_sorted.assign(test.begin(), test.end());
   std::sort(test_sorted.begin(), test_sorted.end());
 
   KsOutcome original;
@@ -55,55 +94,55 @@ Result<MocheReport> Moche::ExplainPrepared(
         "R and T pass the KS test; there is nothing to explain");
   }
 
-  MocheReport report;
-  report.original = original;
+  report->original = original;
 
-  MOCHE_ASSIGN_OR_RETURN(
-      const CumulativeFrame frame,
-      CumulativeFrame::BuildFromSortedUnchecked(reference, test_sorted));
-  const BoundsEngine engine(frame, alpha);
+  CumulativeFrame::BuildFromSortedUncheckedInto(reference, test_sorted,
+                                                &ws.frame_);
+  ws.engine_.Reset(ws.frame_, alpha);
+  const BoundsEngine& engine = ws.engine_;
 
   WallTimer timer;
   const SizeSearcher searcher(engine);
-  MOCHE_ASSIGN_OR_RETURN(report.size_stats,
+  MOCHE_ASSIGN_OR_RETURN(report->size_stats,
                          searcher.FindSize(options_.use_lower_bound));
-  report.k = report.size_stats.k;
-  report.k_hat = report.size_stats.k_hat;
-  report.seconds_size_search = timer.Seconds();
+  report->k = report->size_stats.k;
+  report->k_hat = report->size_stats.k_hat;
+  report->seconds_size_search = timer.Seconds();
 
   timer.Restart();
-  MOCHE_ASSIGN_OR_RETURN(
-      report.explanation,
-      BuildMostComprehensible(engine, report.k, test, preference,
-                              options_.incremental_partial_check,
-                              &report.build_stats));
-  report.seconds_construction = timer.Seconds();
+  // Prevalidated variant: the preference permutation check already ran at
+  // this function's entry; no need to re-pay it per call.
+  MOCHE_RETURN_IF_ERROR(internal::BuildMostComprehensiblePrevalidated(
+      engine, report->k, test, preference, options_.incremental_partial_check,
+      &report->build_stats, &ws.build_, &report->explanation));
+  report->seconds_construction = timer.Seconds();
 
   // T \ I, built from the index mask directly (copying the reference into a
   // KsInstance just for RemoveExplanation would cost O(n) per window).
-  std::vector<bool> removed(test.size(), false);
-  for (size_t idx : report.explanation.indices) removed[idx] = true;
-  std::vector<double> remaining;
-  remaining.reserve(test.size() - report.explanation.size());
+  ws.removed_.assign(test.size(), 0);
+  for (size_t idx : report->explanation.indices) ws.removed_[idx] = 1;
+  std::vector<double>& remaining = ws.remaining_;
+  remaining.clear();
+  remaining.reserve(test.size() - report->explanation.size());
   for (size_t i = 0; i < test.size(); ++i) {
-    if (!removed[i]) remaining.push_back(test[i]);
+    if (!ws.removed_[i]) remaining.push_back(test[i]);
   }
   if (remaining.empty()) {
     return Status::Internal("explanation removed the whole test set");
   }
   std::sort(remaining.begin(), remaining.end());
-  report.after.n = reference.size();
-  report.after.m = remaining.size();
-  report.after.statistic =
-      ks::StatisticSorted(reference, remaining, &report.after.location);
-  report.after.threshold = ks::internal::ThresholdUnchecked(
-      alpha, report.after.n, report.after.m);
-  report.after.reject = report.after.statistic > report.after.threshold;
-  if (options_.validate_result && report.after.reject) {
+  report->after.n = reference.size();
+  report->after.m = remaining.size();
+  report->after.statistic =
+      ks::StatisticSorted(reference, remaining, &report->after.location);
+  report->after.threshold = ks::internal::ThresholdUnchecked(
+      alpha, report->after.n, report->after.m);
+  report->after.reject = report->after.statistic > report->after.threshold;
+  if (options_.validate_result && report->after.reject) {
     return Status::Internal(
         "constructed explanation does not reverse the KS test");
   }
-  return report;
+  return Status::OK();
 }
 
 Result<SizeSearchResult> Moche::FindExplanationSize(
@@ -119,6 +158,38 @@ Result<SizeSearchResult> Moche::FindExplanationSize(
                          CumulativeFrame::Build(reference, test));
   const BoundsEngine engine(frame, alpha);
   return SizeSearcher(engine).FindSize(options_.use_lower_bound);
+}
+
+Result<SizeSearchResult> Moche::FindExplanationSizePrepared(
+    const PreparedReference& prepared, const std::vector<double>& test) const {
+  ExplainWorkspace workspace;
+  return FindExplanationSizeInto(prepared, test, &workspace);
+}
+
+Result<SizeSearchResult> Moche::FindExplanationSizeInto(
+    const PreparedReference& prepared, const std::vector<double>& test,
+    ExplainWorkspace* workspace) const {
+  ExplainWorkspace& ws = *workspace;
+  const std::vector<double>& reference = prepared.sorted_reference_;
+  const double alpha = prepared.alpha_;
+
+  MOCHE_RETURN_IF_ERROR(ks::ValidateSample(test, "test set"));
+  std::vector<double>& test_sorted = ws.test_sorted_;
+  test_sorted.assign(test.begin(), test.end());
+  std::sort(test_sorted.begin(), test_sorted.end());
+
+  const double statistic = ks::StatisticSorted(reference, test_sorted);
+  const double threshold = ks::internal::ThresholdUnchecked(
+      alpha, reference.size(), test_sorted.size());
+  if (!(statistic > threshold)) {
+    return Status::AlreadyPasses(
+        "R and T pass the KS test; there is nothing to explain");
+  }
+
+  CumulativeFrame::BuildFromSortedUncheckedInto(reference, test_sorted,
+                                                &ws.frame_);
+  ws.engine_.Reset(ws.frame_, alpha);
+  return SizeSearcher(ws.engine_).FindSize(options_.use_lower_bound);
 }
 
 }  // namespace moche

@@ -14,7 +14,10 @@
 // after construction — one engine and one prepared reference may be shared
 // by any number of concurrent Explain/ExplainPrepared calls (the batch
 // harness and the stream monitor both do). Each call owns all of its
-// mutable state on the stack; no call mutates its inputs.
+// mutable state on the stack; no call mutates its inputs. The *Into entry
+// points move that state into a caller-owned ExplainWorkspace instead: a
+// hot-loop caller recycles one workspace (and one MocheReport) per thread
+// and the warmed-up steady state allocates nothing (core/workspace.h).
 //
 // Input conventions: samples must be non-empty and finite —
 // ks::ValidateSample rejects NaN/Inf up front with InvalidArgument, so the
@@ -33,6 +36,7 @@
 #include "core/instance.h"
 #include "core/preference.h"
 #include "core/size_search.h"
+#include "core/workspace.h"
 #include "util/status.h"
 
 namespace moche {
@@ -118,15 +122,63 @@ class Moche {
                                       const std::vector<double>& test,
                                       const PreferenceList& preference) const;
 
+  /// The zero-allocation hot path: as ExplainPrepared, but every scratch
+  /// buffer lives in the caller-owned `workspace` and the result is written
+  /// into the caller-owned `*report` (whose explanation vector's capacity is
+  /// reused). A caller that recycles the same workspace and report performs
+  /// no heap allocation once warm — the steady state of the Section 6
+  /// sweeps, harness::RunMethods, and DriftMonitor. Reports are
+  /// bit-identical to ExplainPrepared on the same inputs; `*report` is
+  /// meaningful only when the returned Status is OK. The workspace and
+  /// report are mutable per-caller state: share the engine and the prepared
+  /// reference across threads, never a workspace (docs/ARCHITECTURE.md).
+  Status ExplainPreparedInto(const PreparedReference& prepared,
+                             const std::vector<double>& test,
+                             const PreferenceList& preference,
+                             ExplainWorkspace* workspace,
+                             MocheReport* report) const;
+
+  /// One-shot workspace variant: validates and sorts `reference` into the
+  /// workspace per call (no PreparedReference needed). Reports are
+  /// bit-identical to Explain; used by the batch harness, whose instances
+  /// each carry their own reference.
+  Status ExplainInto(const std::vector<double>& reference,
+                     const std::vector<double>& test, double alpha,
+                     const PreferenceList& preference,
+                     ExplainWorkspace* workspace, MocheReport* report) const;
+
   /// Phase 1 only: the explanation size (and lower bound) without building
   /// the explanation. Useful when only conciseness is needed.
   Result<SizeSearchResult> FindExplanationSize(
       const std::vector<double>& reference, const std::vector<double>& test,
       double alpha) const;
 
+  /// As FindExplanationSize, but reuses the prepared (already sorted)
+  /// reference — only the test window is sorted and validated per call,
+  /// mirroring the Explain/ExplainPrepared pair. Same results as
+  /// FindExplanationSize on the same inputs.
+  Result<SizeSearchResult> FindExplanationSizePrepared(
+      const PreparedReference& prepared,
+      const std::vector<double>& test) const;
+
+  /// Zero-allocation-once-warm variant of FindExplanationSizePrepared,
+  /// running entirely inside `workspace` (SizeSearchResult itself is a
+  /// plain value and never allocates).
+  Result<SizeSearchResult> FindExplanationSizeInto(
+      const PreparedReference& prepared, const std::vector<double>& test,
+      ExplainWorkspace* workspace) const;
+
   const MocheOptions& options() const { return options_; }
 
  private:
+  /// The shared pipeline behind the *Into entry points: `sorted_reference`
+  /// must be validated and sorted, `alpha` validated.
+  Status ExplainSortedInto(const std::vector<double>& sorted_reference,
+                           double alpha, const std::vector<double>& test,
+                           const PreferenceList& preference,
+                           ExplainWorkspace* workspace,
+                           MocheReport* report) const;
+
   MocheOptions options_;
 };
 

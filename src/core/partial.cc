@@ -6,13 +6,20 @@
 
 namespace moche {
 
-PartialExplanationChecker::PartialExplanationChecker(
-    const BoundsEngine& engine, size_t k)
-    : frame_(engine.frame()), k_(k) {
-  const BoundsVectors b = engine.ComputeBounds(k);
-  lk_ = std::move(b.lower);
-  uk_ = std::move(b.upper);
-  const size_t q = frame_.q();
+Status PartialExplanationChecker::Reset(const BoundsEngine& engine,
+                                        size_t k) {
+  if (k == 0 || k >= engine.frame().m()) {
+    return Status::InvalidArgument("explanation size out of range");
+  }
+  frame_ = &engine.frame();
+  k_ = k;
+  accepted_count_ = 0;
+  steps_ = 0;
+  scratch_valid_ = false;
+  scratch_lo_ = 0;
+  scratch_v_ = 0;
+  engine.ComputeBoundsInto(k, &lk_, &uk_);
+  const size_t q = frame_->q();
   counts_.assign(q + 1, 0);
   scratch_.assign(q + 1, 0);
   // ubar of the empty accepted set: the recursion with all s_i = 0.
@@ -21,30 +28,28 @@ PartialExplanationChecker::PartialExplanationChecker(
   for (size_t i = q; i >= 1; --i) {
     ubar_[i - 1] = std::min(uk_[i - 1], ubar_[i]);
   }
-}
-
-Result<PartialExplanationChecker> PartialExplanationChecker::Create(
-    const BoundsEngine& engine, size_t k) {
-  if (k == 0 || k >= engine.frame().m()) {
-    return Status::InvalidArgument("explanation size out of range");
-  }
-  PartialExplanationChecker checker(engine, k);
   // The empty set is a partial explanation iff an explanation of size k
   // exists; verify so later Accepts can rely on a feasible cached state.
-  const size_t q = checker.frame_.q();
   for (size_t i = 0; i <= q; ++i) {
-    if (checker.lk_[i] > checker.ubar_[i]) {
+    if (lk_[i] > ubar_[i]) {
       return Status::Internal(
           "no qualified k-cumulative vector; was k computed by phase 1?");
     }
   }
+  return Status::OK();
+}
+
+Result<PartialExplanationChecker> PartialExplanationChecker::Create(
+    const BoundsEngine& engine, size_t k) {
+  PartialExplanationChecker checker;
+  MOCHE_RETURN_IF_ERROR(checker.Reset(engine, k));
   return checker;
 }
 
 bool PartialExplanationChecker::WalkCandidate(size_t v) {
-  MOCHE_DCHECK(v >= 1 && v <= frame_.q());
+  MOCHE_DCHECK(v >= 1 && v <= frame_->q());
   scratch_valid_ = false;
-  if (counts_[v] + 1 > frame_.CountT(v)) {
+  if (counts_[v] + 1 > frame_->CountT(v)) {
     return false;  // would exceed the multiplicity available in T
   }
   // Recursion ubar_{i-1} = min(u^k_{i-1}, ubar_i - s_i), starting at i = v
@@ -79,10 +84,10 @@ bool PartialExplanationChecker::CandidateFeasible(size_t v) {
 }
 
 bool PartialExplanationChecker::CandidateFeasibleFull(size_t v) {
-  MOCHE_DCHECK(v >= 1 && v <= frame_.q());
+  MOCHE_DCHECK(v >= 1 && v <= frame_->q());
   scratch_valid_ = false;
-  if (counts_[v] + 1 > frame_.CountT(v)) return false;
-  const size_t q = frame_.q();
+  if (counts_[v] + 1 > frame_->CountT(v)) return false;
+  const size_t q = frame_->q();
   int64_t upper = uk_[q];
   ++steps_;
   if (upper < lk_[q]) return false;

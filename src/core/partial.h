@@ -28,11 +28,29 @@ namespace moche {
 
 class PartialExplanationChecker {
  public:
+  /// An unbound checker: call Reset before any query. Exists so a reusable
+  /// workspace can carry one checker — and its five arrays' capacity —
+  /// across many instances.
+  PartialExplanationChecker() = default;
+
   /// Requires that a qualified k-subset exists (i.e. k came from phase 1);
   /// returns Internal otherwise. The frame and engine must outlive the
   /// checker.
   static Result<PartialExplanationChecker> Create(const BoundsEngine& engine,
                                                   size_t k);
+
+  /// Rebinds the checker to (engine, k) and clears the accepted set,
+  /// rebuilding all cached state in place (assign-style, so a warm checker
+  /// allocates nothing). Same validation and result as Create.
+  Status Reset(const BoundsEngine& engine, size_t k);
+
+  /// Heap bytes retained by the checker's arrays (capacity-based; see
+  /// CumulativeFrame::FootprintBytes).
+  size_t FootprintBytes() const {
+    return (lk_.capacity() + uk_.capacity() + counts_.capacity() +
+            ubar_.capacity() + scratch_.capacity()) *
+           sizeof(int64_t);
+  }
 
   /// True iff (accepted multiset) u {x_v} is a partial explanation.
   /// v is the 1-based base-vector index of the candidate value.
@@ -57,13 +75,13 @@ class PartialExplanationChecker {
   size_t steps() const { return steps_; }
 
  private:
-  PartialExplanationChecker(const BoundsEngine& engine, size_t k);
-
   // Walks the recursion downward for candidate v, recording changed ubar
   // entries in scratch_[scratch_lo_ .. v-1]. Returns feasibility.
   bool WalkCandidate(size_t v);
 
-  const CumulativeFrame& frame_;
+  // A pointer, not a reference, so Reset can rebind a reused checker. Null
+  // only in the unbound default-constructed state.
+  const CumulativeFrame* frame_ = nullptr;
   size_t k_ = 0;
   std::vector<int64_t> lk_;      // l^k, length q+1
   std::vector<int64_t> uk_;      // u^k, length q+1

@@ -8,30 +8,41 @@
 namespace moche {
 
 Status ValidatePreference(const PreferenceList& pref, size_t m) {
+  std::vector<unsigned char> seen;
+  return ValidatePreference(pref, m, &seen);
+}
+
+Status ValidatePreference(const PreferenceList& pref, size_t m,
+                          std::vector<unsigned char>* seen) {
   if (pref.size() != m) {
     return Status::InvalidArgument(
         StrFormat("preference list has %zu entries, test set has %zu",
                   pref.size(), m));
   }
-  std::vector<bool> seen(m, false);
+  seen->assign(m, 0);
   for (size_t idx : pref) {
     if (idx >= m) {
       return Status::OutOfRange(
           StrFormat("preference entry %zu out of range (m=%zu)", idx, m));
     }
-    if (seen[idx]) {
+    if ((*seen)[idx]) {
       return Status::InvalidArgument(
           StrFormat("preference entry %zu repeated", idx));
     }
-    seen[idx] = true;
+    (*seen)[idx] = 1;
   }
   return Status::OK();
 }
 
 PreferenceList IdentityPreference(size_t m) {
-  PreferenceList pref(m);
-  std::iota(pref.begin(), pref.end(), size_t{0});
+  PreferenceList pref;
+  IdentityPreferenceInto(m, &pref);
   return pref;
+}
+
+void IdentityPreferenceInto(size_t m, PreferenceList* out) {
+  out->resize(m);
+  std::iota(out->begin(), out->end(), size_t{0});
 }
 
 PreferenceList PreferenceByScoreDesc(const std::vector<double>& scores) {

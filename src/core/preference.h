@@ -20,8 +20,17 @@ using PreferenceList = std::vector<size_t>;
 /// Checks that `pref` is a permutation of [0, m).
 Status ValidatePreference(const PreferenceList& pref, size_t m);
 
+/// As above, borrowing a caller-owned seen-mask so repeated validations of
+/// same-sized lists allocate nothing once warm (the ExplainWorkspace hot
+/// path). `seen` is overwritten scratch; same result as the overload above.
+Status ValidatePreference(const PreferenceList& pref, size_t m,
+                          std::vector<unsigned char>* seen);
+
 /// 0, 1, 2, ... — "the user prefers earlier test points".
 PreferenceList IdentityPreference(size_t m);
+
+/// As IdentityPreference, rebuilding `out` in place (capacity reused).
+void IdentityPreferenceInto(size_t m, PreferenceList* out);
 
 /// Ranks points by descending score; ties broken by ascending index
 /// (deterministic). Used with outlier scores, e.g. Spectral Residual.

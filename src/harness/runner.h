@@ -85,7 +85,11 @@ struct RunOptions {
 };
 
 /// Runs every explainer on every instance. Explainers whose Explain returns
-/// a non-OK status count as "not produced" with that status code.
+/// a non-OK status count as "not produced" with that status code. Each
+/// worker thread owns one ExplainWorkspace, handed to the methods through
+/// Explainer::ExplainReusing, so workspace-aware methods (MOCHE) run the
+/// whole sweep without steady-state scratch allocation; results are
+/// identical to calling Explain directly.
 std::vector<InstanceResults> RunMethods(
     const std::vector<ExperimentInstance>& instances,
     const std::vector<baselines::Explainer*>& methods,

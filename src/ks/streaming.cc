@@ -33,7 +33,14 @@ struct StreamingKs::Node {
 
 class StreamingKs::Treap {
  public:
-  ~Treap() { Free(root_); }
+  ~Treap() {
+    Free(root_);
+    while (free_list_ != nullptr) {
+      Node* next = free_list_->l;
+      delete free_list_;
+      free_list_ = next;
+    }
+  }
 
   int64_t CountRefLE(double key) const { return CountLE(key).first; }
   int64_t CountTestLE(double key) const { return CountLE(key).second; }
@@ -46,7 +53,7 @@ class StreamingKs::Treap {
     Node* geq = nullptr;
     SplitLT(root_, key, &less, &geq);
     AddLazy(geq, suffix_delta);
-    Node* node = new Node;
+    Node* node = Acquire();
     node->key = key;
     node->is_ref = is_ref;
     node->pri = rng_();
@@ -66,7 +73,7 @@ class StreamingKs::Treap {
     SplitLT(root_, key, &less, &rest);
     SplitLE(rest, key, &equal, &greater);
     MOCHE_CHECK(equal != nullptr && equal->cnt_t > 0);
-    equal = RemoveOneTest(equal);
+    equal = RemoveOneTest(equal, this);
     AddLazy(equal, suffix_delta);
     AddLazy(greater, suffix_delta);
     root_ = Merge(Merge(less, equal), greater);
@@ -168,20 +175,36 @@ class StreamingKs::Treap {
     return b;
   }
 
+  // One node, recycled from the free list when possible: the steady state
+  // (one eviction per insertion) runs entirely off recycled nodes, so a
+  // full window pushes with zero heap traffic.
+  Node* Acquire() {
+    if (free_list_ == nullptr) return new Node;
+    Node* node = free_list_;
+    free_list_ = node->l;
+    *node = Node{};
+    return node;
+  }
+
+  void Recycle(Node* n) {
+    n->l = free_list_;
+    free_list_ = n;
+  }
+
   // Deletes one test-tagged node from the (all-equal-key) subtree.
-  static Node* RemoveOneTest(Node* n) {
+  static Node* RemoveOneTest(Node* n, Treap* treap) {
     MOCHE_CHECK(n != nullptr);
     PushDown(n);
     if (!n->is_ref) {
       Node* merged = Merge(n->l, n->r);
-      delete n;
+      treap->Recycle(n);
       return merged;
     }
     if (n->l != nullptr && n->l->cnt_t > 0) {
-      n->l = RemoveOneTest(n->l);
+      n->l = RemoveOneTest(n->l, treap);
     } else {
       MOCHE_CHECK(n->r != nullptr && n->r->cnt_t > 0);
-      n->r = RemoveOneTest(n->r);
+      n->r = RemoveOneTest(n->r, treap);
     }
     Pull(n);
     return n;
@@ -212,6 +235,7 @@ class StreamingKs::Treap {
   }
 
   Node* root_ = nullptr;
+  Node* free_list_ = nullptr;  // chained through Node::l
   std::mt19937_64 rng_{0x5EED5EED5EED5EEDull};
 };
 
@@ -219,6 +243,7 @@ StreamingKs::StreamingKs(size_t n, size_t window_size, double alpha)
     : n_(n),
       window_size_(window_size),
       alpha_(alpha),
+      window_(window_size, 0.0),  // ring storage, allocated once
       treap_(std::make_unique<Treap>()) {}
 
 StreamingKs::StreamingKs(StreamingKs&&) noexcept = default;
@@ -263,19 +288,35 @@ Status StreamingKs::Push(double value) {
   if (!std::isfinite(value)) {
     return Status::InvalidArgument("observation is not finite");
   }
-  if (window_.size() == window_size_) {
-    EraseTestValue(window_.front());
-    window_.pop_front();
+  if (window_count_ == window_size_) {
+    EraseTestValue(window_[window_head_]);
+    window_head_ = (window_head_ + 1) % window_size_;
+    --window_count_;
   }
   InsertTestValue(value);
-  window_.push_back(value);
+  window_[(window_head_ + window_count_) % window_size_] = value;
+  ++window_count_;
   return Status::OK();
+}
+
+std::vector<double> StreamingKs::WindowContents() const {
+  std::vector<double> out;
+  WindowContentsInto(&out);
+  return out;
+}
+
+void StreamingKs::WindowContentsInto(std::vector<double>* out) const {
+  out->clear();
+  out->reserve(window_count_);
+  for (size_t i = 0; i < window_count_; ++i) {
+    out->push_back(window_[(window_head_ + i) % window_size_]);
+  }
 }
 
 Result<KsOutcome> StreamingKs::CurrentOutcome() const {
   if (!WindowFull()) {
     return Status::InvalidArgument(
-        StrFormat("window holds %zu of %zu observations", window_.size(),
+        StrFormat("window holds %zu of %zu observations", window_count_,
                   window_size_));
   }
   KsOutcome out;

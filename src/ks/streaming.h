@@ -13,12 +13,17 @@
 // range-add — and the subtree max/min aggregates give the statistic in
 // O(1). This makes each Push() O(log(n+m)) amortized instead of the
 // O((n+m) log(n+m)) full re-test.
+//
+// Steady-state pushes are also allocation-free: evicted treap nodes go on
+// an internal free list that the next insertion reuses, and the arrival
+// window is a fixed ring buffer sized at Create — so once the window is
+// full, a monitor draining observations performs no heap traffic at all
+// (the DriftMonitor zero-allocation contract, docs/ARCHITECTURE.md).
 
 #ifndef MOCHE_KS_STREAMING_H_
 #define MOCHE_KS_STREAMING_H_
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <vector>
 
@@ -43,7 +48,7 @@ class StreamingKs {
   Status Push(double value);
 
   /// True when the window holds `window_size` observations.
-  bool WindowFull() const { return window_.size() == window_size_; }
+  bool WindowFull() const { return window_count_ == window_size_; }
 
   /// Current KS outcome of R vs the window contents. Requires a full
   /// window (the fixed-size scores are only calibrated for m elements).
@@ -54,9 +59,12 @@ class StreamingKs {
 
   /// The window contents in arrival order (oldest first) — hand this to
   /// Moche::Explain when a drift fires.
-  std::vector<double> WindowContents() const {
-    return {window_.begin(), window_.end()};
-  }
+  std::vector<double> WindowContents() const;
+
+  /// As WindowContents, rebuilding `out` in place (capacity reused): the
+  /// drift monitor's per-worker snapshot buffer allocates once and is then
+  /// recycled for every explanation.
+  void WindowContentsInto(std::vector<double>* out) const;
 
   size_t reference_size() const { return n_; }
   size_t window_size() const { return window_size_; }
@@ -75,7 +83,12 @@ class StreamingKs {
   size_t n_ = 0;
   size_t window_size_ = 0;
   double alpha_ = 0.05;
-  std::deque<double> window_;  // arrival order for eviction
+  // Fixed ring buffer over the arrival order: window_[(head + i) % size]
+  // is the i-th oldest surviving observation. Allocated once at Create so
+  // steady-state pushes never touch the heap.
+  std::vector<double> window_;
+  size_t window_head_ = 0;
+  size_t window_count_ = 0;
   std::unique_ptr<Treap> treap_;
 };
 

@@ -38,6 +38,9 @@ DriftMonitor::DriftMonitor(const MonitorOptions& options)
   if (threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options.num_threads);
   }
+  // One scratch slot per worker (slot 0 is the PushBatch caller); the
+  // workspaces themselves are created on first use.
+  worker_scratch_.resize(pool_ != nullptr ? pool_->num_threads() : 1);
 }
 
 Result<DriftMonitor> DriftMonitor::Create(const MonitorOptions& options) {
@@ -66,27 +69,33 @@ Result<size_t> DriftMonitor::AddStream(std::string name,
   return streams_.size() - 1;
 }
 
-DriftEvent DriftMonitor::Explain(size_t i, const KsOutcome& outcome) {
+DriftEvent DriftMonitor::Explain(size_t worker, size_t i,
+                                 const KsOutcome& outcome) {
+  if (worker_scratch_[worker] == nullptr) {
+    worker_scratch_[worker] = std::make_unique<WorkerScratch>();
+  }
+  WorkerScratch& scratch = *worker_scratch_[worker];
   Stream& s = streams_[i];
   DriftEvent event;
   event.stream = i;
   event.tick = s.ticks;
   event.outcome = outcome;
-  const std::vector<double> window = s.detector.WindowContents();
-  PreferenceList pref = IdentityPreference(window.size());
+  s.detector.WindowContentsInto(&scratch.window);
+  IdentityPreferenceInto(scratch.window.size(), &scratch.pref);
   if (options_.preference == WindowPreference::kNewestFirst) {
-    std::reverse(pref.begin(), pref.end());
+    std::reverse(scratch.pref.begin(), scratch.pref.end());
   }
-  auto report = engine_.ExplainPrepared(*s.prepared, window, pref);
-  if (report.ok()) {
-    event.report = std::move(report).value();
-  } else {
-    event.explain_status = report.status();
-  }
+  // The report is written straight into the event (which outlives the call
+  // in the log); all transient scratch lives in the worker's workspace.
+  const Status status = engine_.ExplainPreparedInto(
+      *s.prepared, scratch.window, scratch.pref, &scratch.workspace,
+      &event.report);
+  if (!status.ok()) event.explain_status = status;
   return event;
 }
 
-Status DriftMonitor::DrainStream(size_t i, const std::vector<double>& values,
+Status DriftMonitor::DrainStream(size_t worker, size_t i,
+                                 const std::vector<double>& values,
                                  std::vector<DriftEvent>* out) {
   Stream& s = streams_[i];
   for (double v : values) {
@@ -110,7 +119,7 @@ Status DriftMonitor::DrainStream(size_t i, const std::vector<double>& values,
       fire = s.pushes_since_explained + 1 >= options_.explain_every_k;
     }
     if (fire) {
-      out->push_back(Explain(i, *outcome));
+      out->push_back(Explain(worker, i, *outcome));
       s.pushes_since_explained = 0;
     } else {
       ++s.pushes_since_explained;
@@ -139,26 +148,36 @@ Status DriftMonitor::PushBatch(
   }
 
   // Stream i's task writes only slot i; the merge below is therefore
-  // independent of which worker ran which stream.
-  std::vector<std::vector<DriftEvent>> buffers(streams_.size());
-  std::vector<Status> statuses(streams_.size());
-  const auto task = [&](size_t i) {
-    statuses[i] = DrainStream(i, observations[i], &buffers[i]);
+  // independent of which worker ran which stream. The buffers are monitor
+  // members: clear() keeps their capacity, so a warmed-up batch that fires
+  // no event allocates nothing here.
+  batch_buffers_.resize(streams_.size());
+  for (std::vector<DriftEvent>& buffer : batch_buffers_) buffer.clear();
+  batch_statuses_.assign(streams_.size(), Status::OK());
+  const auto task = [&](size_t worker, size_t i) {
+    batch_statuses_[i] =
+        DrainStream(worker, i, observations[i], &batch_buffers_[i]);
   };
   if (pool_ != nullptr) {
-    pool_->ParallelFor(streams_.size(), task);
+    pool_->ParallelForWorker(streams_.size(), task);
   } else {
-    for (size_t i = 0; i < streams_.size(); ++i) task(i);
+    for (size_t i = 0; i < streams_.size(); ++i) task(/*worker=*/0, i);
   }
 
+  size_t fired = 0;
   for (size_t i = 0; i < streams_.size(); ++i) {
-    MOCHE_RETURN_IF_ERROR(statuses[i]);
+    MOCHE_RETURN_IF_ERROR(batch_statuses_[i]);
+    fired += batch_buffers_[i].size();
   }
+  if (fired == 0) return Status::OK();
+
   // Merge in (tick, stream) order: deterministic for any thread count, and
   // — when streams are fed in lockstep, as the replay harness does — also
   // independent of how the caller batches the ticks.
-  std::vector<DriftEvent> merged;
-  for (std::vector<DriftEvent>& buffer : buffers) {
+  std::vector<DriftEvent>& merged = batch_merged_;
+  merged.clear();
+  merged.reserve(fired);
+  for (std::vector<DriftEvent>& buffer : batch_buffers_) {
     for (DriftEvent& event : buffer) {
       merged.push_back(std::move(event));
     }
@@ -172,6 +191,7 @@ Status DriftMonitor::PushBatch(
     events_.push_back(std::move(event));
     ++explanations_total_;
   }
+  merged.clear();
   return Status::OK();
 }
 
@@ -189,6 +209,11 @@ DriftMonitor::Stats DriftMonitor::stats() const {
     s.drift_ticks += stream.drift_ticks;
   }
   s.explanations = explanations_total_;
+  for (const std::unique_ptr<WorkerScratch>& scratch : worker_scratch_) {
+    if (scratch == nullptr) continue;
+    ++s.workspaces_created;
+    s.workspace_bytes += scratch->FootprintBytes();
+  }
   return s;
 }
 

@@ -23,12 +23,23 @@
 // PreparedReferences are immutable and shared by all workers.
 //
 // Ownership: the monitor owns its streams, the event log, the
-// prepared-reference cache, and (when num_threads resolves > 1) the thread
-// pool; AddStream copies the reference it is given. Observations must be
-// finite — PushBatch validates up front and rejects NaN/Inf with
-// InvalidArgument before touching any stream, so a bad batch never
-// half-applies (the NaN/empty-sample conventions are collected in
-// docs/ARCHITECTURE.md).
+// prepared-reference cache, a pool of per-worker ExplainWorkspaces, and
+// (when num_threads resolves > 1) the thread pool; AddStream copies the
+// reference it is given. Observations must be finite — PushBatch validates
+// up front and rejects NaN/Inf with InvalidArgument before touching any
+// stream, so a bad batch never half-applies (the NaN/empty-sample
+// conventions are collected in docs/ARCHITECTURE.md).
+//
+// Allocation contract: each worker thread drains streams against its own
+// lazily created workspace (created once, reused forever; stats() reports
+// the pool's footprint), the detectors recycle their treap nodes, and the
+// per-batch fan-out buffers are monitor members reused across batches. A
+// warmed-up sequential (num_threads = 1) monitor therefore performs ZERO
+// heap allocations on a PushBatch that fires no drift event — the steady
+// state of a healthy fleet — and a firing batch allocates only the
+// DriftEvent storage that outlives the call in the event log. The
+// parallel path adds a small O(1) per-batch cost for the pool's job
+// control block.
 
 #ifndef MOCHE_STREAM_DRIFT_MONITOR_H_
 #define MOCHE_STREAM_DRIFT_MONITOR_H_
@@ -104,6 +115,12 @@ class DriftMonitor {
     uint64_t observations = 0;   ///< total pushes across streams
     uint64_t drift_ticks = 0;    ///< pushes whose window rejected
     uint64_t explanations = 0;   ///< DriftEvents emitted
+    /// Explain workspaces created so far (at most one per worker thread;
+    /// a monitor that never fires an explanation creates none).
+    size_t workspaces_created = 0;
+    /// Total heap bytes retained by the workspace pool. Workspace buffers
+    /// never shrink, so this is also the pool's high-water mark.
+    size_t workspace_bytes = 0;
   };
 
   /// Validates options (alpha domain, explain_every_k under kEveryKPushes).
@@ -168,16 +185,35 @@ class DriftMonitor {
           prepared(std::move(prepared)) {}
   };
 
+  /// One worker thread's reusable explanation scratch: the MOCHE workspace
+  /// plus the window-snapshot and preference-list buffers feeding it.
+  /// Indexed by ParallelForWorker's worker id, so it is never shared
+  /// between threads; created lazily on the worker's first explanation.
+  struct WorkerScratch {
+    ExplainWorkspace workspace;
+    std::vector<double> window;
+    PreferenceList pref;
+
+    size_t FootprintBytes() const {
+      return workspace.FootprintBytes() +
+             window.capacity() * sizeof(double) +
+             pref.capacity() * sizeof(size_t);
+    }
+  };
+
   explicit DriftMonitor(const MonitorOptions& options);
 
-  /// Feeds `values` to stream i sequentially, appending events to `out`.
-  /// Returns the first push failure (impossible after PushBatch's up-front
-  /// validation short of an internal bug).
-  Status DrainStream(size_t i, const std::vector<double>& values,
+  /// Feeds `values` to stream i sequentially, appending events to `out`,
+  /// explaining through `worker`'s scratch. Returns the first push failure
+  /// (impossible after PushBatch's up-front validation short of an
+  /// internal bug).
+  Status DrainStream(size_t worker, size_t i,
+                     const std::vector<double>& values,
                      std::vector<DriftEvent>* out);
 
-  /// Runs ExplainPrepared on stream i's current window.
-  DriftEvent Explain(size_t i, const KsOutcome& outcome);
+  /// Runs ExplainPreparedInto on stream i's current window, inside
+  /// `worker`'s scratch.
+  DriftEvent Explain(size_t worker, size_t i, const KsOutcome& outcome);
 
   MonitorOptions options_;
   Moche engine_;
@@ -188,6 +224,16 @@ class DriftMonitor {
   std::vector<DriftEvent> events_;
   uint64_t explanations_total_ = 0;  // survives ClearEvents
   std::unique_ptr<ThreadPool> pool_;  // only when num_threads resolves > 1
+  // One slot per worker thread (slot 0 = the PushBatch caller), filled on
+  // first use. unique_ptr keeps the monitor movable and slot addresses
+  // stable across the vector's lifetime.
+  std::vector<std::unique_ptr<WorkerScratch>> worker_scratch_;
+  // Per-batch fan-out state, hoisted into members so steady-state batches
+  // reuse capacity instead of reallocating (see the allocation contract in
+  // the file header).
+  std::vector<std::vector<DriftEvent>> batch_buffers_;
+  std::vector<Status> batch_statuses_;
+  std::vector<DriftEvent> batch_merged_;
 };
 
 }  // namespace stream

@@ -18,7 +18,9 @@ ThreadPool::ThreadPool(size_t num_threads) {
   const size_t total = ResolveThreadCount(num_threads);
   workers_.reserve(total - 1);
   for (size_t i = 0; i + 1 < total; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    // Worker index 0 is reserved for the ParallelFor caller; spawned
+    // workers take 1..total-1.
+    workers_.emplace_back([this, i] { WorkerLoop(i + 1); });
   }
 }
 
@@ -39,6 +41,17 @@ void ThreadPool::ParallelFor(size_t count,
     for (size_t i = 0; i < count; ++i) fn(i);
     return;
   }
+  ParallelForWorker(count, [&fn](size_t /*worker*/, size_t i) { fn(i); });
+}
+
+void ThreadPool::ParallelForWorker(
+    size_t count, const std::function<void(size_t, size_t)>& fn) {
+  if (count == 0) return;
+  // Inline fast path mirroring ParallelFor: the caller is worker 0.
+  if (workers_.empty() || count == 1) {
+    for (size_t i = 0; i < count; ++i) fn(0, i);
+    return;
+  }
 
   auto job = std::make_shared<internal::ParallelJob>();
   job->fn = fn;
@@ -51,7 +64,7 @@ void ThreadPool::ParallelFor(size_t count,
   job_cv_.notify_all();
 
   // The calling thread drains indices alongside the workers.
-  Drain(*job);
+  Drain(*job, /*worker=*/0);
 
   std::unique_lock<std::mutex> lock(mutex_);
   done_cv_.wait(lock, [&job] {
@@ -60,11 +73,11 @@ void ThreadPool::ParallelFor(size_t count,
   if (job_ == job) job_ = nullptr;
 }
 
-void ThreadPool::Drain(internal::ParallelJob& job) {
+void ThreadPool::Drain(internal::ParallelJob& job, size_t worker) {
   for (size_t i = job.next_index.fetch_add(1, std::memory_order_relaxed);
        i < job.count;
        i = job.next_index.fetch_add(1, std::memory_order_relaxed)) {
-    job.fn(i);
+    job.fn(worker, i);
     if (job.done_count.fetch_add(1, std::memory_order_acq_rel) + 1 ==
         job.count) {
       // Last task overall: wake the caller. Taking the mutex orders this
@@ -76,7 +89,7 @@ void ThreadPool::Drain(internal::ParallelJob& job) {
   }
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t worker) {
   uint64_t seen_generation = 0;
   for (;;) {
     std::shared_ptr<internal::ParallelJob> job;
@@ -89,20 +102,36 @@ void ThreadPool::WorkerLoop() {
       seen_generation = generation_;
       job = job_;  // null when the job already retired; just wait again
     }
-    if (job != nullptr) Drain(*job);
+    if (job != nullptr) Drain(*job, worker);
   }
 }
 
 void ParallelFor(size_t num_threads, size_t count,
                  const std::function<void(size_t)>& fn) {
   if (count == 0) return;
-  const size_t threads = std::min(ResolveThreadCount(num_threads), count);
+  const size_t threads = ParallelWorkerCount(num_threads, count);
   if (threads <= 1) {
     for (size_t i = 0; i < count; ++i) fn(i);
     return;
   }
   ThreadPool pool(threads);
   pool.ParallelFor(count, fn);
+}
+
+void ParallelForWorker(size_t num_threads, size_t count,
+                       const std::function<void(size_t, size_t)>& fn) {
+  if (count == 0) return;
+  const size_t threads = ParallelWorkerCount(num_threads, count);
+  if (threads <= 1) {
+    for (size_t i = 0; i < count; ++i) fn(0, i);
+    return;
+  }
+  ThreadPool pool(threads);
+  pool.ParallelForWorker(count, fn);
+}
+
+size_t ParallelWorkerCount(size_t num_threads, size_t count) {
+  return std::min(ResolveThreadCount(num_threads), count);
 }
 
 }  // namespace moche

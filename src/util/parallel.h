@@ -52,9 +52,10 @@ namespace internal {
 /// The state of one ParallelFor call. Heap-allocated and shared between the
 /// caller and the workers so that a worker descheduled across the end of a
 /// job can only ever touch that job's own (already drained) counters, never
-/// a successor job's.
+/// a successor job's. fn receives (worker, index); plain ParallelFor wraps
+/// its index-only callback.
 struct ParallelJob {
-  std::function<void(size_t)> fn;
+  std::function<void(size_t, size_t)> fn;
   size_t count = 0;
   std::atomic<size_t> next_index{0};
   std::atomic<size_t> done_count{0};
@@ -89,12 +90,26 @@ class ThreadPool {
   /// not throw.
   void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
 
+  /// As ParallelFor, but fn additionally receives the stable index of the
+  /// thread running it: fn(worker, i) with worker in [0, num_threads()),
+  /// where worker 0 is the calling thread. Two tasks with the same worker
+  /// index never run concurrently, so callers can hand each worker its own
+  /// mutable scratch (e.g. an ExplainWorkspace) without synchronization —
+  /// the worker-indexed workspace pools of harness::RunMethods and
+  /// stream::DriftMonitor. Which indices land on which worker is
+  /// unspecified; anything worker-indexed must therefore be scratch only,
+  /// never part of the output (the slot-i output rule above keeps results
+  /// deterministic).
+  void ParallelForWorker(size_t count,
+                         const std::function<void(size_t, size_t)>& fn);
+
  private:
-  void WorkerLoop();
+  void WorkerLoop(size_t worker);
 
   /// Claims and runs indices of `job` until none remain; wakes the caller
-  /// after finishing the job's last task.
-  void Drain(internal::ParallelJob& job);
+  /// after finishing the job's last task. `worker` is the stable index of
+  /// the draining thread (0 = the ParallelForWorker caller).
+  void Drain(internal::ParallelJob& job, size_t worker);
 
   std::vector<std::thread> workers_;
 
@@ -111,6 +126,17 @@ class ThreadPool {
 /// long-lived ThreadPool when calling in a loop.
 void ParallelFor(size_t num_threads, size_t count,
                  const std::function<void(size_t)>& fn);
+
+/// One-shot worker-indexed convenience: as the member ParallelForWorker on
+/// a temporary pool. fn's worker argument is < ParallelWorkerCount(
+/// num_threads, count).
+void ParallelForWorker(size_t num_threads, size_t count,
+                       const std::function<void(size_t, size_t)>& fn);
+
+/// The number of distinct worker indices the free ParallelFor/
+/// ParallelForWorker functions use for a (num_threads, count) pair — the
+/// size a caller's per-worker scratch pool needs.
+size_t ParallelWorkerCount(size_t num_threads, size_t count);
 
 }  // namespace moche
 

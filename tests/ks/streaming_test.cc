@@ -1,6 +1,7 @@
 #include "ks/streaming.h"
 
 #include <cmath>
+#include <deque>
 
 #include <gtest/gtest.h>
 
@@ -94,6 +95,22 @@ TEST(StreamingKsTest, WindowContentsMatchArrivalOrder) {
   EXPECT_EQ(stream->WindowContents(), (std::vector<double>{1, 2, 3}));
   ASSERT_TRUE(stream->Push(4.0).ok());  // evicts 1.0
   EXPECT_EQ(stream->WindowContents(), (std::vector<double>{2, 3, 4}));
+}
+
+TEST(StreamingKsTest, WindowContentsIntoReusesBufferAcrossWraparound) {
+  auto stream = StreamingKs::Create({5.0, 6.0}, 3, 0.05);
+  ASSERT_TRUE(stream.ok());
+  std::vector<double> snapshot{99.0, 99.0, 99.0, 99.0};  // stale contents
+  stream->WindowContentsInto(&snapshot);
+  EXPECT_TRUE(snapshot.empty());
+  // Push far past capacity so the ring wraps several times; the reused
+  // buffer must always equal the from-scratch WindowContents.
+  for (int i = 1; i <= 11; ++i) {
+    ASSERT_TRUE(stream->Push(static_cast<double>(i)).ok());
+    stream->WindowContentsInto(&snapshot);
+    EXPECT_EQ(snapshot, stream->WindowContents()) << "push " << i;
+  }
+  EXPECT_EQ(snapshot, (std::vector<double>{9, 10, 11}));
 }
 
 TEST(StreamingKsTest, DetectsDriftAfterDistributionShift) {

@@ -83,6 +83,60 @@ TEST(ThreadPoolTest, MoreThreadsThanTasks) {
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
+TEST(ParallelForWorkerTest, WorkerIndicesAreInRangeAndExclusive) {
+  ThreadPool pool(4);
+  const size_t count = 512;
+  // Per-worker counters written WITHOUT synchronization: the contract says
+  // two tasks with the same worker index never run concurrently, so plain
+  // increments must survive (TSan covers the claim in the sanitizer job).
+  std::vector<size_t> per_worker(pool.num_threads(), 0);
+  std::vector<std::atomic<int>> hits(count);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelForWorker(count, [&](size_t worker, size_t i) {
+    ASSERT_LT(worker, pool.num_threads());
+    ++per_worker[worker];
+    hits[i].fetch_add(1);
+  });
+  size_t total = 0;
+  for (size_t c : per_worker) total += c;
+  EXPECT_EQ(total, count);
+  for (size_t i = 0; i < count; ++i) ASSERT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelForWorkerTest, InlinePathsUseWorkerZero) {
+  // Single-thread pool: everything runs on the caller as worker 0.
+  ThreadPool pool(1);
+  std::vector<size_t> workers;
+  pool.ParallelForWorker(5, [&workers](size_t worker, size_t i) {
+    (void)i;
+    workers.push_back(worker);
+  });
+  EXPECT_EQ(workers, std::vector<size_t>(5, 0));
+
+  // count == 1 short-circuits inline even on a multi-thread pool.
+  ThreadPool wide(4);
+  size_t seen_worker = 99;
+  wide.ParallelForWorker(1, [&](size_t worker, size_t i) {
+    (void)i;
+    seen_worker = worker;
+  });
+  EXPECT_EQ(seen_worker, 0u);
+}
+
+TEST(ParallelForWorkerTest, FreeFunctionMatchesWorkerCountHelper) {
+  const size_t count = 40;
+  EXPECT_EQ(ParallelWorkerCount(1, count), 1u);
+  EXPECT_EQ(ParallelWorkerCount(4, count), 4u);
+  EXPECT_EQ(ParallelWorkerCount(64, count), count);
+  std::vector<std::atomic<size_t>> worker_of(count);
+  ParallelForWorker(4, count, [&](size_t worker, size_t i) {
+    worker_of[i].store(worker);
+  });
+  for (size_t i = 0; i < count; ++i) {
+    ASSERT_LT(worker_of[i].load(), ParallelWorkerCount(4, count));
+  }
+}
+
 TEST(ThreadPoolTest, UnevenTaskDurationsStillCoverAllIndices) {
   ThreadPool pool(4);
   const size_t count = 64;
