@@ -1,8 +1,10 @@
 // Full-precision identity corpus: 399 deterministic failing KS instances,
 // each explained under three engine configurations, dumped with every
-// decision-relevant number at round-trip precision (%.17g). A perf PR that
-// claims "bit-identical reports" regenerates this dump before and after the
-// change and diffs the two files byte-for-byte (docs/BENCHMARKS.md).
+// decision-relevant number at round-trip precision (17 significant digits,
+// via the locale-independent FormatG17 so a comma-decimal LC_NUMERIC can
+// never corrupt the dump). A perf PR that claims "bit-identical reports"
+// regenerates this dump before and after the change and diffs the two
+// files byte-for-byte (docs/BENCHMARKS.md).
 //
 // Usage: bench_corpus_dump [--out FILE] [--instances N]
 //
@@ -21,6 +23,7 @@
 #include "core/moche.h"
 #include "datasets/synthetic.h"
 #include "util/rng.h"
+#include "util/string_util.h"
 
 using namespace moche;
 
@@ -38,10 +41,12 @@ void DumpReport(std::FILE* f, const char* config, const MocheReport& r) {
                r.size_stats.theorem2_checks, r.size_stats.probe_refutations,
                r.size_stats.full_scans, r.build_stats.candidates_checked,
                r.build_stats.recursion_steps);
-  std::fprintf(f, "  %s D=%.17g p=%.17g loc=%.17g after_D=%.17g "
-                  "after_p=%.17g\n",
-               config, r.original.statistic, r.original.threshold,
-               r.original.location, r.after.statistic, r.after.threshold);
+  std::fprintf(f, "  %s D=%s p=%s loc=%s after_D=%s after_p=%s\n", config,
+               FormatG17(r.original.statistic).c_str(),
+               FormatG17(r.original.threshold).c_str(),
+               FormatG17(r.original.location).c_str(),
+               FormatG17(r.after.statistic).c_str(),
+               FormatG17(r.after.threshold).c_str());
   std::fprintf(f, "  %s I=", config);
   for (size_t idx : r.explanation.indices) std::fprintf(f, "%zu,", idx);
   std::fprintf(f, "\n");
@@ -95,9 +100,10 @@ int main(int argc, char** argv) {
           if (!inst.ok()) continue;
           Rng rng(opt.seed ^ 0xC0FFEEull);
           const PreferenceList pref = RandomPreference(w, &rng);
-          std::fprintf(f, "instance %zu w=%zu p=%.17g alpha=%.17g seed=%"
-                          PRIu64 "\n",
-                       dumped, w, p, alpha, opt.seed);
+          std::fprintf(f, "instance %zu w=%zu p=%s alpha=%s seed=%" PRIu64
+                          "\n",
+                       dumped, w, FormatG17(p).c_str(),
+                       FormatG17(alpha).c_str(), opt.seed);
           for (const Config& config : configs) {
             const Moche engine(config.options);
             auto report = engine.Explain(*inst, pref);

@@ -306,6 +306,41 @@ int main(int argc, char** argv) {
                           static_cast<double>(steady_allocs_ops),
                       "count", 1);
 
+  // The batched triage entry point: many same-width windows against one
+  // prepared reference in one SoA call (DriftMonitor::RecheckWindows).
+  // Reported per window; unlike ks_statistic (pre-sorted inputs) each
+  // window here pays validation + sort + sweep, so compare this metric
+  // against its own history, not against ks_statistic.
+  for (size_t w : wl.primitive_sizes) {
+    const KsInstance& inst = InstanceForSize(w);
+    Moche engine;
+    auto prepared = engine.Prepare(inst.reference, inst.alpha);
+    if (!prepared.ok()) {
+      std::fprintf(stderr, "prepare failed at w=%zu: %s\n", w,
+                   prepared.status().ToString().c_str());
+      return 1;
+    }
+    const size_t count = std::max<size_t>(4, 65536 / w);
+    std::vector<double> soa(count * w);
+    Rng rng(13 + w);
+    for (double& v : soa) v = rng.Normal(0.2, 1.1);
+    WindowBatch batch{soa.data(), count, w};
+    ExplainWorkspace workspace;
+    std::vector<KsOutcome> outcomes;
+    volatile bool bsink = false;
+    auto stats = bench::Measure(
+        [&] {
+          bsink = engine
+                      .EvaluateBatchPrepared(*prepared, batch, &workspace,
+                                             &outcomes)
+                      .ok();
+        },
+        wl.reps);
+    bench::AppendTiming(&results, kBench, "batch_eval.w" + std::to_string(w),
+                        stats, 1, static_cast<double>(count), "s/op");
+    std::printf("  batch_eval w=%zu done (%zu windows)\n", w, count);
+  }
+
   const Status written = bench::WriteBenchJson("micro_core", results);
   if (!written.ok()) {
     std::fprintf(stderr, "BENCH_micro_core.json: %s\n",

@@ -7,6 +7,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "util/simd.h"
 #include "util/stats.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -162,19 +163,23 @@ class JsonReader {
       return Status::InvalidArgument("expected a number");
     }
     const std::string token = text_.substr(start, pos_ - start);
-    char* end = nullptr;
-    const double value = std::strtod(token.c_str(), &end);
-    if (end == nullptr || *end != '\0') {
+    double value = 0.0;
+    // moche::ParseDouble is locale-independent (std::from_chars): a
+    // comma-decimal LC_NUMERIC must not make every BENCH value token
+    // unparseable (strtod would stop at the '.').
+    if (!moche::ParseDouble(token, &value)) {
       return Status::InvalidArgument(StrFormat("bad number '%s'",
                                                token.c_str()));
     }
     return value;
   }
 
-  /// One {"key": string-or-number, ...} object into a BenchResult. All
-  /// seven schema keys must be present exactly once; unknown keys are
-  /// errors — a truncated or hand-edited record must never parse into a
-  /// plausible-looking default (0.0 would read as an infinite speedup).
+  /// One {"key": string-or-number, ...} object into a BenchResult. The
+  /// seven original schema keys must be present exactly once; unknown keys
+  /// are errors — a truncated or hand-edited record must never parse into
+  /// a plausible-looking default (0.0 would read as an infinite speedup).
+  /// "isa" alone is optional (pre-SIMD files lack it) and defaults to
+  /// "unknown".
   Result<BenchResult> ParseRecord() {
     if (!Consume('{')) {
       return Status::InvalidArgument("expected '{'");
@@ -188,10 +193,12 @@ class JsonReader {
       kValue,
       kThreads,
       kSamples,
+      kIsa,
       kKeyCount
     };
     static const char* const kKeyNames[kKeyCount] = {
-        "bench", "metric", "unit", "commit", "value", "threads", "samples"};
+        "bench",   "metric",  "unit", "commit",
+        "value",   "threads", "samples", "isa"};
     bool seen[kKeyCount] = {};
     const auto claim = [&seen](Key k) {
       if (seen[k]) {
@@ -234,17 +241,22 @@ class JsonReader {
         MOCHE_RETURN_IF_ERROR(claim(kSamples));
         MOCHE_ASSIGN_OR_RETURN(const double v, ParseNumber());
         r.samples = static_cast<size_t>(v);
+      } else if (key == "isa") {
+        MOCHE_RETURN_IF_ERROR(claim(kIsa));
+        MOCHE_ASSIGN_OR_RETURN(r.isa, ParseString());
       } else {
         return Status::InvalidArgument(
             StrFormat("unknown key '%s'", key.c_str()));
       }
     }
     for (int k = 0; k < kKeyCount; ++k) {
+      if (k == kIsa) continue;  // optional: pre-SIMD files lack it
       if (!seen[k]) {
         return Status::InvalidArgument(
             StrFormat("record is missing '%s'", kKeyNames[k]));
       }
     }
+    if (!seen[kIsa]) r.isa = "unknown";
     MOCHE_RETURN_IF_ERROR(ValidateBenchResult(r));
     return r;
   }
@@ -290,10 +302,16 @@ std::string ToJson(const BenchResult& result) {
   AppendEscaped(result.bench, &out);
   out += "\", \"metric\": \"";
   AppendEscaped(result.metric, &out);
-  out += StrFormat("\", \"value\": %.17g, \"unit\": \"", result.value);
+  // AppendG17 (std::to_chars), not printf: a comma-decimal locale must
+  // never corrupt the value token.
+  out += "\", \"value\": ";
+  AppendG17(result.value, &out);
+  out += ", \"unit\": \"";
   AppendEscaped(result.unit, &out);
-  out += StrFormat("\", \"threads\": %zu, \"samples\": %zu, \"commit\": \"",
+  out += StrFormat("\", \"threads\": %zu, \"samples\": %zu, \"isa\": \"",
                    result.threads, result.samples);
+  AppendEscaped(result.isa, &out);
+  out += "\", \"commit\": \"";
   AppendEscaped(result.commit, &out);
   out += "\"}";
   return out;
@@ -337,8 +355,10 @@ Status WriteBenchJson(const std::string& name,
   }
   const char* commit = EnvOr("MOCHE_BENCH_COMMIT", EnvOr("GITHUB_SHA",
                                                          "unknown"));
+  const char* isa = simd::ActiveIsaName();
   for (BenchResult& r : results) {
     if (r.commit.empty()) r.commit = commit;
+    if (r.isa.empty()) r.isa = isa;
     MOCHE_RETURN_IF_ERROR(ValidateBenchResult(r));
   }
   if (out_dir.empty()) out_dir = EnvOr("MOCHE_BENCH_OUT_DIR", ".");

@@ -6,6 +6,7 @@
 
 #include "ks/ks_test.h"
 #include "util/logging.h"
+#include "util/simd.h"
 
 namespace moche {
 
@@ -35,21 +36,30 @@ void BoundsEngine::Reset(const CumulativeFrame& frame, double alpha) {
   frame_ = &frame;
   alpha_ = alpha;
   c_alpha_ = ks::internal::CriticalValueUnchecked(alpha);
-  // Flatten the frame once: the Theorem 1/2 inner loops then stream one
-  // contiguous array (no per-element accessor calls, no repeated
-  // int64 -> double conversions; both conversions are exact, counts are
+  // Flatten the frame once: the Theorem 1/2 inner loops then stream
+  // contiguous arrays (no per-element accessor calls, no repeated
+  // int64 -> double conversions; all conversions are exact, counts are
   // far below 2^53). resize keeps capacity, so a recycled engine's rebuild
   // is allocation-free once warm.
   const size_t q = frame.q();
   const int64_t m = static_cast<int64_t>(frame.m());
-  coef_.resize(q + 1);
-  coef_[0] = Coef{};
+  ct_d_.resize(q + 1);
+  cr_d_.resize(q + 1);
+  rigid_d_.resize(q + 1);
+  ct_.resize(q + 1);
+  rigid_.resize(q + 1);
+  ct_d_[0] = 0.0;
+  cr_d_[0] = 0.0;
+  rigid_d_[0] = static_cast<double>(-m);
+  ct_[0] = 0;
+  rigid_[0] = -m;
   for (size_t i = 1; i <= q; ++i) {
-    Coef& c = coef_[i];
-    c.ct = frame.CT(i);
-    c.ct_d = static_cast<double>(c.ct);
-    c.cr_d = static_cast<double>(frame.CR(i));
-    c.rigid = c.ct - m;
+    const int64_t ct = frame.CT(i);
+    ct_[i] = ct;
+    ct_d_[i] = static_cast<double>(ct);
+    cr_d_[i] = static_cast<double>(frame.CR(i));
+    rigid_[i] = ct - m;
+    rigid_d_[i] = static_cast<double>(ct - m);
   }
 }
 
@@ -63,7 +73,7 @@ double BoundsEngine::Omega(size_t h) const {
 double BoundsEngine::Gamma(size_t i, size_t h) const {
   const double rem = static_cast<double>(frame_->m() - h);
   const double n = static_cast<double>(frame_->n());
-  return coef_[i].ct_d - (rem / n) * coef_[i].cr_d;
+  return ct_d_[i] - (rem / n) * cr_d_[i];
 }
 
 BoundsVectors BoundsEngine::ComputeBounds(size_t h) const {
@@ -83,14 +93,12 @@ void BoundsEngine::ComputeBoundsInto(size_t h, std::vector<int64_t>* lower,
   lower->assign(q + 1, 0);
   upper->assign(q + 1, 0);
   double running_max_gamma = -std::numeric_limits<double>::infinity();
-  const Coef* coef = coef_.data();
   for (size_t i = 1; i <= q; ++i) {
-    const Coef& c = coef[i];
-    const double gamma = c.ct_d - scale * c.cr_d;
+    const double gamma = ct_d_[i] - scale * cr_d_[i];
     if (gamma > running_max_gamma) running_max_gamma = gamma;
     const int64_t lo = std::max({CeilTol(running_max_gamma - omega),
-                                 hh + c.rigid, int64_t{0}});
-    const int64_t hi = std::min({FloorTol(gamma + omega), c.ct, hh});
+                                 hh + rigid_[i], int64_t{0}});
+    const int64_t hi = std::min({FloorTol(gamma + omega), ct_[i], hh});
     (*lower)[i] = lo;
     (*upper)[i] = hi;
   }
@@ -104,45 +112,62 @@ bool BoundsEngine::ExistsQualifiedWithFailure(size_t h,
                                               ScanFailure* failure) const {
   const size_t q = frame_->q();
   const int64_t hh = static_cast<int64_t>(h);
+  const double hh_d = static_cast<double>(h);
   const double omega = Omega(h);
   const double rem = static_cast<double>(frame_->m() - h);
   const double scale = rem / static_cast<double>(frame_->n());
 
+  // Fast filter (SIMD, util/simd.h): l_i <= u_i is certain — with no
+  // rounding work — when the real interval [a, b] = [M_i - Omega,
+  // Gamma_i + Omega] spans at least one integer (b - a >= 1; the
+  // CeilTol/FloorTol slack only widens it) and neither side conflicts with
+  // the rigid integer bounds (a <= rigid_hi implies
+  // ceil(a - tol) <= rigid_hi; b >= rigid_lo likewise; both rigid bounds
+  // compare identically in double — the conversions are exact). The rigid
+  // bounds never conflict with each other (C_T[i] <= m and 0 <= h <= m).
+  // The kernel stops at the first coordinate it cannot certify; that
+  // coordinate takes the exact CeilTol/FloorTol path below, and the scan
+  // resumes behind it — decisions are bit-identical to computing l_i/u_i
+  // outright, whichever kernel table is active.
+  const simd::Kernels& kernels = simd::ActiveKernels();
+  const double* ct_d = ct_d_.data();
+  const double* cr_d = cr_d_.data();
   double running_max_gamma = -std::numeric_limits<double>::infinity();
-  size_t argmax = 0;
-  const Coef* coef = coef_.data();
-  for (size_t i = 1; i <= q; ++i) {
-    const Coef& c = coef[i];
-    const double gamma = c.ct_d - scale * c.cr_d;
-    if (gamma > running_max_gamma) {
-      running_max_gamma = gamma;
-      argmax = i;
-    }
+  size_t i = 1;
+  while (i <= q) {
+    const size_t stop =
+        kernels.theorem1_filter_scan(ct_d, cr_d, rigid_d_.data(), i, q + 1,
+                                     scale, omega, hh_d, &running_max_gamma);
+    if (stop > q) return true;
+    // running_max_gamma includes Gamma(stop, h) — the kernel contract.
+    const double gamma = ct_d[stop] - scale * cr_d[stop];
     const double a = running_max_gamma - omega;  // seeds l_i's ceiling
     const double b = gamma + omega;              // seeds u_i's floor
-    const int64_t rigid_lo = std::max(hh + c.rigid, int64_t{0});
-    const int64_t rigid_hi = std::min(c.ct, hh);
-    // Fast filter: l_i <= u_i is certain — with no rounding work — when the
-    // real interval [a, b] spans at least one integer (b - a >= 1; the
-    // CeilTol/FloorTol slack only widens it) and neither side conflicts
-    // with the rigid integer bounds (a <= rigid_hi implies
-    // ceil(a - tol) <= rigid_hi; b >= rigid_lo likewise). The rigid bounds
-    // never conflict with each other (C_T[i] <= m and 0 <= h <= m). Only
-    // coordinates near the bounds-crossing region take the exact path, so
-    // decisions are identical to computing l_i/u_i outright.
-    if (a <= static_cast<double>(rigid_hi) &&
-        b >= static_cast<double>(rigid_lo) && b - a >= 1.0) {
-      continue;
-    }
+    const int64_t rigid_lo = std::max(hh + rigid_[stop], int64_t{0});
+    const int64_t rigid_hi = std::min(ct_[stop], hh);
     const int64_t lo = std::max(CeilTol(a), rigid_lo);
     const int64_t hi = std::min(FloorTol(b), rigid_hi);
     if (lo > hi) {
       if (failure != nullptr) {
-        failure->fail = i;
+        failure->fail = stop;
+        // Re-derive the prefix argmax of Gamma at the failing coordinate
+        // with the scalar loop's first-strict-greater semantics. Only the
+        // failure path pays this O(stop) re-scan, and a failure ends the
+        // whole check, so it happens at most once per call.
+        double rm = -std::numeric_limits<double>::infinity();
+        size_t argmax = 0;
+        for (size_t j = 1; j <= stop; ++j) {
+          const double g = ct_d[j] - scale * cr_d[j];
+          if (g > rm) {
+            rm = g;
+            argmax = j;
+          }
+        }
         failure->argmax = argmax;
       }
       return false;
     }
+    i = stop + 1;
   }
   return true;
 }
@@ -155,23 +180,30 @@ bool BoundsEngine::NecessaryCondition(size_t h) const {
   const double rem = static_cast<double>(frame_->m() - h);
   const double scale = rem / static_cast<double>(frame_->n());
 
+  // Fast filter (SIMD) mirroring ExistsQualified: each Equation 5 clause is
+  // certain to hold when its real-valued form holds with the slack to
+  // spare (floor(b + tol) >= floor(b) >= 0 when b >= 0, and so on). The
+  // kernel stops at the first coordinate the filter cannot certify; the
+  // three exact checks run there, and the scan resumes behind it.
+  const simd::Kernels& kernels = simd::ActiveKernels();
+  const double* ct_d = ct_d_.data();
+  const double* cr_d = cr_d_.data();
   double running_max_gamma = -std::numeric_limits<double>::infinity();
-  const Coef* coef = coef_.data();
-  for (size_t i = 1; i <= q; ++i) {
-    const double gamma = coef[i].ct_d - scale * coef[i].cr_d;
-    if (gamma > running_max_gamma) running_max_gamma = gamma;
+  size_t i = 1;
+  while (i <= q) {
+    const size_t stop = kernels.theorem2_filter_scan(
+        ct_d, cr_d, i, q + 1, scale, omega, hh_d, &running_max_gamma);
+    if (stop > q) return true;
+    const double gamma = ct_d[stop] - scale * cr_d[stop];
     const double a = running_max_gamma - omega;
     const double b = gamma + omega;
-    // Fast filter mirroring ExistsQualified: each Equation 5 clause is
-    // certain to hold when its real-valued form holds with the slack to
-    // spare (floor(b + tol) >= floor(b) >= 0 when b >= 0, and so on).
-    if (b >= 0.0 && a <= hh_d && a <= b) continue;
     // Equation 5a: 0 <= floor(Gamma + Omega)
     if (FloorTol(b) < 0) return false;
     // Equation 5b: ceil(M - Omega) <= h
     if (CeilTol(a) > hh) return false;
     // Equation 5c: M - Omega <= Gamma + Omega (real-valued, with slack)
     if (a > b + TolFor(gamma)) return false;
+    i = stop + 1;
   }
   return true;
 }
@@ -227,20 +259,23 @@ bool SizeScan::ExistsQualified(size_t h) {
     // argmax <= fail, and CeilTol is monotone, so a crossing proven from
     // the probe alone implies l_fail > u_fail — the full scan would return
     // false too.
-    const BoundsEngine::Coef& cf = engine_.coef_[last_failure_.fail];
-    const BoundsEngine::Coef& cm = engine_.coef_[last_failure_.argmax];
+    const size_t fail = last_failure_.fail;
+    const size_t amax = last_failure_.argmax;
     const int64_t hh = static_cast<int64_t>(h);
     const double omega = engine_.Omega(h);
     const double rem = static_cast<double>(engine_.frame_->m() - h);
     const double scale = rem / static_cast<double>(engine_.frame_->n());
-    const double gamma_max = cm.ct_d - scale * cm.cr_d;
-    const double gamma_fail = cf.ct_d - scale * cf.cr_d;
-    const int64_t hi = std::min({FloorTol(gamma_fail + omega), cf.ct, hh});
+    const double gamma_max =
+        engine_.ct_d_[amax] - scale * engine_.cr_d_[amax];
+    const double gamma_fail =
+        engine_.ct_d_[fail] - scale * engine_.cr_d_[fail];
+    const int64_t hi =
+        std::min({FloorTol(gamma_fail + omega), engine_.ct_[fail], hh});
     // u_fail is exact; the three l_fail terms are lower bounds (the two
     // rigid ones exact, the Gamma one via the prefix argmax), so lo > hi
     // here is a proof, never a guess.
     const int64_t lo = std::max(
-        {CeilTol(gamma_max - omega), hh + cf.rigid, int64_t{0}});
+        {CeilTol(gamma_max - omega), hh + engine_.rigid_[fail], int64_t{0}});
     if (lo > hi) {
       ++probe_refutations_;
       return false;

@@ -9,13 +9,19 @@
 // iff l_i^h <= u_i^h for every i. Theorem 2 relaxes this to a condition
 // monotone in h, enabling the binary-searched lower bound of Section 4.4.
 //
-// Hot-path layout: the constructor flattens the cumulative frame into one
-// interleaved coefficient array (C_T and C_R pre-converted to double, the
-// rigid integer bounds pre-offset), so each Theorem 1/2 check streams a
-// single contiguous array with the (m-h)/n division hoisted out of the
-// loop. SizeScan carries failure state across adjacent candidate sizes so a
-// size walk usually refutes a size in O(1) instead of O(q); decisions are
-// provably identical to the stateless checks (see the class comment).
+// Hot-path layout: the constructor flattens the cumulative frame into
+// structure-of-arrays coefficient vectors (C_T and C_R pre-converted to
+// double, the rigid integer bounds pre-offset), so each Theorem 1/2 check
+// streams contiguous double arrays with the (m-h)/n division hoisted out of
+// the loop — the layout the runtime-dispatched SIMD fast-filter kernels
+// (util/simd.h) consume four (AVX2) or two (NEON) coordinates at a time.
+// The kernels evaluate only the real-valued fast filter; every coordinate
+// the filter cannot certify takes the exact CeilTol/FloorTol integer path
+// here, so decisions are bit-identical to the scalar loop (the corpus-dump
+// identity gate pins this). SizeScan carries failure state across adjacent
+// candidate sizes so a size walk usually refutes a size in O(1) instead of
+// O(q); decisions are provably identical to the stateless checks (see the
+// class comment).
 //
 // Ownership & thread-safety: a BoundsEngine borrows its CumulativeFrame
 // (the frame must outlive it) and is immutable after construction, so one
@@ -111,30 +117,34 @@ class BoundsEngine {
   double alpha() const { return alpha_; }
   double critical_value() const { return c_alpha_; }
 
-  /// Heap bytes retained by the coefficient array (capacity-based; see
+  /// Heap bytes retained by the coefficient arrays (capacity-based; see
   /// CumulativeFrame::FootprintBytes).
-  size_t FootprintBytes() const { return coef_.capacity() * sizeof(Coef); }
+  size_t FootprintBytes() const {
+    return (ct_d_.capacity() + cr_d_.capacity() + rigid_d_.capacity()) *
+               sizeof(double) +
+           (ct_.capacity() + rigid_.capacity()) * sizeof(int64_t);
+  }
 
  private:
   friend class SizeScan;
 
-  /// One interleaved entry per base-vector coordinate: the per-candidate
-  /// inner loops read exactly this 32-byte struct instead of three parallel
-  /// int64 arrays behind accessor calls (cache-friendly flat layout; the
-  /// int64 -> double conversions happen once, here).
-  struct Coef {
-    double ct_d = 0.0;   // C_T[i]
-    double cr_d = 0.0;   // C_R[i]
-    int64_t ct = 0;      // C_T[i]
-    int64_t rigid = 0;   // C_T[i] - m, so l's rigid term is h + rigid
-  };
-
-  // A pointer, not a reference, so Reset can rebind a reused engine. Null
-  // only in the unbound default-constructed state.
+  // Structure-of-arrays coefficient view of the frame, one entry per
+  // base-vector coordinate (index 0 is the constant C[0] = 0 entry). The
+  // three double arrays feed the SIMD fast-filter kernels; the two int64
+  // arrays carry the exact integer path's operands. The int64 -> double
+  // conversions happen once, in Reset (both exact — counts are far below
+  // 2^53).
+  //
+  // frame_ is a pointer, not a reference, so Reset can rebind a reused
+  // engine. Null only in the unbound default-constructed state.
   const CumulativeFrame* frame_ = nullptr;
   double alpha_ = 0.0;
   double c_alpha_ = 0.0;
-  std::vector<Coef> coef_;  // length q+1; coef_[0] is the C[0] = 0 entry
+  std::vector<double> ct_d_;     // C_T[i]
+  std::vector<double> cr_d_;     // C_R[i]
+  std::vector<double> rigid_d_;  // C_T[i] - m, so l's rigid term is h + this
+  std::vector<int64_t> ct_;      // C_T[i]
+  std::vector<int64_t> rigid_;   // C_T[i] - m
 };
 
 /// A Theorem 1 size walk that maintains bounds state incrementally across

@@ -4,6 +4,7 @@
 
 #include "core/bounds.h"
 #include "core/cumulative.h"
+#include "util/simd.h"
 #include "util/timer.h"
 
 namespace moche {
@@ -84,8 +85,8 @@ Status Moche::ExplainSortedInto(const std::vector<double>& sorted_reference,
   KsOutcome original;
   original.n = reference.size();
   original.m = test_sorted.size();
-  original.statistic =
-      ks::StatisticSorted(reference, test_sorted, &original.location);
+  original.statistic = ks::StatisticSortedScratch(
+      reference, test_sorted, &ws.ks_sweep_, &original.location);
   original.threshold =
       ks::internal::ThresholdUnchecked(alpha, original.n, original.m);
   original.reject = original.statistic > original.threshold;
@@ -133,14 +134,56 @@ Status Moche::ExplainSortedInto(const std::vector<double>& sorted_reference,
   std::sort(remaining.begin(), remaining.end());
   report->after.n = reference.size();
   report->after.m = remaining.size();
-  report->after.statistic =
-      ks::StatisticSorted(reference, remaining, &report->after.location);
+  report->after.statistic = ks::StatisticSortedScratch(
+      reference, remaining, &ws.ks_sweep_, &report->after.location);
   report->after.threshold = ks::internal::ThresholdUnchecked(
       alpha, report->after.n, report->after.m);
   report->after.reject = report->after.statistic > report->after.threshold;
   if (options_.validate_result && report->after.reject) {
     return Status::Internal(
         "constructed explanation does not reverse the KS test");
+  }
+  return Status::OK();
+}
+
+Status Moche::EvaluateBatchPrepared(const PreparedReference& prepared,
+                                    const WindowBatch& batch,
+                                    ExplainWorkspace* workspace,
+                                    std::vector<KsOutcome>* outcomes) const {
+  if (batch.count == 0) {
+    outcomes->clear();
+    return Status::OK();
+  }
+  if (batch.width == 0) {
+    return Status::InvalidArgument("batch windows must be non-empty");
+  }
+  if (batch.data == nullptr) {
+    return Status::InvalidArgument("batch data is null");
+  }
+  // One flat finiteness scan over the whole batch: count * width doubles in
+  // a single kernel call, so the SIMD lanes stay full instead of paying
+  // per-window ramp-up and tail handling count times.
+  if (!simd::ActiveKernels().all_finite(batch.data,
+                                        batch.count * batch.width)) {
+    return Status::InvalidArgument("test window contains a non-finite value");
+  }
+  const std::vector<double>& reference = prepared.sorted_reference_;
+  const double threshold = ks::internal::ThresholdUnchecked(
+      prepared.alpha_, reference.size(), batch.width);
+  outcomes->resize(batch.count);
+  ExplainWorkspace& ws = *workspace;
+  for (size_t w = 0; w < batch.count; ++w) {
+    const double* window = batch.data + w * batch.width;
+    std::vector<double>& test_sorted = ws.test_sorted_;
+    test_sorted.assign(window, window + batch.width);
+    std::sort(test_sorted.begin(), test_sorted.end());
+    KsOutcome& out = (*outcomes)[w];
+    out.n = reference.size();
+    out.m = batch.width;
+    out.statistic = ks::StatisticSortedScratch(reference, test_sorted,
+                                               &ws.ks_sweep_, &out.location);
+    out.threshold = threshold;  // same n, m, alpha for every window
+    out.reject = out.statistic > out.threshold;
   }
   return Status::OK();
 }
@@ -178,7 +221,8 @@ Result<SizeSearchResult> Moche::FindExplanationSizeInto(
   test_sorted.assign(test.begin(), test.end());
   std::sort(test_sorted.begin(), test_sorted.end());
 
-  const double statistic = ks::StatisticSorted(reference, test_sorted);
+  const double statistic =
+      ks::StatisticSortedScratch(reference, test_sorted, &ws.ks_sweep_);
   const double threshold = ks::internal::ThresholdUnchecked(
       alpha, reference.size(), test_sorted.size());
   if (!(statistic > threshold)) {

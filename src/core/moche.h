@@ -92,6 +92,18 @@ class PreparedReference {
   double alpha_ = 0.05;
 };
 
+/// A structure-of-arrays batch of equally sized test windows: window w
+/// occupies data[w * width, (w + 1) * width). Borrowed, not owned — the
+/// buffer must outlive the call. Contiguity is the point: batch validation
+/// (the all-finite scan) runs as a single SIMD pass over count * width
+/// doubles instead of `count` short per-window passes with ramp-up/tail
+/// overhead each, so the vector lanes stay full.
+struct WindowBatch {
+  const double* data = nullptr;
+  size_t count = 0;  ///< number of windows
+  size_t width = 0;  ///< observations per window (> 0 when count > 0)
+};
+
 class Moche {
  public:
   explicit Moche(MocheOptions options = {}) : options_(options) {}
@@ -167,6 +179,22 @@ class Moche {
   Result<SizeSearchResult> FindExplanationSizeInto(
       const PreparedReference& prepared, const std::vector<double>& test,
       ExplainWorkspace* workspace) const;
+
+  /// Runs the KS test (no explanation) for every window of an SoA batch
+  /// against one prepared reference, writing outcome w for window w into
+  /// (*outcomes)[w]. Each outcome is bit-identical to
+  /// ks::RunSorted(sorted_reference, sort(window), alpha) on the same data.
+  /// The whole batch is finiteness-checked in one SIMD pass before any
+  /// window is evaluated; InvalidArgument (and *outcomes untouched) if any
+  /// window holds a non-finite value, if count > 0 with width == 0, or if
+  /// data is null with count * width > 0. Zero-allocation once `workspace`
+  /// and `outcomes` are warm (outcomes keeps its capacity). This is the
+  /// triage half of the stream pipeline: DriftMonitor re-checks a batch of
+  /// recent windows in one call, then explains only the rejecting ones.
+  Status EvaluateBatchPrepared(const PreparedReference& prepared,
+                               const WindowBatch& batch,
+                               ExplainWorkspace* workspace,
+                               std::vector<KsOutcome>* outcomes) const;
 
   const MocheOptions& options() const { return options_; }
 

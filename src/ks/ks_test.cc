@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/simd.h"
 #include "util/string_util.h"
 
 namespace moche {
@@ -39,7 +40,26 @@ Result<double> CriticalValue(double alpha) {
 }
 
 double KolmogorovQ(double lambda) {
-  if (lambda < 1e-8) return 1.0;
+  if (!(lambda > 0.0)) return 1.0;
+  // Below the crossover the alternating series' terms approach 1 and cancel
+  // catastrophically (at lambda = 0.3 the true Q is 1 - 9e-5 but the series
+  // needs ~1/lambda terms of alternating near-unit magnitude). The dual
+  // Jacobi theta form converges fastest exactly there: t < 0.42 below the
+  // crossover, so three terms (t, t^9, t^25) leave a t^49 < 1e-19 tail.
+  // 1.18 is the classic handover point where both expansions need only a
+  // handful of terms and agree to ~1e-15.
+  constexpr double kCrossover = 1.18;
+  if (lambda < kCrossover) {
+    constexpr double kPiSqOver8 = 1.2337005501361697;  // pi^2 / 8
+    constexpr double kSqrt2Pi = 2.5066282746310002;    // sqrt(2 pi)
+    const double t = std::exp(-kPiSqOver8 / (lambda * lambda));
+    if (t == 0.0) return 1.0;  // underflow: Q rounds to 1 exactly
+    const double t2 = t * t;
+    const double t4 = t2 * t2;
+    const double t8 = t4 * t4;
+    const double p = (kSqrt2Pi / lambda) * (t + t8 * t + t8 * t8 * t8 * t);
+    return std::clamp(1.0 - p, 0.0, 1.0);
+  }
   double sum = 0.0;
   double sign = 1.0;
   for (int j = 1; j <= 100; ++j) {
@@ -111,6 +131,51 @@ double StatisticSorted(const std::vector<double>& r_sorted,
   return best;
 }
 
+double StatisticSortedScratch(const std::vector<double>& r_sorted,
+                              const std::vector<double>& t_sorted,
+                              KsSweepScratch* scratch, double* location) {
+  if (r_sorted.empty() || t_sorted.empty()) {
+    // Degenerate conventions live in one place.
+    return StatisticSorted(r_sorted, t_sorted, location);
+  }
+  const size_t nr = r_sorted.size();
+  const size_t nt = t_sorted.size();
+  scratch->values.clear();
+  scratch->cum_r.clear();
+  scratch->cum_t.clear();
+  scratch->values.reserve(nr + nt);
+  scratch->cum_r.reserve(nr + nt);
+  scratch->cum_t.reserve(nr + nt);
+  size_t i = 0;
+  size_t j = 0;
+  while (i < nr || j < nt) {
+    double x;
+    if (j >= nt || (i < nr && r_sorted[i] <= t_sorted[j])) {
+      x = r_sorted[i];
+    } else {
+      x = t_sorted[j];
+    }
+    while (i < nr && r_sorted[i] == x) ++i;
+    while (j < nt && t_sorted[j] == x) ++j;
+    scratch->values.push_back(x);
+    // Exact conversions (counts are far below 2^53), so the kernel's
+    // cum/n division sees the very same doubles StatisticSorted divides.
+    scratch->cum_r.push_back(static_cast<double>(i));
+    scratch->cum_t.push_back(static_cast<double>(j));
+  }
+  size_t best_index = SIZE_MAX;
+  const double best = simd::ActiveKernels().ecdf_sweep_cum(
+      scratch->cum_r.data(), scratch->cum_t.data(), scratch->values.size(),
+      static_cast<double>(nr), static_cast<double>(nt), &best_index);
+  if (location != nullptr) {
+    // The kernel leaves best_index alone when every |F_R - F_T| is zero —
+    // mirror StatisticSorted's front-value convention then.
+    *location =
+        best_index == SIZE_MAX ? r_sorted.front() : scratch->values[best_index];
+  }
+  return best;
+}
+
 double Statistic(std::vector<double> r, std::vector<double> t,
                  double* location) {
   std::sort(r.begin(), r.end());
@@ -122,11 +187,9 @@ Status ValidateSample(const std::vector<double>& sample, const char* name) {
   if (sample.empty()) {
     return Status::InvalidArgument(StrFormat("%s is empty", name));
   }
-  for (double v : sample) {
-    if (!std::isfinite(v)) {
-      return Status::InvalidArgument(
-          StrFormat("%s contains a non-finite value", name));
-    }
+  if (!simd::ActiveKernels().all_finite(sample.data(), sample.size())) {
+    return Status::InvalidArgument(
+        StrFormat("%s contains a non-finite value", name));
   }
   return Status::OK();
 }
@@ -188,6 +251,16 @@ RemovalKs::RemovalKs(const std::vector<double>& r,
     count_t_.push_back(ct);
   }
   removed_.assign(values_.size(), 0);
+  // The reference side never changes, so its cumulative counts are
+  // precomputed once, already converted to double (exactly — counts are far
+  // below 2^53), and every CurrentOutcome streams them straight into the
+  // SIMD sweep.
+  cum_r_d_.resize(values_.size());
+  int64_t cum_r = 0;
+  for (size_t k = 0; k < values_.size(); ++k) {
+    cum_r += count_r_[k];
+    cum_r_d_[k] = static_cast<double>(cum_r);
+  }
 }
 
 Status RemovalKs::RemoveValue(double value) {
@@ -248,22 +321,18 @@ KsOutcome RemovalKs::CurrentOutcome() const {
   }
   const double n = static_cast<double>(n_);
   const double m_rem = static_cast<double>(m_ - removed_total_);
-  int64_t cum_r = 0;
-  int64_t cum_t = 0;
-  double best = 0.0;
-  double best_x = values_.empty() ? 0.0 : values_.front();
-  for (size_t i = 0; i < values_.size(); ++i) {
-    cum_r += count_r_[i];
-    cum_t += count_t_[i] - removed_[i];
-    const double d = std::fabs(static_cast<double>(cum_r) / n -
-                               static_cast<double>(cum_t) / m_rem);
-    if (d > best) {
-      best = d;
-      best_x = values_[i];
-    }
-  }
+  // The kernel prefix-sums count_t - removed in-register and divides the
+  // cumulative counts exactly as the scalar loop did — bit-identical, with
+  // the same first-strict-max location semantics (best_index is left alone
+  // when every |F_R - F_T| is zero, mirroring the front-value convention).
+  size_t best_index = SIZE_MAX;
+  const double best = simd::ActiveKernels().ecdf_sweep_counts(
+      cum_r_d_.data(), count_t_.data(), removed_.data(), values_.size(), n,
+      m_rem, &best_index);
   out.statistic = best;
-  out.location = best_x;
+  out.location = best_index == SIZE_MAX
+                     ? (values_.empty() ? 0.0 : values_.front())
+                     : values_[best_index];
   out.threshold = ks::internal::ThresholdUnchecked(alpha_, n_,
                                                    m_ - removed_total_);
   out.reject = out.statistic > out.threshold;

@@ -52,6 +52,14 @@ Status ValidateAlpha(double alpha);
 Result<double> CriticalValue(double alpha);
 
 /// Kolmogorov tail probability Q_KS(lambda) = 2 sum (-1)^{j-1} e^{-2j^2 l^2}.
+///
+/// For lambda below the crossover 1.18 the alternating series above loses
+/// accuracy (its terms approach 1 and cancel), so the complementary Jacobi
+/// theta expansion is used instead:
+///   Q = 1 - (sqrt(2 pi)/lambda) * (t + t^9 + t^25),  t = exp(-pi^2/(8 l^2))
+/// (the dual form of the same theta function; the dropped t^49 term is
+/// < 1e-19 at the crossover). Both expansions agree to ~1e-15 near 1.18.
+/// Returns 1.0 for lambda <= 0.
 double KolmogorovQ(double lambda);
 
 /// Asymptotic two-sample p-value for an observed statistic d:
@@ -82,6 +90,32 @@ double ThresholdUnchecked(double alpha, size_t n, size_t m);
 double StatisticSorted(const std::vector<double>& r_sorted,
                        const std::vector<double>& t_sorted,
                        double* location = nullptr);
+
+/// Reusable merge buffers for StatisticSortedScratch: the union grid of the
+/// two samples and the cumulative counts at each grid point, pre-converted
+/// to double so the |F_R - F_T| sweep runs as one contiguous SIMD pass
+/// (util/simd.h, ecdf_sweep_cum). Capacity persists across calls — a warm
+/// scratch recycled over same-sized instances allocates nothing.
+struct KsSweepScratch {
+  std::vector<double> values;  ///< unique values of R u T, ascending
+  std::vector<double> cum_r;   ///< #\{r in R : r <= values[k]\}
+  std::vector<double> cum_t;   ///< #\{t in T : t <= values[k]\}
+
+  /// Heap bytes retained (capacity-based, as elsewhere in the tree).
+  size_t FootprintBytes() const {
+    return (values.capacity() + cum_r.capacity() + cum_t.capacity()) *
+           sizeof(double);
+  }
+};
+
+/// As StatisticSorted, bit-identical result, but merges into `scratch` and
+/// runs the sweep through the active SIMD kernel table. The hot explain
+/// loops use this; one-shot callers can keep StatisticSorted (which
+/// allocates nothing at all).
+double StatisticSortedScratch(const std::vector<double>& r_sorted,
+                              const std::vector<double>& t_sorted,
+                              KsSweepScratch* scratch,
+                              double* location = nullptr);
 
 /// D(R,T) for samples in arbitrary order (sorts copies).
 double Statistic(std::vector<double> r, std::vector<double> t,
@@ -154,6 +188,7 @@ class RemovalKs {
   std::vector<double> values_;       // unique values of R u T, ascending
   std::vector<int64_t> count_r_;     // multiplicity of values_[i] in R
   std::vector<int64_t> count_t_;     // multiplicity of values_[i] in T
+  std::vector<double> cum_r_d_;      // prefix sums of count_r_, as double
   std::vector<int64_t> removed_;     // multiplicity removed from T
   size_t removed_total_ = 0;
 };

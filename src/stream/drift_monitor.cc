@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "util/simd.h"
 #include "util/string_util.h"
 
 namespace moche {
@@ -136,14 +137,14 @@ Status DriftMonitor::PushBatch(
                   observations.size(), streams_.size()));
   }
   // Validate before fanning out: workers must not fail mid-stream (a
-  // partial drain would leave detector windows half-advanced).
+  // partial drain would leave detector windows half-advanced). One SIMD
+  // finiteness pass per stream slot (util/simd.h).
+  const simd::Kernels& kernels = simd::ActiveKernels();
   for (size_t i = 0; i < observations.size(); ++i) {
-    for (double v : observations[i]) {
-      if (!std::isfinite(v)) {
-        return Status::InvalidArgument(StrFormat(
-            "non-finite observation for stream %zu ('%s')", i,
-            streams_[i].name.c_str()));
-      }
+    if (!kernels.all_finite(observations[i].data(), observations[i].size())) {
+      return Status::InvalidArgument(
+          StrFormat("non-finite observation for stream %zu ('%s')", i,
+                    streams_[i].name.c_str()));
     }
   }
 
@@ -192,6 +193,47 @@ Status DriftMonitor::PushBatch(
     ++explanations_total_;
   }
   merged.clear();
+  return Status::OK();
+}
+
+Status DriftMonitor::RecheckWindows(std::vector<KsOutcome>* outcomes) {
+  outcomes->assign(streams_.size(), KsOutcome{});
+  if (worker_scratch_[0] == nullptr) {
+    worker_scratch_[0] = std::make_unique<WorkerScratch>();
+  }
+  WorkerScratch& scratch = *worker_scratch_[0];
+  recheck_done_.assign(streams_.size(), 0);
+  for (size_t i = 0; i < streams_.size(); ++i) {
+    if (recheck_done_[i] || !streams_[i].detector.WindowFull()) continue;
+    // Group every not-yet-handled stream sharing this stream's interned
+    // reference and window width, packing their windows contiguously so
+    // the whole group goes through one batched call.
+    const PreparedReference* prepared = streams_[i].prepared.get();
+    const size_t width = streams_[i].detector.window_size();
+    recheck_members_.clear();
+    recheck_buffer_.clear();
+    for (size_t j = i; j < streams_.size(); ++j) {
+      Stream& s = streams_[j];
+      if (recheck_done_[j] || s.prepared.get() != prepared ||
+          !s.detector.WindowFull() || s.detector.window_size() != width) {
+        continue;
+      }
+      recheck_done_[j] = 1;
+      s.detector.WindowContentsInto(&scratch.window);
+      recheck_buffer_.insert(recheck_buffer_.end(), scratch.window.begin(),
+                             scratch.window.end());
+      recheck_members_.push_back(j);
+    }
+    WindowBatch batch;
+    batch.data = recheck_buffer_.data();
+    batch.count = recheck_members_.size();
+    batch.width = width;
+    MOCHE_RETURN_IF_ERROR(engine_.EvaluateBatchPrepared(
+        *prepared, batch, &scratch.workspace, &recheck_outcomes_));
+    for (size_t k = 0; k < recheck_members_.size(); ++k) {
+      (*outcomes)[recheck_members_[k]] = recheck_outcomes_[k];
+    }
+  }
   return Status::OK();
 }
 

@@ -148,6 +148,22 @@ class DriftMonitor {
   /// Convenience: one observation per stream.
   Status PushTick(const std::vector<double>& values);
 
+  /// Re-runs the KS test on every stream's current window snapshot in
+  /// batched SIMD passes: streams sharing an interned PreparedReference and
+  /// window size are packed into one contiguous buffer and evaluated
+  /// through Moche::EvaluateBatchPrepared, so the vector lanes stay full
+  /// across windows instead of draining at every window boundary. A fleet
+  /// whose streams share one reference (the common deployment) is one
+  /// group, hence one batched call. (*outcomes)[i] is stream i's result;
+  /// streams whose window is not yet full are skipped and left
+  /// default-constructed (recognizable by n == 0, impossible for a real
+  /// outcome). Each outcome matches ks::RunSorted(reference, window) on the
+  /// same data. Read-only triage: no detector advances, no event is
+  /// appended, and the re-arm state is untouched — callers decide what to
+  /// do with the rejecting streams (e.g. feed them to the explainer on
+  /// their own schedule).
+  Status RecheckWindows(std::vector<KsOutcome>* outcomes);
+
   /// The drift-event log, oldest first.
   const std::vector<DriftEvent>& events() const { return events_; }
   /// Drops accumulated events (long-running monitors drain the log
@@ -234,6 +250,11 @@ class DriftMonitor {
   std::vector<std::vector<DriftEvent>> batch_buffers_;
   std::vector<Status> batch_statuses_;
   std::vector<DriftEvent> batch_merged_;
+  // RecheckWindows scratch (same reuse rationale as the batch buffers).
+  std::vector<double> recheck_buffer_;        // packed window batch
+  std::vector<size_t> recheck_members_;       // stream index per batch slot
+  std::vector<KsOutcome> recheck_outcomes_;   // per-group kernel results
+  std::vector<unsigned char> recheck_done_;   // streams already grouped
 };
 
 }  // namespace stream

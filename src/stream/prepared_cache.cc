@@ -24,14 +24,23 @@ inline uint64_t DoubleBits(double v) {
   return bits;
 }
 
+// -0.0 == +0.0, and the cache's exact-match guard compares with
+// operator==, so two references differing only in a zero's sign are the
+// same cache key. Hash the canonical +0.0 for both: hashing raw bits would
+// send them to different buckets and silently duplicate the entry (a miss
+// and a second sort where the guard would have hit).
+inline uint64_t CanonicalDoubleBits(double v) {
+  return DoubleBits(v == 0.0 ? 0.0 : v);
+}
+
 }  // namespace
 
 uint64_t ReferenceFingerprint(const std::vector<double>& values,
                               double alpha) {
   uint64_t hash = 14695981039346656037ull;  // FNV offset basis
   hash = Fnv1a(hash, values.size());
-  hash = Fnv1a(hash, DoubleBits(alpha));
-  for (double v : values) hash = Fnv1a(hash, DoubleBits(v));
+  hash = Fnv1a(hash, CanonicalDoubleBits(alpha));
+  for (double v : values) hash = Fnv1a(hash, CanonicalDoubleBits(v));
   return hash;
 }
 

@@ -28,7 +28,9 @@
 namespace moche {
 namespace stream {
 
-/// 64-bit fingerprint of (values, alpha); FNV-1a over the raw double bits.
+/// 64-bit fingerprint of (values, alpha); FNV-1a over the double bits with
+/// -0.0 canonicalized to +0.0 first, so the fingerprint respects the
+/// operator== equality the cache's exact-match guard uses (-0.0 == +0.0).
 uint64_t ReferenceFingerprint(const std::vector<double>& values, double alpha);
 
 /// Thread-safe intern table of PreparedReferences.

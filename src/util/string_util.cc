@@ -1,5 +1,7 @@
 #include "util/string_util.h"
 
+#include <cctype>
+#include <charconv>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -56,15 +58,29 @@ std::string_view Trim(std::string_view s) {
   return s.substr(b, e - b);
 }
 
+void AppendG17(double v, std::string* out) {
+  // %.17g prints every double round-trip exactly; chars_format::general
+  // with precision 17 is the same format, minus the locale dependence.
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v,
+                                 std::chars_format::general, 17);
+  out->append(buf, res.ptr);
+}
+
+std::string FormatG17(double v) {
+  std::string out;
+  AppendG17(v, &out);
+  return out;
+}
+
 bool ParseDouble(std::string_view s, double* out) {
   s = Trim(s);
-  if (s.empty() || s.size() > 63) return false;
-  char buf[64];
-  std::memcpy(buf, s.data(), s.size());
-  buf[s.size()] = '\0';
-  char* end = nullptr;
-  const double v = std::strtod(buf, &end);
-  if (end != buf + s.size()) return false;
+  // strtod would accept "+1.5"; from_chars does not — keep accepting it.
+  if (!s.empty() && s.front() == '+') s.remove_prefix(1);
+  if (s.empty()) return false;
+  double v = 0.0;
+  const auto res = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (res.ec != std::errc() || res.ptr != s.data() + s.size()) return false;
   *out = v;
   return true;
 }

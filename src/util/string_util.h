@@ -22,7 +22,18 @@ std::vector<std::string> Split(std::string_view s, char delim);
 /// Strips leading/trailing ASCII whitespace.
 std::string_view Trim(std::string_view s);
 
+/// Formats `v` with 17 significant digits via std::to_chars: byte-identical
+/// to printf("%.17g") in the C locale, but independent of the process
+/// locale — a comma-decimal LC_NUMERIC must never leak into JSON or the
+/// identity corpus (both are diffed byte-for-byte across machines).
+std::string FormatG17(double v);
+
+/// As FormatG17, appending to `*out` without temporaries.
+void AppendG17(double v, std::string* out);
+
 /// Parses a double; returns false on any trailing garbage or empty input.
+/// Locale-independent (std::from_chars): "3.14" parses the same way under
+/// a comma-decimal locale, and a comma decimal is never accepted.
 bool ParseDouble(std::string_view s, double* out);
 
 /// Parses a signed 64-bit integer with the same strictness.

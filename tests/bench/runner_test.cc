@@ -1,5 +1,6 @@
 #include "runner.h"
 
+#include <clocale>
 #include <cstdlib>
 #include <fstream>
 #include <limits>
@@ -21,6 +22,7 @@ BenchResult MakeValid() {
   r.unit = "s/op";
   r.threads = 4;
   r.samples = 7;
+  r.isa = "avx2";
   r.commit = "abc1234";
   return r;
 }
@@ -36,7 +38,8 @@ TEST(BenchResultSchema, GoldenJsonShape) {
             "{\"bench\": \"micro_core\", "
             "\"metric\": \"theorem1_check.w10000.median\", "
             "\"value\": 1.2500000000000001e-05, \"unit\": \"s/op\", "
-            "\"threads\": 4, \"samples\": 7, \"commit\": \"abc1234\"}");
+            "\"threads\": 4, \"samples\": 7, \"isa\": \"avx2\", "
+            "\"commit\": \"abc1234\"}");
 }
 
 TEST(BenchResultSchema, RoundTripsThroughJson) {
@@ -49,7 +52,53 @@ TEST(BenchResultSchema, RoundTripsThroughJson) {
   EXPECT_EQ(parsed->unit, original.unit);
   EXPECT_EQ(parsed->threads, original.threads);
   EXPECT_EQ(parsed->samples, original.samples);
+  EXPECT_EQ(parsed->isa, original.isa);
   EXPECT_EQ(parsed->commit, original.commit);
+}
+
+TEST(BenchResultSchema, IsaKeyIsOptionalForPreSimdFiles) {
+  // Records written before the "isa" key existed must keep parsing; the
+  // field reads back as the sentinel "unknown", never as empty.
+  const auto parsed =
+      FromJson("{\"bench\": \"b\", \"metric\": \"m\", \"unit\": \"s\", "
+               "\"value\": 1, \"threads\": 1, \"samples\": 1, "
+               "\"commit\": \"c\"}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->isa, "unknown");
+  // Present-but-duplicated is still an error.
+  EXPECT_TRUE(FromJson("{\"bench\": \"b\", \"metric\": \"m\", "
+                       "\"unit\": \"s\", \"value\": 1, \"threads\": 1, "
+                       "\"samples\": 1, \"isa\": \"avx2\", "
+                       "\"isa\": \"scalar\", \"commit\": \"c\"}")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+// The locale regression this schema survived: under a comma-decimal
+// LC_NUMERIC, the old "%.17g"/strtod pair wrote "1,25e-05" and silently
+// mis-parsed dotted values — BENCH files written on one machine did not
+// parse on another. ToJson/FromJson now route through std::to_chars /
+// std::from_chars and must be byte-identical in any locale.
+TEST(BenchResultSchema, JsonIsLocaleIndependent) {
+  const std::string previous = std::setlocale(LC_NUMERIC, nullptr);
+  bool comma_locale = false;
+  for (const char* name : {"de_DE.UTF-8", "de_DE.utf8", "fr_FR.UTF-8",
+                           "fr_FR.utf8", "de_DE", "fr_FR"}) {
+    if (std::setlocale(LC_NUMERIC, name) != nullptr) {
+      comma_locale = true;
+      break;
+    }
+  }
+  const std::string json = ToJson(MakeValid());
+  const auto parsed = FromJson(json);
+  std::setlocale(LC_NUMERIC, previous.c_str());
+  if (!comma_locale) {
+    GTEST_SKIP() << "no comma-decimal locale installed on this host";
+  }
+  EXPECT_EQ(json.find(','), json.find(", "));  // separators only, no "1,25"
+  EXPECT_NE(json.find("1.2500000000000001e-05"), std::string::npos) << json;
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->value, MakeValid().value);
 }
 
 TEST(BenchResultSchema, RoundTripsEscapedStringsAndExtremeValues) {
@@ -151,6 +200,7 @@ TEST(WriteBenchJson, WritesAFileThatParsesBack) {
   BenchResult b = MakeValid();
   b.metric = "theorem1_check.w10000.p90";
   b.commit.clear();  // exercises the env/unknown fallback fill
+  b.isa.clear();     // filled with the dispatched ISA name
   results.push_back(a);
   results.push_back(b);
   ASSERT_TRUE(WriteBenchJson("runner_test", results, dir).ok());
@@ -165,6 +215,10 @@ TEST(WriteBenchJson, WritesAFileThatParsesBack) {
   EXPECT_EQ((*parsed)[0].metric, a.metric);
   EXPECT_EQ((*parsed)[1].metric, b.metric);
   EXPECT_FALSE((*parsed)[1].commit.empty());  // filled, never written empty
+  // The dispatched ISA is stamped into every record whose field was empty
+  // and is one of the shim's stable names.
+  const std::string& isa = (*parsed)[1].isa;
+  EXPECT_TRUE(isa == "scalar" || isa == "avx2" || isa == "neon") << isa;
 }
 
 TEST(WriteBenchJson, RefusesToWriteMalformedRecords) {

@@ -86,6 +86,89 @@ TEST(PreparedReferenceTest, OneReferenceManyWindowsMatchesExplain) {
   EXPECT_GE(explained, 8);
 }
 
+TEST(WindowBatchTest, BatchOutcomesMatchRunSortedPerWindow) {
+  // EvaluateBatchPrepared's contract: each outcome is bit-identical to
+  // running ks::RunSorted on that window alone.
+  Rng rng(2026);
+  std::vector<double> reference;
+  for (int i = 0; i < 150; ++i) reference.push_back(rng.Normal(0, 1));
+  Moche engine;
+  auto prepared = engine.Prepare(reference, 0.05);
+  ASSERT_TRUE(prepared.ok());
+
+  constexpr size_t kCount = 9;
+  constexpr size_t kWidth = 40;
+  std::vector<double> soa(kCount * kWidth);
+  for (size_t w = 0; w < kCount; ++w) {
+    const double shift = 0.15 * static_cast<double>(w);  // pass -> reject mix
+    for (size_t i = 0; i < kWidth; ++i) {
+      soa[w * kWidth + i] = rng.Normal(shift, 1.0);
+    }
+  }
+
+  ExplainWorkspace workspace;
+  std::vector<KsOutcome> outcomes;
+  WindowBatch batch{soa.data(), kCount, kWidth};
+  ASSERT_TRUE(engine.EvaluateBatchPrepared(*prepared, batch, &workspace,
+                                           &outcomes)
+                  .ok());
+  ASSERT_EQ(outcomes.size(), kCount);
+
+  size_t rejects = 0;
+  for (size_t w = 0; w < kCount; ++w) {
+    std::vector<double> window(soa.begin() + w * kWidth,
+                               soa.begin() + (w + 1) * kWidth);
+    std::sort(window.begin(), window.end());
+    auto solo = ks::RunSorted(prepared->sorted_reference(), window, 0.05);
+    ASSERT_TRUE(solo.ok()) << "window " << w;
+    EXPECT_EQ(outcomes[w].statistic, solo->statistic) << "window " << w;
+    EXPECT_EQ(outcomes[w].threshold, solo->threshold) << "window " << w;
+    EXPECT_EQ(outcomes[w].location, solo->location) << "window " << w;
+    EXPECT_EQ(outcomes[w].reject, solo->reject) << "window " << w;
+    EXPECT_EQ(outcomes[w].n, solo->n) << "window " << w;
+    EXPECT_EQ(outcomes[w].m, solo->m) << "window " << w;
+    rejects += outcomes[w].reject ? 1 : 0;
+  }
+  // The shift ramp must produce both outcomes or the test is vacuous.
+  EXPECT_GT(rejects, 0u);
+  EXPECT_LT(rejects, kCount);
+}
+
+TEST(WindowBatchTest, ValidatesBatchShapeAndContents) {
+  Moche engine;
+  auto prepared = engine.Prepare({1.0, 2.0, 3.0, 4.0}, 0.05);
+  ASSERT_TRUE(prepared.ok());
+  ExplainWorkspace workspace;
+  std::vector<KsOutcome> outcomes{{}, {}};
+
+  // Empty batch: OK, outcomes cleared.
+  EXPECT_TRUE(engine.EvaluateBatchPrepared(*prepared, WindowBatch{},
+                                           &workspace, &outcomes)
+                  .ok());
+  EXPECT_TRUE(outcomes.empty());
+
+  const double data[4] = {1.0, 2.0, 3.0, 4.0};
+  // count > 0 with width == 0 is malformed.
+  EXPECT_TRUE(engine
+                  .EvaluateBatchPrepared(*prepared, WindowBatch{data, 2, 0},
+                                         &workspace, &outcomes)
+                  .IsInvalidArgument());
+  // count > 0 with null data is malformed.
+  EXPECT_TRUE(engine
+                  .EvaluateBatchPrepared(*prepared,
+                                         WindowBatch{nullptr, 2, 2},
+                                         &workspace, &outcomes)
+                  .IsInvalidArgument());
+  // A non-finite value anywhere in the batch poisons the whole call (one
+  // SIMD validation pass over the flat buffer).
+  const double bad[4] = {1.0, 2.0,
+                         std::numeric_limits<double>::quiet_NaN(), 4.0};
+  EXPECT_TRUE(engine
+                  .EvaluateBatchPrepared(*prepared, WindowBatch{bad, 2, 2},
+                                         &workspace, &outcomes)
+                  .IsInvalidArgument());
+}
+
 TEST(PreparedReferenceTest, AlreadyPassingAndValidationErrors) {
   Moche engine;
   auto prepared = engine.Prepare({1, 2, 3, 4}, 0.05);

@@ -216,6 +216,97 @@ TEST(KolmogorovQTest, KnownValuesAndMonotonicity) {
   EXPECT_GT(ks::KolmogorovQ(0.5), ks::KolmogorovQ(1.0));
 }
 
+// The scratch-based SIMD sweep is the same function as StatisticSorted —
+// same D bits, same location — on random, tie-heavy, and degenerate
+// inputs. This is the unit-level leg of the bit-identity gate (the corpus
+// dump is the end-to-end leg).
+TEST(StatisticTest, ScratchSweepIsBitIdenticalToStatisticSorted) {
+  Rng rng(314159);
+  ks::KsSweepScratch scratch;
+  for (int rep = 0; rep < 200; ++rep) {
+    const size_t n = static_cast<size_t>(rng.Integer(1, 60));
+    const size_t m = static_cast<size_t>(rng.Integer(1, 60));
+    std::vector<double> r(n);
+    std::vector<double> t(m);
+    const bool tie_heavy = rep % 2 == 0;
+    for (double& v : r) {
+      v = tie_heavy ? static_cast<double>(rng.Integer(0, 5)) : rng.Normal();
+    }
+    for (double& v : t) {
+      v = tie_heavy ? static_cast<double>(rng.Integer(0, 5))
+                    : rng.Normal(0.3, 1.1);
+    }
+    std::sort(r.begin(), r.end());
+    std::sort(t.begin(), t.end());
+    double loc_plain = -1.0;
+    double loc_scratch = -2.0;
+    const double d_plain = ks::StatisticSorted(r, t, &loc_plain);
+    const double d_scratch =
+        ks::StatisticSortedScratch(r, t, &scratch, &loc_scratch);
+    ASSERT_EQ(d_plain, d_scratch) << "rep=" << rep;
+    ASSERT_EQ(loc_plain, loc_scratch) << "rep=" << rep;
+  }
+  // Identical samples: D == 0, location = front value (sentinel path).
+  const std::vector<double> same{-0.0, 1.0, 2.0};
+  double loc = 99.0;
+  EXPECT_EQ(ks::StatisticSortedScratch(same, same, &scratch, &loc), 0.0);
+  double loc_plain = 98.0;
+  EXPECT_EQ(ks::StatisticSorted(same, same, &loc_plain), 0.0);
+  EXPECT_EQ(loc, loc_plain);
+}
+
+// Goldens for the small-lambda theta-dual expansion (values from the
+// standard Kolmogorov distribution tables, Q(c) = 1 - K(c)); the
+// alternating series alone loses all precision below c ~ 0.5, where it
+// needs hundreds of slowly-cancelling terms.
+TEST(KolmogorovQTest, SmallLambdaGoldens) {
+  EXPECT_NEAR(ks::KolmogorovQ(0.5), 0.9639452436648751, 1e-12);
+  EXPECT_NEAR(ks::KolmogorovQ(1.0), 0.26999967167735456, 1e-12);
+  EXPECT_NEAR(ks::KolmogorovQ(1.5), 0.022217962616525124, 1e-12);
+  EXPECT_NEAR(ks::KolmogorovQ(2.0), 0.0006709252557793559, 1e-12);
+  // Deep in the theta regime the survival probability is 1 to double
+  // precision (K(0.1) ~ 6e-54), and the dual expansion must not underflow
+  // into garbage.
+  EXPECT_DOUBLE_EQ(ks::KolmogorovQ(0.1), 1.0);
+  EXPECT_DOUBLE_EQ(ks::KolmogorovQ(0.02), 1.0);
+  EXPECT_DOUBLE_EQ(ks::KolmogorovQ(1e-8), 1.0);
+  EXPECT_DOUBLE_EQ(ks::KolmogorovQ(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(ks::KolmogorovQ(-1.0), 1.0);
+}
+
+// Both expansions converge to the same function; at the 1.18 crossover
+// they must agree far below any tolerance a caller could observe. This
+// pins the crossover against accidental edits that would make PValue
+// discontinuous in D.
+TEST(KolmogorovQTest, ContinuousAcrossExpansionCrossover) {
+  double prev = ks::KolmogorovQ(1.1799);
+  for (double lambda = 1.17991; lambda <= 1.18011; lambda += 1e-5) {
+    const double q = ks::KolmogorovQ(lambda);
+    EXPECT_LE(q, prev);
+    EXPECT_NEAR(q, prev, 1e-4);  // locally Lipschitz, no jump
+    prev = q;
+  }
+  // Direct cross-check: evaluate a small-lambda point with the raw
+  // alternating series (summed to convergence in long double) and compare.
+  const double lambda = 1.0;
+  long double sum = 0.0L;
+  for (int k = 1; k <= 200; ++k) {
+    const long double term =
+        std::exp(-2.0L * k * k * lambda * lambda);
+    sum += (k % 2 == 1 ? 2.0L : -2.0L) * term;
+  }
+  EXPECT_NEAR(ks::KolmogorovQ(lambda), static_cast<double>(sum), 1e-14);
+}
+
+TEST(KolmogorovQTest, StrictlyDecreasingOverSupport) {
+  double prev = ks::KolmogorovQ(0.3);
+  for (double lambda = 0.35; lambda <= 2.5; lambda += 0.05) {
+    const double q = ks::KolmogorovQ(lambda);
+    EXPECT_LT(q, prev) << "lambda=" << lambda;
+    prev = q;
+  }
+}
+
 // p < alpha must agree with D > Threshold(alpha) on random instances:
 // the two rejection rules are algebraically the same test.
 TEST(PValueTest, EquivalentToThresholdComparison) {

@@ -20,6 +20,42 @@ TEST(ReferenceFingerprintTest, SensitiveToValuesOrderAndAlpha) {
             ReferenceFingerprint({1.0, 2.0}, 0.05));
 }
 
+// The signed-zero regression: the fingerprint used raw double bits, so a
+// reference containing -0.0 hashed differently from its +0.0 twin even
+// though the exact-compare guard treats them as equal (-0.0 == +0.0).
+// The equal-by-operator== sequences then interned as two entries — a
+// silent cache split that doubled Prepare work. The fingerprint must
+// canonicalize -0.0 before hashing; the bucket's exact compare then makes
+// the second lookup a hit.
+TEST(ReferenceFingerprintTest, CanonicalizesSignedZero) {
+  const std::vector<double> plus{0.0, 1.0, 2.0};
+  const std::vector<double> minus{-0.0, 1.0, 2.0};
+  EXPECT_EQ(ReferenceFingerprint(plus, 0.05),
+            ReferenceFingerprint(minus, 0.05));
+  // alpha is hashed through the same canonicalization; values that are
+  // actually different must still split.
+  EXPECT_NE(ReferenceFingerprint(plus, 0.05),
+            ReferenceFingerprint({0.0, 1.0, 2.5}, 0.05));
+}
+
+TEST(PreparedReferenceCacheTest, SignedZeroReferencesShareOneEntry) {
+  Moche engine;
+  PreparedReferenceCache cache;
+  const std::vector<double> plus{0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> minus{-0.0, 1.0, 2.0, 3.0};
+
+  auto first = cache.GetOrPrepare(engine, plus, 0.05);
+  ASSERT_TRUE(first.ok());
+  auto second = cache.GetOrPrepare(engine, minus, 0.05);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->get(), second->get());
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+}
+
 TEST(PreparedReferenceCacheTest, InternsIdenticalReferences) {
   Moche engine;
   PreparedReferenceCache cache;
