@@ -38,7 +38,9 @@ std::vector<DatasetAggregates> RunStandardExperiment() {
 }
 
 std::string Fmt(double value, int precision) {
-  return StrFormat("%.*f", precision, value);
+  // Locale-independent fixed formatting; byte-identical to %.*f in the C
+  // locale, which the identity corpus depends on.
+  return FormatFixed(value, precision);
 }
 
 }  // namespace bench

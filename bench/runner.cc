@@ -368,12 +368,17 @@ Status WriteBenchJson(const std::string& name,
     return Status::InvalidArgument(
         StrFormat("cannot open '%s' for writing", path.c_str()));
   }
-  file << "[\n";
+  // Build the document in memory and write it in one shot: no operator<<,
+  // so no formatting path that could ever consult the imbued locale.
+  std::string doc = "[\n";
   for (size_t i = 0; i < results.size(); ++i) {
-    file << "  " << ToJson(results[i]) << (i + 1 < results.size() ? "," : "")
-         << "\n";
+    doc += "  ";
+    doc += ToJson(results[i]);
+    if (i + 1 < results.size()) doc += ",";
+    doc += "\n";
   }
-  file << "]\n";
+  doc += "]\n";
+  file.write(doc.data(), static_cast<std::streamsize>(doc.size()));
   file.flush();
   if (!file) {
     return Status::Internal(StrFormat("short write to '%s'", path.c_str()));

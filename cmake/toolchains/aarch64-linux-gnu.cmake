@@ -1,0 +1,23 @@
+# Cross-compile toolchain: x86-64 host -> aarch64-linux-gnu target.
+#
+# Used by the CI cross-aarch64 leg (compile-only: the binaries are not run,
+# qemu is not required) to keep the NEON kernel TU and every
+# __aarch64__-guarded path compiling. Pair with -DMOCHE_NATIVE=ON to prove
+# the CMAKE_CROSSCOMPILING guard skips -march=native instead of passing the
+# host's CPU to the cross compiler.
+#
+#   cmake -B build-aarch64 -S . \
+#     -DCMAKE_TOOLCHAIN_FILE=cmake/toolchains/aarch64-linux-gnu.cmake
+
+set(CMAKE_SYSTEM_NAME Linux)
+set(CMAKE_SYSTEM_PROCESSOR aarch64)
+
+set(CMAKE_C_COMPILER aarch64-linux-gnu-gcc)
+set(CMAKE_CXX_COMPILER aarch64-linux-gnu-g++)
+
+# Search target sysroot paths for libraries/headers, but never for the
+# build tools themselves.
+set(CMAKE_FIND_ROOT_PATH_MODE_PROGRAM NEVER)
+set(CMAKE_FIND_ROOT_PATH_MODE_LIBRARY ONLY)
+set(CMAKE_FIND_ROOT_PATH_MODE_INCLUDE ONLY)
+set(CMAKE_FIND_ROOT_PATH_MODE_PACKAGE ONLY)

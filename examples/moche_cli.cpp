@@ -155,8 +155,9 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::printf("KS test FAILED: D=%.6f > p=%.6f (n=%zu, m=%zu)\n",
-              report->original.statistic, report->original.threshold,
+  std::printf("KS test FAILED: D=%s > p=%s (n=%zu, m=%zu)\n",
+              moche::FormatFixed(report->original.statistic, 6).c_str(),
+              moche::FormatFixed(report->original.threshold, 6).c_str(),
               reference->size(), test->size());
   std::printf("explanation size k=%zu (lower bound k_hat=%zu)\n", report->k,
               report->k_hat);
@@ -168,9 +169,12 @@ int main(int argc, char** argv) {
       break;
     }
     const size_t idx = report->explanation.indices[i];
-    std::printf("%zu,%g\n", idx, (*test)[idx]);
+    // FormatG17 round-trips the double exactly; %g would truncate to six
+    // significant digits and honor LC_NUMERIC.
+    std::printf("%zu,%s\n", idx, moche::FormatG17((*test)[idx]).c_str());
   }
-  std::printf("after removal: D=%.6f <= p=%.6f\n", report->after.statistic,
-              report->after.threshold);
+  std::printf("after removal: D=%s <= p=%s\n",
+              moche::FormatFixed(report->after.statistic, 6).c_str(),
+              moche::FormatFixed(report->after.threshold, 6).c_str());
   return 0;
 }

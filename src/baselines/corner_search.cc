@@ -38,6 +38,7 @@ Result<Explanation> CornerSearchExplainer::Explain(
     }
     std::vector<size_t> order(pool.size());
     for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    // moche-lint: allow(sort-doubles): effect[] is a difference of KS statistics over validated-finite samples
     std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
       return effect[a] > effect[b];
     });

@@ -5,6 +5,11 @@
 // towards the top ranks) until one reverses the test. Aborts with
 // ResourceExhausted when the sampling budget runs out — the behaviour the
 // paper's reverse-factor experiment (Table 2) measures.
+//
+// Ownership & thread-safety: CornerSearchExplainer owns only its options,
+// fixed at construction. Explain is const, re-seeds a local Rng from the
+// options on every call (per-call state lives on the stack), and is safe to
+// call concurrently on one shared instance (see baselines/explainer.h).
 
 #ifndef MOCHE_BASELINES_CORNER_SEARCH_H_
 #define MOCHE_BASELINES_CORNER_SEARCH_H_

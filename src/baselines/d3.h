@@ -4,6 +4,11 @@
 // Continuous data uses KDE; discrete data (all values integral) uses
 // empirical PMFs, exactly as the paper does for the COVID dataset.
 // D3 cannot consume a preference list.
+//
+// Ownership & thread-safety: D3Explainer owns only its options, fixed at
+// construction. Explain is const with all per-call state (density fits,
+// rankings) on the stack, safe to call concurrently on one shared instance
+// (see baselines/explainer.h).
 
 #ifndef MOCHE_BASELINES_D3_H_
 #define MOCHE_BASELINES_D3_H_

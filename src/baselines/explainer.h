@@ -1,6 +1,10 @@
 // The common interface all explainers implement (MOCHE, the brute force and
 // the six baselines of Section 6.1.2), plus the greedy-prefix helper most
 // baselines share.
+//
+// Ownership & thread-safety: an Explainer owns nothing but construction-time
+// configuration; the full concurrent-Explain contract every implementation
+// must honor is documented on the class below.
 
 #ifndef MOCHE_BASELINES_EXPLAINER_H_
 #define MOCHE_BASELINES_EXPLAINER_H_

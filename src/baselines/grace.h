@@ -5,6 +5,11 @@
 // with the zeroth-order RGF optimizer (the objective is not
 // differentiable). S explains the failed test as soon as g(x) < c_alpha.
 // Aborts with ResourceExhausted when the iteration budget runs out.
+//
+// Ownership & thread-safety: GraceExplainer owns only its options, fixed at
+// construction. Explain is const, re-seeds a local Rng from the options on
+// every call (per-call optimizer state on the stack), and is safe to call
+// concurrently on one shared instance (see baselines/explainer.h).
 
 #ifndef MOCHE_BASELINES_GRACE_H_
 #define MOCHE_BASELINES_GRACE_H_

@@ -2,6 +2,10 @@
 // reverses (Section 6.1.2). With an outlier-score preference list this is
 // "an extension of the outlier detection method to interpret failed KS
 // tests".
+//
+// Ownership & thread-safety: GreedyExplainer owns no state at all. Explain
+// is const and pure; safe to call concurrently on one shared instance (see
+// baselines/explainer.h).
 
 #ifndef MOCHE_BASELINES_GREEDY_H_
 #define MOCHE_BASELINES_GREEDY_H_

@@ -1,6 +1,12 @@
 // Adapter exposing MOCHE (and its MOCHE_ns ablation) through the baseline
 // Explainer interface so the experiment harness treats all methods
 // uniformly.
+//
+// Ownership & thread-safety: the adapter owns its Moche engine and options,
+// both immutable after construction. Explain/ExplainReusing are const and
+// safe to call concurrently on one shared instance; a workspace passed to
+// ExplainReusing is caller-owned scratch and must stay thread-local (see
+// baselines/explainer.h and core/workspace.h).
 
 #ifndef MOCHE_BASELINES_MOCHE_EXPLAINER_H_
 #define MOCHE_BASELINES_MOCHE_EXPLAINER_H_

@@ -28,6 +28,7 @@ Result<Explanation> S2gExplainer::Explain(
   // Most anomalous subsequences first; list their points in temporal order.
   std::vector<size_t> sub_order(scores.size());
   for (size_t i = 0; i < sub_order.size(); ++i) sub_order[i] = i;
+  // moche-lint: allow(sort-doubles): Series2Graph scores are bounded in (0, 1] for validated-finite input
   std::stable_sort(sub_order.begin(), sub_order.end(),
                    [&](size_t a, size_t b) { return scores[a] > scores[b]; });
   std::vector<size_t> order;

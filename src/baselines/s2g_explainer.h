@@ -2,6 +2,11 @@
 // graph-based subsequence anomaly scores (Section 6.1.2). The graph is
 // learned on the reference window and scores the test window's
 // q-subsequences; q defaults to 5% of |T| per the paper's tuning.
+//
+// Ownership & thread-safety: S2gExplainer owns only its options, fixed at
+// construction. Explain is const — the graph is learned into stack-local
+// state per call — and safe to call concurrently on one shared instance
+// (see baselines/explainer.h).
 
 #ifndef MOCHE_BASELINES_S2G_EXPLAINER_H_
 #define MOCHE_BASELINES_S2G_EXPLAINER_H_

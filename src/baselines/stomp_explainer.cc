@@ -17,6 +17,7 @@ std::vector<size_t> SubsequenceScoreOrder(const std::vector<double>& scores,
                                           size_t sub_len, size_t m) {
   std::vector<size_t> sub_order(scores.size());
   for (size_t i = 0; i < sub_order.size(); ++i) sub_order[i] = i;
+  // moche-lint: allow(sort-doubles): matrix-profile distances are finite-or-inf (ZNormDistance clamps), never NaN
   std::stable_sort(sub_order.begin(), sub_order.end(),
                    [&](size_t a, size_t b) { return scores[a] > scores[b]; });
   std::vector<size_t> order;

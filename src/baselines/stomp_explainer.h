@@ -5,6 +5,11 @@
 // selects after trying {5, 10, 20, 40}%. STMP cannot consume a preference
 // list; it needs the temporal order of the windows, which KsInstance
 // preserves.
+//
+// Ownership & thread-safety: StompExplainer owns only its options, fixed at
+// construction. Explain is const with the matrix profile computed into
+// stack-local state per call; safe to call concurrently on one shared
+// instance (see baselines/explainer.h).
 
 #ifndef MOCHE_BASELINES_STOMP_EXPLAINER_H_
 #define MOCHE_BASELINES_STOMP_EXPLAINER_H_

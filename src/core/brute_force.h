@@ -2,6 +2,11 @@
 // tree ordered first by subset size, then by lexicographic order under the
 // preference list. Exponential — usable only for small test sets — but it is
 // the ground truth the property tests compare MOCHE against.
+//
+// Ownership & thread-safety: BruteForceExplainer owns only its options,
+// fixed at construction; Explain is const with the whole BFS frontier on
+// the stack/heap of the call, so one instance may serve concurrent
+// callers.
 
 #ifndef MOCHE_CORE_BRUTE_FORCE_H_
 #define MOCHE_CORE_BRUTE_FORCE_H_

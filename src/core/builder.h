@@ -1,6 +1,11 @@
 // Phase 2 of MOCHE: Algorithm 1 — constructing the most comprehensible
 // explanation by one scan of the test set in preference order, keeping each
 // point iff the grown set is still a partial explanation (Theorem 3).
+//
+// Ownership & thread-safety: free functions only. They borrow the caller's
+// BoundsEngine and write into caller-owned output/scratch; nothing is
+// shared behind the caller's back, so concurrent calls are safe as long as
+// each thread passes its own scratch (core/workspace.h).
 
 #ifndef MOCHE_CORE_BUILDER_H_
 #define MOCHE_CORE_BUILDER_H_

@@ -16,7 +16,9 @@ Result<CumulativeFrame> CumulativeFrame::Build(const std::vector<double>& r,
   MOCHE_RETURN_IF_ERROR(ks::ValidateSample(t, "test set"));
   std::vector<double> rs = r;
   std::vector<double> ts = t;
+  // moche-lint: allow(sort-doubles): range validated finite above (ks::ValidateSample)
   std::sort(rs.begin(), rs.end());
+  // moche-lint: allow(sort-doubles): range validated finite above (ks::ValidateSample)
   std::sort(ts.begin(), ts.end());
   return BuildFromSortedUnchecked(rs, ts);
 }

@@ -9,6 +9,10 @@
 // Indexing convention: this class mirrors the paper's 1-based indices —
 // CR(i)/CT(i) accept i in [0, q] with CR(0) = CT(0) = 0, and base value x_i
 // is Value(i) for i in [1, q].
+//
+// Ownership & thread-safety: a CumulativeFrame owns its vectors and is
+// immutable after Build, so concurrent readers need no synchronization;
+// builders hand ownership to the caller by value.
 
 #ifndef MOCHE_CORE_CUMULATIVE_H_
 #define MOCHE_CORE_CUMULATIVE_H_

@@ -12,6 +12,10 @@
 //
 // Worst-case exponential like any enumeration, so a check budget caps the
 // work; the first result always equals Moche::Explain's output.
+//
+// Ownership & thread-safety: a free function borrowing caller-owned inputs;
+// the DFS state is local to the call, so concurrent calls on shared
+// (immutable) instances are safe.
 
 #ifndef MOCHE_CORE_ENUMERATE_H_
 #define MOCHE_CORE_ENUMERATE_H_

@@ -1,4 +1,8 @@
 // The output type of every explainer, plus validation helpers.
+//
+// Ownership & thread-safety: Explanation is a plain value type owning its
+// index vector; the helpers are pure functions of caller-owned, unshared
+// arguments and are safe to call from any thread.
 
 #ifndef MOCHE_CORE_EXPLANATION_H_
 #define MOCHE_CORE_EXPLANATION_H_

@@ -1,5 +1,9 @@
 // A single failed-KS-test instance: the unit of work every explainer
 // (MOCHE, brute force, and all six baselines) consumes.
+//
+// Ownership & thread-safety: KsInstance is a plain value type owning its
+// sample vectors. Explainers take it by const reference and never mutate
+// it, so one instance may be read from many threads at once.
 
 #ifndef MOCHE_CORE_INSTANCE_H_
 #define MOCHE_CORE_INSTANCE_H_

@@ -13,6 +13,11 @@
 //    below v, and the recursion is monotone, so the walk can stop as soon as
 //    the recomputed value matches the cached one. Same answers, usually far
 //    fewer steps; benched as an ablation in bench_micro_core.
+//
+// Ownership & thread-safety: a PartialExplanationChecker borrows the
+// caller's BoundsEngine state and owns its tightened-bound scratch, which
+// mutates on every check — per-thread ownership only, like every workspace
+// type (core/workspace.h); concurrent use of one checker is a data race.
 
 #ifndef MOCHE_CORE_PARTIAL_H_
 #define MOCHE_CORE_PARTIAL_H_

@@ -1,6 +1,7 @@
 #include "core/preference.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "util/string_util.h"
@@ -45,20 +46,35 @@ void IdentityPreferenceInto(size_t m, PreferenceList* out) {
   std::iota(out->begin(), out->end(), size_t{0});
 }
 
-PreferenceList PreferenceByScoreDesc(const std::vector<double>& scores) {
+namespace {
+
+// Scores can come straight from user CSVs (moche_cli --scores), where
+// "nan" parses to NaN. A plain `scores[a] > scores[b]` comparator is not a
+// strict weak order over NaN (UB in stable_sort), so NaN is ordered
+// explicitly: always after every real score, ties kept stable by index.
+PreferenceList RankByScore(const std::vector<double>& scores,
+                           bool descending) {
   PreferenceList pref = IdentityPreference(scores.size());
+  // moche-lint: allow(sort-doubles): comparator orders NaN explicitly (strict weak order by construction)
   std::stable_sort(pref.begin(), pref.end(), [&](size_t a, size_t b) {
-    return scores[a] > scores[b];
+    const double x = scores[a];
+    const double y = scores[b];
+    const bool x_nan = std::isnan(x);
+    const bool y_nan = std::isnan(y);
+    if (x_nan || y_nan) return !x_nan && y_nan;  // real scores first
+    return descending ? x > y : x < y;
   });
   return pref;
 }
 
+}  // namespace
+
+PreferenceList PreferenceByScoreDesc(const std::vector<double>& scores) {
+  return RankByScore(scores, /*descending=*/true);
+}
+
 PreferenceList PreferenceByScoreAsc(const std::vector<double>& scores) {
-  PreferenceList pref = IdentityPreference(scores.size());
-  std::stable_sort(pref.begin(), pref.end(), [&](size_t a, size_t b) {
-    return scores[a] < scores[b];
-  });
-  return pref;
+  return RankByScore(scores, /*descending=*/false);
 }
 
 PreferenceList PreferenceByValue(const std::vector<double>& values,

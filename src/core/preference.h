@@ -3,6 +3,11 @@
 // A preference list is a permutation of the test-set indices [0, m); the
 // point at position 0 is the user's most preferred candidate for inclusion
 // in the explanation.
+//
+// Ownership & thread-safety: PreferenceList is a plain value vector owned
+// by whoever built it. The builders and validators here are pure functions
+// of their arguments (RandomPreference mutates only the caller-owned Rng),
+// so any of them may run concurrently on unshared outputs.
 
 #ifndef MOCHE_CORE_PREFERENCE_H_
 #define MOCHE_CORE_PREFERENCE_H_
@@ -34,9 +39,12 @@ void IdentityPreferenceInto(size_t m, PreferenceList* out);
 
 /// Ranks points by descending score; ties broken by ascending index
 /// (deterministic). Used with outlier scores, e.g. Spectral Residual.
+/// NaN scores (possible when scores come from a user CSV) rank after every
+/// real score, in index order — never undefined behavior.
 PreferenceList PreferenceByScoreDesc(const std::vector<double>& scores);
 
 /// Ranks points by ascending score; ties broken by ascending index.
+/// NaN scores rank last, as in PreferenceByScoreDesc.
 PreferenceList PreferenceByScoreAsc(const std::vector<double>& scores);
 
 /// Ranks points by their own value (descending when `descending`).

@@ -8,6 +8,10 @@
 // sizes in O(1) with answers bit-identical to the stateless check.
 // Disabling the lower bound (scanning from h = 1) reproduces the paper's
 // MOCHE_ns ablation.
+//
+// Ownership & thread-safety: a SizeSearcher owns nothing — it borrows the
+// caller's BoundsEngine (which must outlive it) and both entry points are
+// const and pure, so one searcher may serve concurrent callers.
 
 #ifndef MOCHE_CORE_SIZE_SEARCH_H_
 #define MOCHE_CORE_SIZE_SEARCH_H_

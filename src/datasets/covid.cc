@@ -44,6 +44,7 @@ std::vector<size_t> Apportion(const double* freq, int bins, size_t total) {
     assigned += counts[b];
     remainders.push_back({exact - static_cast<double>(counts[b]), b});
   }
+  // moche-lint: allow(sort-doubles): remainders are fractional parts of finite bin counts, in [0, 1)
   std::sort(remainders.begin(), remainders.end(),
             [](const auto& a, const auto& b) { return a.first > b.first; });
   for (size_t i = 0; assigned < total; ++i, ++assigned) {

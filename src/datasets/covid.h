@@ -11,6 +11,11 @@
 // The substitution preserves behaviour because only the failing-window
 // geometry (where and how strongly the KS test rejects) enters the
 // algorithm, not the raw epidemiological values.
+//
+// Ownership & thread-safety: MakeCovidData is a pure function of its
+// options — every call derives its own deterministic Rng from the seed and
+// returns a freshly owned CovidData value; concurrent calls never share
+// state.
 
 #ifndef MOCHE_DATASETS_COVID_H_
 #define MOCHE_DATASETS_COVID_H_

@@ -2,6 +2,10 @@
 // al. [24]): R and T both drawn from N(0,1) with the same size w, then a
 // p-fraction of T replaced by samples from U[-7, 7], so that R and T fail
 // the KS test at alpha = 0.05.
+//
+// Ownership & thread-safety: MakeKiferDriftInstance is a pure function of
+// its options; each call owns a local seed-derived Rng and returns a fresh
+// KsInstance by value, so concurrent calls never share state.
 
 #ifndef MOCHE_DATASETS_SYNTHETIC_H_
 #define MOCHE_DATASETS_SYNTHETIC_H_

@@ -1,6 +1,7 @@
 #include "density/empirical_pmf.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace moche {
 namespace density {
@@ -9,7 +10,16 @@ Result<EmpiricalPmf> EmpiricalPmf::Fit(const std::vector<double>& sample) {
   if (sample.empty()) {
     return Status::InvalidArgument("PMF needs a non-empty sample");
   }
+  for (double v : sample) {
+    // NaN would hit std::sort (UB) and can never satisfy the Evaluate
+    // equality probe anyway; Inf is rejected alongside it for symmetry
+    // with KDE's finite-sample contract.
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument("PMF sample must be finite");
+    }
+  }
   std::vector<double> sorted = sample;
+  // moche-lint: allow(sort-doubles): range validated finite above
   std::sort(sorted.begin(), sorted.end());
   std::vector<double> values;
   std::vector<double> probs;

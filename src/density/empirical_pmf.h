@@ -1,6 +1,10 @@
 // Empirical probability mass function for discrete-valued data — used by
 // Extended-D3 on the COVID-like dataset, where the paper replaces KDE with
 // empirical PMFs (Section 6.1.2).
+//
+// Ownership & thread-safety: an EmpiricalPmf owns its value/probability
+// tables and is immutable after Fit — concurrent Evaluate calls on one
+// shared instance are safe.
 
 #ifndef MOCHE_DENSITY_EMPIRICAL_PMF_H_
 #define MOCHE_DENSITY_EMPIRICAL_PMF_H_
@@ -16,7 +20,8 @@ namespace density {
 /// P(X = v) estimated by relative frequency over a finite sample.
 class EmpiricalPmf {
  public:
-  /// Fails on an empty sample.
+  /// Fails on an empty sample or one containing non-finite values (NaN
+  /// would make the internal sort UB; see KDE's matching contract).
   static Result<EmpiricalPmf> Fit(const std::vector<double>& sample);
 
   /// Relative frequency of exactly `x` (0 for unseen values).

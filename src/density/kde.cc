@@ -45,6 +45,7 @@ Result<Kde> Kde::Fit(const std::vector<double>& sample,
     }
   }
   std::vector<double> sorted = sample;
+  // moche-lint: allow(sort-doubles): range validated finite in the loop above
   std::sort(sorted.begin(), sorted.end());
   double bandwidth = options.fixed_bandwidth;
   if (options.bandwidth_rule != BandwidthRule::kFixed) {

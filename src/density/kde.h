@@ -1,6 +1,10 @@
 // Kernel density estimation — the distribution estimator behind the
 // Extended-D3 baseline (Subramaniam et al., VLDB 2006, estimate densities of
 // streaming data with kernels).
+//
+// Ownership & thread-safety: a Kde owns a sorted copy of its sample and is
+// immutable after Fit — concurrent Evaluate calls on one shared instance
+// are safe.
 
 #ifndef MOCHE_DENSITY_KDE_H_
 #define MOCHE_DENSITY_KDE_H_

@@ -18,8 +18,8 @@ CsvTable ResultsToCsv(const std::vector<InstanceResults>& results) {
            StrFormat("%zu", inst != nullptr ? inst->window : 0),
            StrFormat("%zu", inst != nullptr ? inst->test_begin : 0),
            o.method, o.produced ? "1" : "0", StatusCodeToString(o.code),
-           StrFormat("%zu", o.size), StrFormat("%.6f", o.rmse),
-           StrFormat("%.6f", o.seconds)});
+           StrFormat("%zu", o.size), FormatFixed(o.rmse, 6),
+           FormatFixed(o.seconds, 6)});
     }
   }
   return table;
@@ -31,10 +31,10 @@ CsvTable AggregatesToCsv(const std::vector<MethodAggregate>& aggregates) {
                         "avg_seconds", "attempted", "produced",
                         "ise_counted"});
   for (const MethodAggregate& a : aggregates) {
-    table.rows.push_back({a.method, StrFormat("%.6f", a.avg_ise),
-                          StrFormat("%.6f", a.avg_rmse),
-                          StrFormat("%.6f", a.reverse_factor),
-                          StrFormat("%.6f", a.avg_seconds),
+    table.rows.push_back({a.method, FormatFixed(a.avg_ise, 6),
+                          FormatFixed(a.avg_rmse, 6),
+                          FormatFixed(a.reverse_factor, 6),
+                          FormatFixed(a.avg_seconds, 6),
                           StrFormat("%zu", a.attempted),
                           StrFormat("%zu", a.produced),
                           StrFormat("%zu", a.ise_counted)});

@@ -1,5 +1,10 @@
 // CSV export of experiment results, for plotting the paper's figures with
 // external tools (matplotlib/gnuplot/R).
+//
+// Ownership & thread-safety: pure conversion/IO functions over caller-owned
+// results; they borrow their inputs for the call only. Doubles are
+// formatted with FormatFixed, so the CSV bytes are identical under any
+// process locale (each thread may export its own file concurrently).
 
 #ifndef MOCHE_HARNESS_EXPORT_H_
 #define MOCHE_HARNESS_EXPORT_H_

@@ -3,6 +3,9 @@
 //  * RF   (reverse factor, Section 6.2.1)          — contrastivity,
 //  * RMSE (between ECDFs, Section 6.3)             — effectiveness,
 //  * EE   (estimation error k - k_hat, Section 6.4) — lower-bound tightness.
+//
+// Ownership & thread-safety: pure functions of caller-owned arguments —
+// no shared state, safe from any thread.
 
 #ifndef MOCHE_HARNESS_METRICS_H_
 #define MOCHE_HARNESS_METRICS_H_

@@ -62,6 +62,7 @@ Status CollectFromSeries(const std::string& dataset_name,
     if (eligible.size() > options.sample_per_combination) {
       pick = rng.SampleWithoutReplacement(eligible.size(),
                                           options.sample_per_combination);
+      // moche-lint: allow(sort-doubles): index vector of size_t, no doubles involved
       std::sort(pick.begin(), pick.end());
     } else {
       for (size_t i = 0; i < eligible.size(); ++i) pick.push_back(i);

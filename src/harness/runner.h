@@ -2,6 +2,13 @@
 // sliding-window KS tests from a dataset (with Spectral-Residual preference
 // lists, as in Section 6.1.1), sample them, run every explainer, and
 // aggregate ISE / RF / RMSE / runtime per method.
+//
+// Ownership & thread-safety: the result/option structs are plain values
+// owned by the caller. CollectFailedInstances is pure. RunMethods shares
+// each (const) method object across its internal util/parallel workers —
+// the Explainer contract (baselines/explainer.h) makes that safe — and
+// every worker owns a private workspace; the returned vectors are fresh
+// caller-owned values.
 
 #ifndef MOCHE_HARNESS_RUNNER_H_
 #define MOCHE_HARNESS_RUNNER_H_

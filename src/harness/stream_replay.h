@@ -3,6 +3,11 @@
 // pipeline. Each series becomes one monitored stream — its prefix is the
 // fixed reference sample, the remainder arrives in batched ticks — and
 // every drift the monitor detects is explained on the spot.
+//
+// Ownership & thread-safety: ReplayDataset drives a function-local
+// DriftMonitor (which owns the worker threads for the run) and returns a
+// caller-owned ReplayResult; the borrowed dataset is read-only. Concurrent
+// replays of different datasets are independent.
 
 #ifndef MOCHE_HARNESS_STREAM_REPLAY_H_
 #define MOCHE_HARNESS_STREAM_REPLAY_H_

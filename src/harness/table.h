@@ -1,4 +1,7 @@
 // ASCII rendering of the result tables and box plots the benches print.
+//
+// Ownership & thread-safety: AsciiTable is a caller-owned value accumulator
+// (single-thread use, like any string builder); RenderBoxPlot is pure.
 
 #ifndef MOCHE_HARNESS_TABLE_H_
 #define MOCHE_HARNESS_TABLE_H_

@@ -6,14 +6,33 @@
 
 namespace moche {
 
-Ecdf::Ecdf(std::vector<double> sample) : sorted_(std::move(sample)) {
+namespace {
+
+bool ContainsNan(const std::vector<double>& v) {
+  for (double x : v) {
+    if (std::isnan(x)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Ecdf::Ecdf(std::vector<double> sample)
+    : sorted_(std::move(sample)), has_nan_(ContainsNan(sorted_)) {
+  // std::sort on a NaN-bearing range is undefined behavior (operator< is
+  // not a strict weak order over NaN), so a poisoned sample is left
+  // unsorted and Evaluate reports NaN instead.
+  if (has_nan_) return;
+  // moche-lint: allow(sort-doubles): range screened NaN-free above
   std::sort(sorted_.begin(), sorted_.end());
 }
 
 double Ecdf::Evaluate(double x) const {
   // An empty sample has no distribution function; 0.0 would silently read
   // as "F(x) = 0 everywhere", which is a valid CDF value.
-  if (sorted_.empty()) return std::numeric_limits<double>::quiet_NaN();
+  if (sorted_.empty() || has_nan_) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
   const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
   return static_cast<double>(it - sorted_.begin()) /
          static_cast<double>(sorted_.size());
@@ -25,9 +44,17 @@ double EcdfRmse(const std::vector<double>& r, const std::vector<double>& t) {
   if (r.empty() || t.empty()) {
     return std::numeric_limits<double>::quiet_NaN();
   }
+  // A NaN observation has no rank: sorting it is UB and the merge walk
+  // below would spin forever on `rs[i] == x` never holding. Poison the
+  // metric instead.
+  if (ContainsNan(r) || ContainsNan(t)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
   std::vector<double> rs = r;
   std::vector<double> ts = t;
+  // moche-lint: allow(sort-doubles): range screened NaN-free above
   std::sort(rs.begin(), rs.end());
+  // moche-lint: allow(sort-doubles): range screened NaN-free above
   std::sort(ts.begin(), ts.end());
   const double n = static_cast<double>(rs.size());
   const double m = static_cast<double>(ts.size());

@@ -1,4 +1,8 @@
 // Empirical cumulative distribution functions.
+//
+// Ownership & thread-safety: an Ecdf owns a sorted copy of its sample and
+// is immutable after construction — concurrent Evaluate calls on a shared
+// instance are safe. EcdfRmse is a pure function of caller-owned samples.
 
 #ifndef MOCHE_KS_ECDF_H_
 #define MOCHE_KS_ECDF_H_
@@ -12,23 +16,31 @@ namespace moche {
 ///
 /// Construction sorts a copy of the sample once; evaluation is a binary
 /// search. The sample must be non-empty for Evaluate to be meaningful.
+///
+/// A sample containing NaN has no order statistics — and handing NaN to
+/// std::sort is undefined behavior (operator< on NaN is not a strict weak
+/// order). Such a sample poisons the Ecdf: construction skips the sort and
+/// Evaluate always returns NaN.
 class Ecdf {
  public:
   /// Builds from an arbitrary-order sample (copied and sorted).
   explicit Ecdf(std::vector<double> sample);
 
   /// F(x): fraction of sample points <= x. Returns NaN for an empty sample
-  /// (no distribution function exists; 0 would be a valid CDF value).
+  /// (no distribution function exists; 0 would be a valid CDF value) and
+  /// for a sample that contained NaN.
   double Evaluate(double x) const;
 
   /// Number of sample points.
   size_t size() const { return sorted_.size(); }
 
-  /// The sample in ascending order.
+  /// The sample in ascending order. Unspecified order if the sample
+  /// contained NaN (see class comment).
   const std::vector<double>& sorted() const { return sorted_; }
 
  private:
   std::vector<double> sorted_;
+  bool has_nan_ = false;
 };
 
 /// Root mean square error between the ECDFs of two samples, evaluated at

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/logging.h"
 #include "util/simd.h"
@@ -178,7 +179,19 @@ double StatisticSortedScratch(const std::vector<double>& r_sorted,
 
 double Statistic(std::vector<double> r, std::vector<double> t,
                  double* location) {
+  // Screen before sorting: std::sort on a NaN-bearing range is UB. (Inf is
+  // fine here — it has a rank; only Run/ValidateSample reject it.)
+  for (const std::vector<double>* s : {&r, &t}) {
+    for (double v : *s) {
+      if (std::isnan(v)) {
+        if (location != nullptr) *location = 0.0;
+        return std::numeric_limits<double>::quiet_NaN();
+      }
+    }
+  }
+  // moche-lint: allow(sort-doubles): ranges screened NaN-free above
   std::sort(r.begin(), r.end());
+  // moche-lint: allow(sort-doubles): ranges screened NaN-free above
   std::sort(t.begin(), t.end());
   return StatisticSorted(r, t, location);
 }
@@ -211,7 +224,13 @@ Result<KsOutcome> RunSorted(const std::vector<double>& r_sorted,
 
 Result<KsOutcome> Run(std::vector<double> r, std::vector<double> t,
                       double alpha) {
+  // Validate before sorting — a NaN must never reach std::sort (UB).
+  // RunSorted re-validates; all_finite is one cheap SIMD pass.
+  MOCHE_RETURN_IF_ERROR(ValidateSample(r, "reference set"));
+  MOCHE_RETURN_IF_ERROR(ValidateSample(t, "test set"));
+  // moche-lint: allow(sort-doubles): ranges validated finite above
   std::sort(r.begin(), r.end());
+  // moche-lint: allow(sort-doubles): ranges validated finite above
   std::sort(t.begin(), t.end());
   return RunSorted(r, t, alpha);
 }
@@ -225,7 +244,9 @@ RemovalKs::RemovalKs(const std::vector<double>& r,
   MOCHE_DCHECK(!r.empty());
   std::vector<double> rs = r;
   std::vector<double> ts = t;
+  // moche-lint: allow(sort-doubles): documented precondition — callers validate via ks::ValidateSample
   std::sort(rs.begin(), rs.end());
+  // moche-lint: allow(sort-doubles): documented precondition — callers validate via ks::ValidateSample
   std::sort(ts.begin(), ts.end());
   size_t i = 0;
   size_t j = 0;

@@ -117,12 +117,15 @@ double StatisticSortedScratch(const std::vector<double>& r_sorted,
                               KsSweepScratch* scratch,
                               double* location = nullptr);
 
-/// D(R,T) for samples in arbitrary order (sorts copies).
+/// D(R,T) for samples in arbitrary order (sorts copies). Returns NaN (and
+/// location 0.0) if either sample contains NaN — a NaN observation has no
+/// rank, and handing it to std::sort would be UB, not a statistic.
 double Statistic(std::vector<double> r, std::vector<double> t,
                  double* location = nullptr);
 
 /// Runs the full three-step test. Fails with InvalidArgument when either
-/// sample is empty or alpha is outside (0, 2).
+/// sample is empty, contains a non-finite value, or alpha is outside
+/// (0, 2); inputs are validated before anything is sorted.
 Result<KsOutcome> Run(std::vector<double> r, std::vector<double> t,
                       double alpha);
 

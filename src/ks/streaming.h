@@ -19,6 +19,12 @@
 // window is a fixed ring buffer sized at Create — so once the window is
 // full, a monitor draining observations performs no heap traffic at all
 // (the DriftMonitor zero-allocation contract, docs/ARCHITECTURE.md).
+//
+// Ownership & thread-safety: a StreamingKs owns its treap and window ring
+// outright (move-only; nodes freed in the destructor). Push mutates that
+// state, so each detector belongs to one stream driver at a time — shared
+// concurrent use requires external synchronization. DriftMonitor gives
+// every stream its own detector instead of locking one.
 
 #ifndef MOCHE_KS_STREAMING_H_
 #define MOCHE_KS_STREAMING_H_

@@ -8,6 +8,10 @@
 // the Fasano-Franceschini test passes, optionally re-ranking candidates by
 // their single-removal effect on the statistic (a 2-D analogue of the GRD
 // and CS baselines). Explanations are validated but NOT guaranteed minimal.
+//
+// Ownership & thread-safety: free functions; all search state is local to
+// the call and results are returned by value, so concurrent calls over
+// shared (read-only) inputs are safe.
 
 #ifndef MOCHE_MDKS_EXPLAIN_H_
 #define MOCHE_MDKS_EXPLAIN_H_

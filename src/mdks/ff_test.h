@@ -11,6 +11,9 @@
 // rms of the two per-sample Pearson correlations,
 //   lambda = sqrt(N_e) * D / (1 + sqrt(1 - r^2) (0.25 - 0.75/sqrt(N_e)))
 // and the p-value is the Kolmogorov tail Q_KS(lambda).
+//
+// Ownership & thread-safety: pure free functions over caller-owned point
+// sets — no shared or retained state, safe from any thread.
 
 #ifndef MOCHE_MDKS_FF_TEST_H_
 #define MOCHE_MDKS_FF_TEST_H_

@@ -6,6 +6,11 @@
 // Each iteration estimates a gradient from `num_directions` random Gaussian
 // directions u via (f(x + beta u) - f(x)) / beta * u, then takes a descent
 // step; iterates are optionally clamped to the unit box.
+//
+// Ownership & thread-safety: Minimize is a free function whose iterate,
+// direction buffers, and Rng all live in the call; the objective callback
+// is borrowed for the call only. Concurrent minimizations are independent
+// (thread-safety of the callback itself is the caller's business).
 
 #ifndef MOCHE_OPTIMIZE_ZEROTH_ORDER_H_
 #define MOCHE_OPTIMIZE_ZEROTH_ORDER_H_

@@ -5,6 +5,9 @@
 // transform), so any length is O(n log n). This is the backbone of the
 // Spectral Residual preference-list generator and of the FFT-accelerated
 // sliding-dot-product in the matrix-profile substrate.
+//
+// Ownership & thread-safety: pure free functions transforming caller-owned
+// buffers; no global tables or retained state, safe from any thread.
 
 #ifndef MOCHE_SIGNAL_FFT_H_
 #define MOCHE_SIGNAL_FFT_H_

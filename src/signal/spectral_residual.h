@@ -7,6 +7,9 @@
 // saliency map. Points with salient spectral residual stand out from the
 // periodic/trend structure of the series. Scores are the relative saliency
 // (S - mavg(S)) / mavg(S) of the paper, so larger = more anomalous.
+//
+// Ownership & thread-safety: pure free functions — each call owns its
+// transform buffers and returns scores by value; safe from any thread.
 
 #ifndef MOCHE_SIGNAL_SPECTRAL_RESIDUAL_H_
 #define MOCHE_SIGNAL_SPECTRAL_RESIDUAL_H_

@@ -183,6 +183,7 @@ Status DriftMonitor::PushBatch(
       merged.push_back(std::move(event));
     }
   }
+  // moche-lint: allow(sort-doubles): keyed on integer (tick, stream) only
   std::stable_sort(merged.begin(), merged.end(),
                    [](const DriftEvent& a, const DriftEvent& b) {
                      return a.tick != b.tick ? a.tick < b.tick

@@ -50,7 +50,7 @@ PreparedReferenceCache::GetOrPrepare(const Moche& engine,
                                      double alpha) {
   const uint64_t fingerprint = ReferenceFingerprint(reference, alpha);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     auto it = entries_.find(fingerprint);
     if (it != entries_.end()) {
       for (const Entry& entry : it->second) {
@@ -70,7 +70,7 @@ PreparedReferenceCache::GetOrPrepare(const Moche& engine,
   auto shared = std::make_shared<const PreparedReference>(
       std::move(prepared).value());
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::vector<Entry>& bucket = entries_[fingerprint];
   for (const Entry& entry : bucket) {
     if (entry.alpha == alpha && entry.original == reference) {
@@ -84,7 +84,7 @@ PreparedReferenceCache::GetOrPrepare(const Moche& engine,
 }
 
 PreparedReferenceCache::Stats PreparedReferenceCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   Stats s;
   for (const auto& [fingerprint, bucket] : entries_) {
     (void)fingerprint;

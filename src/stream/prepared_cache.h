@@ -12,18 +12,24 @@
 // same sample intern separately (fingerprinting must not sort — that is
 // the cost being amortized). A fingerprint collision is resolved by an
 // exact comparison against the stored sequence, never by trusting the hash.
+//
+// Ownership & thread-safety: the cache owns its entries and shares the
+// prepared references out via shared_ptr-to-const; all internal state is
+// guarded by one Mutex, so GetOrPrepare/stats are safe from any thread
+// (see the class comment).
 
 #ifndef MOCHE_STREAM_PREPARED_CACHE_H_
 #define MOCHE_STREAM_PREPARED_CACHE_H_
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "core/moche.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace moche {
 namespace stream {
@@ -62,10 +68,12 @@ class PreparedReferenceCache {
     std::shared_ptr<const PreparedReference> prepared;
   };
 
-  mutable std::mutex mutex_;
-  std::unordered_map<uint64_t, std::vector<Entry>> entries_;  // by fingerprint
-  size_t hits_ = 0;
-  size_t misses_ = 0;
+  mutable Mutex mutex_;
+  // Keyed by fingerprint; each bucket holds the exact-compare candidates.
+  std::unordered_map<uint64_t, std::vector<Entry>> entries_
+      MOCHE_GUARDED_BY(mutex_);
+  size_t hits_ MOCHE_GUARDED_BY(mutex_) = 0;
+  size_t misses_ MOCHE_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace stream

@@ -9,6 +9,10 @@
 // `length_scale` < 1 shrinks every series proportionally (with a floor) so
 // the full experiment pipeline can run quickly in tests and benches; the
 // Table 1 bench uses scale 1.0 to report the paper's shapes.
+//
+// Ownership & thread-safety: pure generator functions; every call derives a
+// private deterministic Rng from the seed in its options and returns a
+// freshly owned Dataset/TimeSeries value, so concurrent generation is safe.
 
 #ifndef MOCHE_TIMESERIES_GENERATORS_H_
 #define MOCHE_TIMESERIES_GENERATORS_H_

@@ -6,6 +6,10 @@
 // Euclidean distance to its nearest neighbour among the q-subsequences of N.
 // Large profile values = anomalous shapes (discords). STOMP computes the
 // full profile in O(|Q| |N|) using incrementally-maintained dot products.
+//
+// Ownership & thread-safety: MatrixProfile is a plain value type owned by
+// the caller; the join functions are pure (all scratch is call-local), so
+// concurrent joins over shared read-only series are safe.
 
 #ifndef MOCHE_TIMESERIES_MATRIX_PROFILE_H_
 #define MOCHE_TIMESERIES_MATRIX_PROFILE_H_

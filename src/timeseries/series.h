@@ -1,5 +1,9 @@
 // Core time-series containers shared by generators, detectors and the
 // experiment harness.
+//
+// Ownership & thread-safety: plain value types owning their vectors; after
+// construction the harness treats them as read-only, so one Dataset may be
+// shared across worker threads without synchronization.
 
 #ifndef MOCHE_TIMESERIES_SERIES_H_
 #define MOCHE_TIMESERIES_SERIES_H_

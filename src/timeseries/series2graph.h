@@ -19,6 +19,10 @@
 // set. What the baseline contributes to the paper's experiments — a
 // shape-based anomaly *ranking* that ignores the raw value distribution —
 // is preserved.
+//
+// Ownership & thread-safety: a Series2Graph owns its projection and edge
+// tables and is immutable after Fit; AnomalyScores is const with call-local
+// scratch, so one fitted graph may score from several threads at once.
 
 #ifndef MOCHE_TIMESERIES_SERIES2GRAPH_H_
 #define MOCHE_TIMESERIES_SERIES2GRAPH_H_

@@ -2,6 +2,9 @@
 // a reference window W of size w and the immediately following,
 // non-overlapping test window of the same size; the pair slides through the
 // series and each failed KS test becomes an explanation instance.
+//
+// Ownership & thread-safety: pure free functions slicing a caller-owned,
+// read-only series into fresh value results; safe from any thread.
 
 #ifndef MOCHE_TIMESERIES_WINDOW_H_
 #define MOCHE_TIMESERIES_WINDOW_H_

@@ -1,7 +1,7 @@
 #include "util/csv.h"
 
 #include <fstream>
-#include <sstream>
+#include <iterator>
 
 #include "util/string_util.h"
 
@@ -112,9 +112,9 @@ Result<CsvTable> ParseCsvString(const std::string& text) {
 Result<CsvTable> ReadCsvFile(const std::string& path) {
   std::ifstream f(path, std::ios::binary);
   if (!f) return Status::NotFound("cannot open for read: " + path);
-  std::ostringstream ss;
-  ss << f.rdbuf();
-  return ParseCsvString(ss.str());
+  std::string text(std::istreambuf_iterator<char>(f),
+                   std::istreambuf_iterator<char>{});
+  return ParseCsvString(text);
 }
 
 Result<std::vector<double>> NumericColumn(const CsvTable& table, size_t column,

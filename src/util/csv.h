@@ -1,5 +1,11 @@
 // Minimal CSV reading/writing for exporting experiment results and loading
 // user-supplied series. Handles quoting of fields containing separators.
+//
+// Ownership & thread-safety: CsvTable is a caller-owned value; the
+// read/write/parse functions are pure apart from the file they touch —
+// concurrent calls on distinct tables/paths are safe. Numeric fields go
+// through ParseDouble/FormatFixed, never the locale-dependent iostream
+// formatters.
 
 #ifndef MOCHE_UTIL_CSV_H_
 #define MOCHE_UTIL_CSV_H_

@@ -3,6 +3,10 @@
 // MOCHE_CHECK aborts (in every build type) with a location-tagged message.
 // MOCHE_DCHECK compiles away in NDEBUG builds. Recoverable conditions must
 // use Status instead; these macros are for "this cannot happen" invariants.
+//
+// Ownership & thread-safety: macros only, no state they own; the failure
+// path writes one stderr line and aborts, which is safe to hit from any
+// thread.
 
 #ifndef MOCHE_UTIL_LOGGING_H_
 #define MOCHE_UTIL_LOGGING_H_

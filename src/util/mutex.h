@@ -1,0 +1,94 @@
+// Annotated mutex primitives for clang's thread-safety analysis.
+//
+// libstdc++'s std::mutex carries no capability attributes, so clang's
+// `-Wthread-safety` analysis cannot see a std::lock_guard acquire it —
+// every MOCHE_GUARDED_BY member would warn on correct code. These thin
+// wrappers (same codegen: each method is one inlined call into the wrapped
+// std primitive) restore visibility:
+//
+//   * Mutex      — a std::mutex declared MOCHE_CAPABILITY("mutex").
+//   * MutexLock  — a scoped lock (std::lock_guard shape) the analysis
+//                  tracks: construction acquires, destruction releases.
+//   * CondVar    — a std::condition_variable whose Wait REQUIRES the
+//                  mutex, for use inside an explicit predicate loop:
+//                      MutexLock lock(&mu_);
+//                      while (!ready_) cv_.Wait(mu_);
+//                  (An explicit loop instead of the predicate-lambda
+//                  overload: the analysis treats a lambda body as a
+//                  separate function that does not hold the mutex, so
+//                  guarded reads inside a wait predicate would warn.)
+//
+// Ownership & thread-safety: Mutex and CondVar are non-movable
+// synchronization primitives — a class holding one is pinned in memory
+// (hold them through unique_ptr when the owner must stay movable, as
+// DriftMonitor does with its PreparedReferenceCache). MutexLock is a
+// stack-only RAII guard. All three are safe to use from any thread; that
+// is their job.
+
+#ifndef MOCHE_UTIL_MUTEX_H_
+#define MOCHE_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace moche {
+
+class MOCHE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() MOCHE_ACQUIRE() { mu_.lock(); }
+  void Unlock() MOCHE_RELEASE() { mu_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock for a Mutex; the analysis knows the capability is held for
+/// exactly the guard's scope.
+class MOCHE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) MOCHE_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() MOCHE_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable bound to an annotated Mutex at each wait. Keeps the
+/// std::condition_variable fast path (no condition_variable_any overhead):
+/// Wait adopts the Mutex's underlying std::mutex for the duration of the
+/// wait and releases ownership of the handle — not the lock — on return.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, sleeps until notified (or spuriously woken),
+  /// and reacquires `mu` before returning. Callers re-check their predicate
+  /// in a loop around this, while holding `mu`.
+  void Wait(Mutex& mu) MOCHE_REQUIRES(mu) {
+    std::unique_lock<std::mutex> handle(mu.mu_, std::adopt_lock);
+    cv_.wait(handle);
+    handle.release();  // the MutexLock in the caller still owns the lock
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace moche
+
+#endif  // MOCHE_UTIL_MUTEX_H_

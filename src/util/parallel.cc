@@ -26,10 +26,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     stop_ = true;
   }
-  job_cv_.notify_all();
+  job_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -57,19 +57,19 @@ void ThreadPool::ParallelForWorker(
   job->fn = fn;
   job->count = count;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     job_ = job;
     ++generation_;
   }
-  job_cv_.notify_all();
+  job_cv_.NotifyAll();
 
   // The calling thread drains indices alongside the workers.
   Drain(*job, /*worker=*/0);
 
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [&job] {
-    return job->done_count.load(std::memory_order_acquire) == job->count;
-  });
+  MutexLock lock(&mutex_);
+  while (job->done_count.load(std::memory_order_acquire) != job->count) {
+    done_cv_.Wait(mutex_);
+  }
   if (job_ == job) job_ = nullptr;
 }
 
@@ -83,8 +83,8 @@ void ThreadPool::Drain(internal::ParallelJob& job, size_t worker) {
       // Last task overall: wake the caller. Taking the mutex orders this
       // notify after the caller entered its wait, closing the missed-wakeup
       // window.
-      std::lock_guard<std::mutex> lock(mutex_);
-      done_cv_.notify_all();
+      MutexLock lock(&mutex_);
+      done_cv_.NotifyAll();
     }
   }
 }
@@ -94,10 +94,11 @@ void ThreadPool::WorkerLoop(size_t worker) {
   for (;;) {
     std::shared_ptr<internal::ParallelJob> job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      job_cv_.wait(lock, [this, seen_generation] {
-        return stop_ || generation_ != seen_generation;
-      });
+      // An explicit predicate loop (not the lambda-predicate wait): the
+      // guarded reads stay in this function's scope, where the analysis
+      // can see the lock is held.
+      MutexLock lock(&mutex_);
+      while (!stop_ && generation_ == seen_generation) job_cv_.Wait(mutex_);
       if (stop_) return;
       seen_generation = generation_;
       job = job_;  // null when the job already retired; just wait again

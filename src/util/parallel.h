@@ -28,14 +28,15 @@
 #define MOCHE_UTIL_PARALLEL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace moche {
 
@@ -113,12 +114,14 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
 
-  std::mutex mutex_;
-  std::condition_variable job_cv_;   // workers wait here for a new job
-  std::condition_variable done_cv_;  // the caller waits here for completion
-  bool stop_ = false;                // guarded by mutex_
-  uint64_t generation_ = 0;          // guarded by mutex_; +1 per ParallelFor
-  std::shared_ptr<internal::ParallelJob> job_;  // guarded by mutex_
+  Mutex mutex_;
+  CondVar job_cv_;   // workers wait here for a new job
+  CondVar done_cv_;  // the caller waits here for completion
+  bool stop_ MOCHE_GUARDED_BY(mutex_) = false;
+  // +1 per ParallelFor; workers compare against the last generation they
+  // drained to tell a fresh job from a wakeup for an already-retired one.
+  uint64_t generation_ MOCHE_GUARDED_BY(mutex_) = 0;
+  std::shared_ptr<internal::ParallelJob> job_ MOCHE_GUARDED_BY(mutex_);
 };
 
 /// One-shot convenience: runs fn(i) for i in [0, count) on a temporary pool

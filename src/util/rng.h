@@ -4,6 +4,11 @@
 // optimizers) takes an explicit Rng so experiments are reproducible from a
 // single seed. Rng wraps std::mt19937_64 with the distributions the code
 // base needs.
+//
+// Ownership & thread-safety: an Rng owns its engine state and every draw
+// mutates it — per-thread ownership only. Parallel code derives one
+// independently seeded Rng per task (never a shared one) so results stay
+// deterministic under any scheduling.
 
 #ifndef MOCHE_UTIL_RNG_H_
 #define MOCHE_UTIL_RNG_H_

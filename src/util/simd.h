@@ -33,6 +33,11 @@
 //
 // Thread-safety: dispatch is a magic static; the tables are immutable.
 // Kernels are pure functions of their arguments.
+//
+// Ownership & thread-safety: the kernel tables are immutable statics owned
+// by the process; ActiveKernels resolves the dispatch once and every kernel
+// is a pure function over caller-provided buffers, so all of this is safe
+// from any thread.
 
 #ifndef MOCHE_UTIL_SIMD_H_
 #define MOCHE_UTIL_SIMD_H_

@@ -1,4 +1,8 @@
 // Descriptive statistics shared by the harness and the benches.
+//
+// Ownership & thread-safety: pure free functions over caller-owned vectors
+// (by-value parameters are private copies); no shared state, safe from any
+// thread. NaN inputs propagate to NaN results — they never reach a sort.
 
 #ifndef MOCHE_UTIL_STATS_H_
 #define MOCHE_UTIL_STATS_H_

@@ -3,6 +3,11 @@
 // Library code does not throw exceptions. Fallible operations return a
 // Status (for procedures) or a Result<T> (for functions producing a value),
 // in the style of RocksDB's rocksdb::Status and Arrow's arrow::Result.
+//
+// Ownership & thread-safety: Status and Result<T> are value types owning
+// their (copy-on-write-free) message storage; distinct instances are
+// independent, and const access to a shared instance is safe like any
+// immutable value.
 
 #ifndef MOCHE_UTIL_STATUS_H_
 #define MOCHE_UTIL_STATUS_H_

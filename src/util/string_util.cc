@@ -73,6 +73,17 @@ std::string FormatG17(double v) {
   return out;
 }
 
+std::string FormatFixed(double v, int precision) {
+  if (precision < 0) precision = 0;
+  if (precision > 17) precision = 17;
+  // Large enough for the widest finite double in fixed notation:
+  // sign + 309 integral digits + '.' + 17 fractional digits.
+  char buf[344];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v,
+                                 std::chars_format::fixed, precision);
+  return std::string(buf, res.ptr);
+}
+
 bool ParseDouble(std::string_view s, double* out) {
   s = Trim(s);
   // strtod would accept "+1.5"; from_chars does not — keep accepting it.

@@ -1,4 +1,8 @@
 // Small string helpers used across the library (GCC 12 lacks <format>).
+//
+// Ownership & thread-safety: pure free functions returning owned strings;
+// no shared state, safe from any thread. The double formatters/parsers are
+// locale-independent by design (std::to_chars / std::from_chars).
 
 #ifndef MOCHE_UTIL_STRING_UTIL_H_
 #define MOCHE_UTIL_STRING_UTIL_H_
@@ -30,6 +34,13 @@ std::string FormatG17(double v);
 
 /// As FormatG17, appending to `*out` without temporaries.
 void AppendG17(double v, std::string* out);
+
+/// Formats `v` with `precision` digits after the decimal point via
+/// std::to_chars: byte-identical to printf("%.*f") in the C locale, but
+/// locale-independent — CSV exports and other machine-readable artifacts
+/// must parse the same everywhere (see FormatG17). precision is clamped
+/// to [0, 17].
+std::string FormatFixed(double v, int precision);
 
 /// Parses a double; returns false on any trailing garbage or empty input.
 /// Locale-independent (std::from_chars): "3.14" parses the same way under

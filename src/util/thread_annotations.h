@@ -1,0 +1,80 @@
+// Clang thread-safety-analysis annotation macros.
+//
+// These wrap clang's `-Wthread-safety` attributes so lock discipline is
+// checked at compile time: a member declared MOCHE_GUARDED_BY(mutex_) can
+// only be read or written while `mutex_` is held, a function declared
+// MOCHE_REQUIRES(mu) can only be called with `mu` held, and so on. The
+// analysis only understands annotated capability types, so the repo pairs
+// these macros with the annotated `Mutex`/`MutexLock`/`CondVar` wrappers in
+// util/mutex.h — a raw std::mutex is invisible to it (libstdc++'s is
+// unannotated). Everything expands to nothing on compilers without the
+// attributes (gcc, MSVC), so annotations are free to sprinkle liberally.
+//
+// Ownership & thread-safety: macros only — no state, no code. The CI
+// static-analysis job builds with clang and `-Wthread-safety -Werror`, so
+// an annotation violation is a build break, not a code-review nit.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#ifndef MOCHE_UTIL_THREAD_ANNOTATIONS_H_
+#define MOCHE_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && !defined(SWIG)
+#define MOCHE_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define MOCHE_THREAD_ANNOTATION_(x)  // no-op on non-clang compilers
+#endif
+
+/// Declares a class to be a capability (lockable) type. The string names
+/// the capability kind in diagnostics, e.g. MOCHE_CAPABILITY("mutex").
+#define MOCHE_CAPABILITY(x) MOCHE_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII class whose constructor acquires a capability and whose
+/// destructor releases it (e.g. MutexLock).
+#define MOCHE_SCOPED_CAPABILITY MOCHE_THREAD_ANNOTATION_(scoped_lockable)
+
+/// The annotated member may only be accessed while holding the given
+/// capability: `bool stop_ MOCHE_GUARDED_BY(mutex_);`.
+#define MOCHE_GUARDED_BY(x) MOCHE_THREAD_ANNOTATION_(guarded_by(x))
+
+/// As MOCHE_GUARDED_BY for the data a pointer member points to (the pointer
+/// itself is unguarded).
+#define MOCHE_PT_GUARDED_BY(x) MOCHE_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// The annotated function may only be called while holding the given
+/// capability (which it neither acquires nor releases).
+#define MOCHE_REQUIRES(...) \
+  MOCHE_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// As MOCHE_REQUIRES for shared (reader) access.
+#define MOCHE_REQUIRES_SHARED(...) \
+  MOCHE_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// The annotated function acquires the capability and holds it on return.
+#define MOCHE_ACQUIRE(...) \
+  MOCHE_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// The annotated function releases a held capability.
+#define MOCHE_RELEASE(...) \
+  MOCHE_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// The annotated function must NOT be called with the capability held
+/// (guards against self-deadlock on a non-recursive mutex).
+#define MOCHE_EXCLUDES(...) \
+  MOCHE_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Declares that the function returns a reference to the given capability
+/// (for accessors exposing an internal mutex).
+#define MOCHE_RETURN_CAPABILITY(x) MOCHE_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Asserts at runtime that the calling thread holds the capability, and
+/// tells the analysis to assume so from here on.
+#define MOCHE_ASSERT_CAPABILITY(x) \
+  MOCHE_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Escape hatch: turns the analysis off for one function. Every use must
+/// carry a comment explaining why the discipline cannot be expressed.
+#define MOCHE_NO_THREAD_SAFETY_ANALYSIS \
+  MOCHE_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // MOCHE_UTIL_THREAD_ANNOTATIONS_H_

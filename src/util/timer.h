@@ -1,4 +1,8 @@
 // Wall-clock timing for the runtime experiments (Figure 5).
+//
+// Ownership & thread-safety: a WallTimer owns a single time_point; it is a
+// thread-local measurement tool (Restart mutates), cheap to create per
+// scope, and never shared.
 
 #ifndef MOCHE_UTIL_TIMER_H_
 #define MOCHE_UTIL_TIMER_H_

@@ -1,5 +1,7 @@
 #include "core/preference.h"
 
+#include <limits>
+
 #include <gtest/gtest.h>
 
 namespace moche {
@@ -36,6 +38,18 @@ TEST(PreferenceTest, ByValue) {
             (PreferenceList{0, 2, 1}));
   EXPECT_EQ(PreferenceByValue(values, /*descending=*/false),
             (PreferenceList{1, 2, 0}));
+}
+
+TEST(PreferenceTest, NanScoresRankLastDeterministically) {
+  // Scores can come from a user CSV where "nan" parses to NaN; a naive
+  // score comparator would be UB (no strict weak order over NaN). NaN
+  // entries rank after every real score, stable by index, both directions.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> scores{nan, 3.0, nan, 1.0, 2.0};
+  EXPECT_EQ(PreferenceByScoreDesc(scores),
+            (PreferenceList{1, 4, 3, 0, 2}));
+  EXPECT_EQ(PreferenceByScoreAsc(scores),
+            (PreferenceList{3, 4, 1, 0, 2}));
 }
 
 TEST(PreferenceTest, RandomIsAValidPermutation) {

@@ -1,5 +1,7 @@
 #include "density/empirical_pmf.h"
 
+#include <limits>
+
 #include <gtest/gtest.h>
 
 namespace moche {
@@ -8,6 +10,15 @@ namespace {
 
 TEST(EmpiricalPmfTest, RejectsEmptySample) {
   EXPECT_FALSE(EmpiricalPmf::Fit({}).ok());
+}
+
+TEST(EmpiricalPmfTest, RejectsNonFiniteSample) {
+  // Regression: Fit used to sort an unscreened sample — UB with NaN.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(density::EmpiricalPmf::Fit({1.0, nan}).ok());
+  EXPECT_FALSE(
+      density::EmpiricalPmf::Fit({std::numeric_limits<double>::infinity()})
+          .ok());
 }
 
 TEST(EmpiricalPmfTest, RelativeFrequencies) {

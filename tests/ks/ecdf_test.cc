@@ -1,6 +1,7 @@
 #include "ks/ecdf.h"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -33,6 +34,17 @@ TEST(EcdfTest, EmptySampleEvaluatesToNan) {
   // valid CDF value and silently misread downstream.
   const Ecdf f({});
   EXPECT_TRUE(std::isnan(f.Evaluate(1.0)));
+}
+
+TEST(EcdfTest, NanSamplePoisonsEvaluation) {
+  // NaN has no rank: sorting it is UB, so construction must not sort and
+  // every evaluation reports NaN rather than an arbitrary step value.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const Ecdf f({1.0, nan, 3.0});
+  EXPECT_EQ(f.size(), 3u);
+  EXPECT_TRUE(std::isnan(f.Evaluate(0.0)));
+  EXPECT_TRUE(std::isnan(f.Evaluate(2.0)));
+  EXPECT_TRUE(std::isnan(f.Evaluate(100.0)));
 }
 
 TEST(EcdfRmseTest, IdenticalSamplesGiveZero) {
@@ -68,6 +80,14 @@ TEST(EcdfRmseTest, EmptyInputGivesNan) {
 
 TEST(EcdfRmseTest, UnsortedInputsAccepted) {
   EXPECT_DOUBLE_EQ(EcdfRmse({3, 1, 2}, {2, 3, 1}), 0.0);
+}
+
+TEST(EcdfRmseTest, NanInputGivesNan) {
+  // Before the screen, a NaN merged element made the dedup walk spin
+  // forever (`rs[i] == x` never holds for x = NaN) — this test would hang.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(EcdfRmse({1.0, nan}, {1.0, 2.0})));
+  EXPECT_TRUE(std::isnan(EcdfRmse({1.0, 2.0}, {nan})));
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -92,6 +93,27 @@ TEST(StatisticTest, EmptySampleConventions) {
   EXPECT_DOUBLE_EQ(ks::Statistic({}, {}), 0.0);
   EXPECT_DOUBLE_EQ(ks::Statistic({1.0}, {}), 1.0);
   EXPECT_DOUBLE_EQ(ks::Statistic({}, {1.0}), 1.0);
+}
+
+TEST(StatisticTest, NanSampleGivesNanNotUb) {
+  // Regression: Statistic used to sort before any screen — std::sort on a
+  // NaN range is strict-weak-ordering UB. Now NaN in, NaN out.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  double loc = 123.0;
+  EXPECT_TRUE(std::isnan(ks::Statistic({1.0, nan}, {2.0}, &loc)));
+  EXPECT_DOUBLE_EQ(loc, 0.0);  // location still deterministically written
+  EXPECT_TRUE(std::isnan(ks::Statistic({1.0}, {nan, 2.0})));
+  // Infinity has a rank; it is not screened here.
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(ks::Statistic({1.0, 2.0}, {inf, inf}), 1.0);
+}
+
+TEST(RunTest, ValidatesBeforeSorting) {
+  // Run must reject non-finite input up front — the old code sorted first,
+  // which was UB with NaN present.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(ks::Run({1.0, nan, 2.0}, {1.0, 2.0}, 0.05).ok());
+  EXPECT_FALSE(ks::Run({1.0, 2.0}, {nan}, 0.05).ok());
 }
 
 TEST(StatisticTest, LocationAlwaysWrittenEvenForTwoEmptySamples) {
