@@ -52,7 +52,18 @@ void AppendEscaped(const std::string& s, std::string* out) {
 
 // A minimal recursive-descent reader for the flat JSON this file emits:
 // arrays of objects whose values are strings or numbers. Not a general JSON
-// parser — exactly the subset ToJson/WriteBenchJson produce.
+// parser — exactly the subset ToJson/WriteBenchJson produce. Hostile input
+// hardening (BENCH files can come from artifact stores and hand edits):
+// a document byte budget, explicit rejection of nested containers (the
+// schema is depth 2: one array of flat records), and integer fields parsed
+// through an overflow-checked path — casting an arbitrary double to size_t
+// is UB for negative or huge values.
+constexpr size_t kMaxBenchJsonBytes = 8 * 1024 * 1024;  // 8 MiB
+
+// Largest integer a double carries exactly; counts above this cannot round-
+// trip through the JSON number representation.
+constexpr double kMaxExactCount = 9007199254740992.0;  // 2^53
+
 class JsonReader {
  public:
   explicit JsonReader(const std::string& text) : text_(text) {}
@@ -153,6 +164,10 @@ class JsonReader {
 
   Result<double> ParseNumber() {
     SkipSpace();
+    if (pos_ < text_.size() && (text_[pos_] == '{' || text_[pos_] == '[')) {
+      return Status::InvalidArgument(
+          "nested containers are outside the BENCH_*.json subset");
+    }
     const size_t start = pos_;
     while (pos_ < text_.size() &&
            (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
@@ -172,6 +187,19 @@ class JsonReader {
                                                token.c_str()));
     }
     return value;
+  }
+
+  /// A non-negative integer field (threads/samples), range-checked BEFORE
+  /// the size_t conversion: casting a negative or out-of-range double to an
+  /// unsigned integer is undefined behavior, and counts above 2^53 cannot
+  /// have round-tripped through a JSON number exactly anyway.
+  Result<size_t> ParseCount(const char* field) {
+    MOCHE_ASSIGN_OR_RETURN(const double v, ParseNumber());
+    if (!(v >= 0.0) || v > kMaxExactCount || v != std::floor(v)) {
+      return Status::InvalidArgument(
+          StrFormat("'%s' must be a non-negative integer", field));
+    }
+    return static_cast<size_t>(v);
   }
 
   /// One {"key": string-or-number, ...} object into a BenchResult. The
@@ -235,12 +263,10 @@ class JsonReader {
         MOCHE_ASSIGN_OR_RETURN(r.value, ParseNumber());
       } else if (key == "threads") {
         MOCHE_RETURN_IF_ERROR(claim(kThreads));
-        MOCHE_ASSIGN_OR_RETURN(const double v, ParseNumber());
-        r.threads = static_cast<size_t>(v);
+        MOCHE_ASSIGN_OR_RETURN(r.threads, ParseCount("threads"));
       } else if (key == "samples") {
         MOCHE_RETURN_IF_ERROR(claim(kSamples));
-        MOCHE_ASSIGN_OR_RETURN(const double v, ParseNumber());
-        r.samples = static_cast<size_t>(v);
+        MOCHE_ASSIGN_OR_RETURN(r.samples, ParseCount("samples"));
       } else if (key == "isa") {
         MOCHE_RETURN_IF_ERROR(claim(kIsa));
         MOCHE_ASSIGN_OR_RETURN(r.isa, ParseString());
@@ -317,7 +343,21 @@ std::string ToJson(const BenchResult& result) {
   return out;
 }
 
+namespace {
+
+Status CheckByteBudget(const std::string& json) {
+  if (json.size() > kMaxBenchJsonBytes) {
+    return Status::InvalidArgument(
+        StrFormat("document is %zu bytes, over the %zu-byte BENCH budget",
+                  json.size(), kMaxBenchJsonBytes));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Result<BenchResult> FromJson(const std::string& json) {
+  MOCHE_RETURN_IF_ERROR(CheckByteBudget(json));
   JsonReader reader(json);
   MOCHE_ASSIGN_OR_RETURN(BenchResult r, reader.ParseRecord());
   if (!reader.AtEnd()) {
@@ -327,6 +367,7 @@ Result<BenchResult> FromJson(const std::string& json) {
 }
 
 Result<std::vector<BenchResult>> ParseBenchJson(const std::string& json) {
+  MOCHE_RETURN_IF_ERROR(CheckByteBudget(json));
   JsonReader reader(json);
   if (!reader.Consume('[')) {
     return Status::InvalidArgument("expected a JSON array");

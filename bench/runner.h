@@ -69,9 +69,15 @@ std::string ToJson(const BenchResult& result);
 /// into plausible defaults), or a schema-invalid record (the golden-schema
 /// test exercises these paths). "isa" is optional so pre-SIMD BENCH files
 /// keep parsing: a record without it reads back as isa == "unknown".
+/// Hostile-input hardening (BENCH files arrive from artifact stores and
+/// hand edits): documents over an 8 MiB byte budget, nested containers
+/// (the schema is one array of flat records), duplicate keys, and
+/// threads/samples values that are negative, fractional, or above 2^53
+/// are all rejected rather than truncated into plausible records.
 Result<BenchResult> FromJson(const std::string& json);
 
 /// Parses a full BENCH_*.json array (the WriteBenchJson output format).
+/// Same hardening guarantees as FromJson.
 Result<std::vector<BenchResult>> ParseBenchJson(const std::string& json);
 
 /// Validates every record, fills empty `commit` fields from

@@ -1,0 +1,42 @@
+// Shared vocabulary of the fuzz targets: the libFuzzer entry-point
+// signature and the oracle-failure reporter.
+//
+// Every fuzz/<name>_fuzz.cc defines
+//     extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t n);
+// and builds twice from that one TU: linked against libFuzzer
+// (-DMOCHE_FUZZER=ON, clang only) for coverage-guided exploration, and
+// against fuzz/replay_main.cc for the always-on corpus-replay regression
+// tests in ctest. A target is a differential oracle, not a crash probe:
+// when the system under test disagrees with its reference implementation,
+// it calls MOCHE_FUZZ_FAIL, which prints the diagnosis and aborts — an
+// abort is what both libFuzzer (crash artifact) and ctest (non-zero exit)
+// turn into a red signal.
+//
+// Ownership & thread-safety: macros and a declaration only; no state.
+
+#ifndef MOCHE_FUZZ_FUZZ_TARGET_H_
+#define MOCHE_FUZZ_FUZZ_TARGET_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+// fprintf + abort rather than any exception/Status machinery: the report
+// must survive ASan/UBSan runtimes and land in libFuzzer's crash artifact.
+#define MOCHE_FUZZ_FAIL(...)                                          \
+  do {                                                                \
+    std::fprintf(stderr, "FUZZ ORACLE FAILURE %s:%d: ", __FILE__,     \
+                 __LINE__);                                           \
+    std::fprintf(stderr, __VA_ARGS__);                                \
+    std::fprintf(stderr, "\n");                                       \
+    std::abort();                                                     \
+  } while (0)
+
+#define MOCHE_FUZZ_CHECK(cond, ...)          \
+  do {                                       \
+    if (!(cond)) MOCHE_FUZZ_FAIL(__VA_ARGS__); \
+  } while (0)
+
+#endif  // MOCHE_FUZZ_FUZZ_TARGET_H_

@@ -1,0 +1,113 @@
+// Differential oracle: the locale-independent number formatters/parsers in
+// util/string_util.h.
+//
+// The load-bearing contract is the G17 round trip: FormatG17 must emit a
+// string ParseDouble reads back to the SAME BITS for every double,
+// including ±0.0, denormals, ±Inf and NaN payload-insensitively (17
+// significant digits are exactly enough for binary64). The identity corpus
+// and every BENCH/CSV artifact are diffed byte-for-byte across machines on
+// the strength of this. Also checked: FormatFixed output stays parseable
+// (and re-parses within half an ulp of the requested precision),
+// ParseInt64/FormatG17 agree on the integers both sides represent exactly,
+// and both parsers reject trailing garbage rather than truncating.
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "fuzz_target.h"
+#include "provider.h"
+#include "util/string_util.h"
+
+namespace {
+
+bool SameBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  moche::fuzz::Provider in(data, size);
+
+  // Raw bit patterns: every double, not just the friendly ones.
+  const size_t rounds = in.SizeInRange(1, 12);
+  for (size_t i = 0; i < rounds; ++i) {
+    const double v = in.Bool() ? in.RawDouble() : in.FiniteValue();
+    const std::string g17 = moche::FormatG17(v);
+    MOCHE_FUZZ_CHECK(!g17.empty(), "FormatG17 produced an empty string");
+
+    double back = 0.0;
+    const bool parsed = moche::ParseDouble(g17, &back);
+    if (std::isnan(v)) {
+      // NaN's textual form need not round-trip the payload; it must either
+      // parse back to SOME NaN or be visibly non-numeric — never a finite
+      // number.
+      MOCHE_FUZZ_CHECK(!parsed || std::isnan(back),
+                       "NaN formatted as '%s' parsed back to %.17g",
+                       g17.c_str(), back);
+      continue;
+    }
+    MOCHE_FUZZ_CHECK(parsed, "ParseDouble rejected FormatG17 output '%s'",
+                     g17.c_str());
+    MOCHE_FUZZ_CHECK(SameBits(back, v),
+                     "G17 round trip lost bits: %.17g -> '%s' -> %.17g", v,
+                     g17.c_str(), back);
+
+    // AppendG17 must be exactly FormatG17 appended.
+    std::string appended = "x";
+    moche::AppendG17(v, &appended);
+    MOCHE_FUZZ_CHECK(appended == "x" + g17,
+                     "AppendG17 diverges from FormatG17 for '%s'",
+                     g17.c_str());
+
+    // ParseDouble must reject trailing garbage, not truncate.
+    double ignored = 0.0;
+    MOCHE_FUZZ_CHECK(!moche::ParseDouble(g17 + "x", &ignored),
+                     "ParseDouble accepted trailing garbage after '%s'",
+                     g17.c_str());
+
+    if (std::isfinite(v)) {
+      const int precision = static_cast<int>(in.SizeInRange(0, 17));
+      const std::string fixed = moche::FormatFixed(v, precision);
+      double fixed_back = 0.0;
+      MOCHE_FUZZ_CHECK(moche::ParseDouble(fixed, &fixed_back),
+                       "ParseDouble rejected FormatFixed output '%s'",
+                       fixed.c_str());
+      // %.Nf quantizes: the reparse must sit within one half-step of the
+      // last printed digit (plus one representation ulp for huge values).
+      const double step = std::pow(10.0, -precision);
+      const double slack =
+          0.5 * step + std::fabs(v) * 1e-15 + 1e-300;
+      MOCHE_FUZZ_CHECK(std::fabs(fixed_back - v) <= slack,
+                       "FormatFixed(%d) moved %.17g to '%s' (reparsed "
+                       "%.17g)",
+                       precision, v, fixed.c_str(), fixed_back);
+    }
+  }
+
+  // Integer round trip: ParseInt64 on its own decimal rendering, and
+  // agreement with the double path for exactly representable magnitudes.
+  const int64_t raw = static_cast<int64_t>(in.U64());
+  const std::string dec = moche::StrFormat("%" PRId64, raw);
+  long long int_back = 0;
+  MOCHE_FUZZ_CHECK(moche::ParseInt64(dec, &int_back) && int_back == raw,
+                   "ParseInt64 round trip failed on '%s'", dec.c_str());
+  MOCHE_FUZZ_CHECK(!moche::ParseInt64(dec + "7x", &int_back),
+                   "ParseInt64 accepted trailing garbage");
+  MOCHE_FUZZ_CHECK(!moche::ParseInt64("", &int_back),
+                   "ParseInt64 accepted empty input");
+
+  const int64_t small = in.IntInRange(-(int64_t{1} << 53), int64_t{1} << 53);
+  double as_double = 0.0;
+  MOCHE_FUZZ_CHECK(
+      moche::ParseDouble(moche::StrFormat("%lld",
+                                          static_cast<long long>(small)),
+                         &as_double) &&
+          as_double == static_cast<double>(small),
+      "double/integer parsers disagree on %lld",
+      static_cast<long long>(small));
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Standalone corpus-replay driver: the non-libFuzzer half of every fuzz
+// target's dual build.
+//
+// Usage: <target>_replay <file-or-directory>...
+//
+// Each file argument is fed to LLVMFuzzerTestOneInput once; a directory
+// argument is expanded to its regular files in sorted name order (so a
+// replay run is deterministic regardless of readdir order). This is what
+// ctest runs on every default-matrix build: the checked-in seed corpora
+// under fuzz/corpus/<target>/ — including any minimized crash reproducers
+// committed after a fix — become permanent regression tests without
+// needing clang or libFuzzer.
+//
+// Exit status: 0 when every input replays without an oracle failure
+// (oracle failures abort, so a violation can never exit 0); 2 on usage or
+// I/O errors, so an empty or missing corpus fails loudly instead of
+// green-washing the gate.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fuzz_target.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool ReplayFile(const fs::path& path, size_t* replayed) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "replay: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                         bytes.size());
+  ++*replayed;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <corpus-file-or-directory>...\n"
+                 "Feeds every input to LLVMFuzzerTestOneInput; aborts on "
+                 "the first oracle failure.\n",
+                 argv[0]);
+    return 2;
+  }
+  size_t replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path arg(argv[i]);
+    std::error_code ec;
+    if (fs::is_directory(arg, ec)) {
+      std::vector<fs::path> files;
+      for (const auto& entry : fs::directory_iterator(arg, ec)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+      if (ec) {
+        std::fprintf(stderr, "replay: cannot list %s: %s\n", arg.c_str(),
+                     ec.message().c_str());
+        return 2;
+      }
+      std::sort(files.begin(), files.end());
+      for (const fs::path& f : files) {
+        if (!ReplayFile(f, &replayed)) return 2;
+      }
+    } else if (fs::is_regular_file(arg, ec)) {
+      if (!ReplayFile(arg, &replayed)) return 2;
+    } else {
+      std::fprintf(stderr, "replay: no such file or directory: %s\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  if (replayed == 0) {
+    // An empty corpus means the regression gate tested nothing; that must
+    // never pass silently (the fuzz-target lint rule also enforces
+    // non-empty seed directories at the source level).
+    std::fprintf(stderr, "replay: corpus is empty\n");
+    return 2;
+  }
+  std::printf("replayed %zu input(s) clean\n", replayed);
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Differential oracle: StreamingKs under an eviction-heavy push schedule
+// against a from-scratch ks::Run recompute on a mirrored window.
+//
+// The incremental detector maintains integer scores s(x) = m*C_R - n*C_W
+// in a treap; the batch path computes max |cum_r/n - cum_t/m| directly.
+// Mathematically identical, computed differently — so the statistic is
+// compared within the tree's tight tolerance (1e-12, as the unit suite
+// does), the threshold bit-exactly (same formula, same operands), the
+// window contents exactly, and the reject decisions may only differ when
+// the batch statistic sits within tolerance of the threshold.
+
+#include <cmath>
+#include <cstring>
+#include <deque>
+#include <vector>
+
+#include "fuzz_target.h"
+#include "ks/ks_test.h"
+#include "ks/streaming.h"
+#include "provider.h"
+
+namespace {
+
+bool SameBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+constexpr double kTightTol = 1e-12;
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  moche::fuzz::Provider in(data, size);
+
+  const size_t n = in.SizeInRange(1, 48);
+  const size_t window = in.SizeInRange(1, 24);
+  const double alpha = in.Alpha();
+  const int alphabet = static_cast<int>(in.SizeInRange(1, 12));
+
+  std::vector<double> reference;
+  if (in.Bool()) {
+    in.TiedArray(n, alphabet, &reference);
+  } else {
+    in.FiniteArray(n, &reference);
+  }
+
+  auto stream = moche::StreamingKs::Create(reference, window, alpha);
+  MOCHE_FUZZ_CHECK(stream.ok(), "Create rejected a valid config: %s",
+                   stream.status().message().c_str());
+
+  std::deque<double> mirror;
+  const size_t pushes = in.SizeInRange(0, 160);
+  for (size_t step = 0; step < pushes; ++step) {
+    // A non-finite push must fail atomically: state unchanged.
+    if (in.Byte() % 16 == 0) {
+      const auto before = stream->WindowContents();
+      const double bad = in.Bool() ? std::nan("") : HUGE_VAL;
+      MOCHE_FUZZ_CHECK(!stream->Push(bad).ok(),
+                       "Push accepted a non-finite observation");
+      MOCHE_FUZZ_CHECK(stream->WindowContents() == before,
+                       "rejected push mutated the window");
+    }
+
+    // Values from the same alphabet as the reference so evictions hit the
+    // equal-key treap paths constantly.
+    const double v = in.Bool()
+                         ? static_cast<double>(in.IntInRange(0, alphabet))
+                         : in.FiniteValue();
+    MOCHE_FUZZ_CHECK(stream->Push(v).ok(), "Push rejected a finite value");
+    mirror.push_back(v);
+    if (mirror.size() > window) mirror.pop_front();
+
+    MOCHE_FUZZ_CHECK(stream->WindowFull() == (mirror.size() == window),
+                     "WindowFull disagrees with the mirror at step %zu",
+                     step);
+    const std::vector<double> snapshot = stream->WindowContents();
+    MOCHE_FUZZ_CHECK(
+        snapshot == std::vector<double>(mirror.begin(), mirror.end()),
+        "WindowContents diverged from arrival order at step %zu", step);
+
+    if (!stream->WindowFull()) continue;
+
+    auto incremental = stream->CurrentOutcome();
+    MOCHE_FUZZ_CHECK(incremental.ok(), "CurrentOutcome failed: %s",
+                     incremental.status().message().c_str());
+    auto batch = moche::ks::Run(
+        reference, std::vector<double>(mirror.begin(), mirror.end()), alpha);
+    MOCHE_FUZZ_CHECK(batch.ok(), "batch recompute failed: %s",
+                     batch.status().message().c_str());
+
+    MOCHE_FUZZ_CHECK(
+        std::fabs(incremental->statistic - batch->statistic) <= kTightTol,
+        "step %zu: incremental D %.17g vs batch D %.17g", step,
+        incremental->statistic, batch->statistic);
+    MOCHE_FUZZ_CHECK(SameBits(incremental->threshold, batch->threshold),
+                     "step %zu: thresholds differ: %.17g vs %.17g", step,
+                     incremental->threshold, batch->threshold);
+    if (incremental->reject != batch->reject) {
+      // Only excusable exactly at the decision boundary, where the two
+      // computations' last-ulp difference can fall on opposite sides.
+      MOCHE_FUZZ_CHECK(
+          std::fabs(batch->statistic - batch->threshold) <= 1e-9,
+          "step %zu: reject disagreement away from the boundary "
+          "(D=%.17g p=%.17g)",
+          step, batch->statistic, batch->threshold);
+    }
+    MOCHE_FUZZ_CHECK(incremental->n == n && incremental->m == window,
+                     "outcome sizes mismatch at step %zu", step);
+    MOCHE_FUZZ_CHECK(stream->Drifted() == incremental->reject,
+                     "Drifted() disagrees with CurrentOutcome at step %zu",
+                     step);
+  }
+
+  // WindowContentsInto must agree with WindowContents through a recycled
+  // buffer.
+  std::vector<double> recycled(7, -1.0);
+  stream->WindowContentsInto(&recycled);
+  MOCHE_FUZZ_CHECK(recycled == stream->WindowContents(),
+                   "WindowContentsInto diverged from WindowContents");
+  return 0;
+}

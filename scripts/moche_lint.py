@@ -35,10 +35,16 @@ contracts"):
                    thread-safety contract block established in PR 4, so the
                    concurrency story of a type is stated where the type is
                    declared.
+  fuzz-target      Every fuzz/*_fuzz.cc must define the libFuzzer entry
+                   point (LLVMFuzzerTestOneInput), be registered in
+                   fuzz/CMakeLists.txt (moche_add_fuzz_target), and have a
+                   non-empty seed corpus under fuzz/corpus/<target>/ — an
+                   unregistered target never builds, and an empty corpus
+                   turns its corpus-replay regression gate into a no-op.
 
 Zero dependencies beyond the Python 3 standard library. Scans src/,
-bench/, and examples/ by default (tests are exempt: they intentionally
-violate contracts to test them).
+bench/, examples/, and fuzz/ by default (tests are exempt: they
+intentionally violate contracts to test them).
 
 Suppressions:
   * Inline, for one call site (same line or the line above), reason
@@ -64,6 +70,7 @@ RULES = (
     "simd-include",
     "seeded-rng",
     "contract-header",
+    "fuzz-target",
 )
 
 # Files allowed to use raw threading primitives: the pool itself.
@@ -79,7 +86,10 @@ SIMD_TU_ALLOWED = {
 }
 
 SOURCE_EXTENSIONS = (".h", ".cc", ".cpp")
-DEFAULT_SCAN_DIRS = ("src", "bench", "examples")
+DEFAULT_SCAN_DIRS = ("src", "bench", "examples", "fuzz")
+
+FUZZ_TARGET_RE = re.compile(r"^fuzz/([A-Za-z0-9_]+_fuzz)\.cc$")
+FUZZ_ENTRY_RE = re.compile(r"\bint\s+LLVMFuzzerTestOneInput\s*\(")
 
 RAW_THREAD_RE = re.compile(
     r"std::thread\b|std::jthread\b|std::async\b|pthread_create\b|\bfork\s*\(")
@@ -335,6 +345,37 @@ def check_file(root, rel, config, violations):
                  "missing ownership/thread-safety contract block: the "
                  "leading comment must state who owns the state and how "
                  "(or whether) it may be shared across threads")
+
+    fuzz_match = FUZZ_TARGET_RE.match(rel)
+    if fuzz_match:
+        stem = fuzz_match.group(1)
+        if not FUZZ_ENTRY_RE.search(strip_comments(text)):
+            flag("fuzz-target", 1,
+                 "fuzz target does not define LLVMFuzzerTestOneInput; "
+                 "every fuzz/*_fuzz.cc must be a libFuzzer entry point "
+                 "(include fuzz_target.h)")
+        cmake_path = os.path.join(root, "fuzz", "CMakeLists.txt")
+        try:
+            with open(cmake_path, encoding="utf-8") as f:
+                cmake_text = f.read()
+        except OSError:
+            cmake_text = ""
+        if not re.search(r"moche_add_fuzz_target\(\s*%s\b" % re.escape(stem),
+                         cmake_text):
+            flag("fuzz-target", 1,
+                 "fuzz target is not registered in fuzz/CMakeLists.txt "
+                 "(moche_add_fuzz_target(%s ...)); an unregistered target "
+                 "never builds or replays" % stem)
+        corpus_dir = os.path.join(root, "fuzz", "corpus", stem)
+        seeds = []
+        if os.path.isdir(corpus_dir):
+            seeds = [name for name in os.listdir(corpus_dir)
+                     if os.path.isfile(os.path.join(corpus_dir, name))]
+        if not seeds:
+            flag("fuzz-target", 1,
+                 "fuzz target has no seed corpus (fuzz/corpus/%s/ is "
+                 "missing or empty); the corpus-replay regression gate "
+                 "would test nothing" % stem)
 
 
 def gather_files(root, paths):

@@ -243,6 +243,70 @@ class ContractHeaderRuleTest(LintFixture):
         self.assert_clean(self.run_lint())
 
 
+class FuzzTargetRuleTest(LintFixture):
+    ENTRY = ("#include <cstddef>\n#include <cstdint>\n"
+             "extern \"C\" int LLVMFuzzerTestOneInput(const uint8_t* d,"
+             " size_t n) { (void)d; (void)n; return 0; }\n")
+
+    def write_wired_target(self, stem="sample_fuzz"):
+        self.write(f"fuzz/{stem}.cc", self.ENTRY)
+        self.write("fuzz/CMakeLists.txt",
+                   f"moche_add_fuzz_target({stem} LIBS moche::util)\n")
+        self.write(f"fuzz/corpus/{stem}/seed_00", "bytes")
+
+    def test_fully_wired_target_is_clean(self):
+        self.write_wired_target()
+        self.assert_clean(self.run_lint())
+
+    def test_missing_entry_point_flagged(self):
+        self.write_wired_target()
+        self.write("fuzz/sample_fuzz.cc", "int main() { return 0; }\n")
+        proc = self.run_lint()
+        self.assert_flags("fuzz-target", proc)
+        self.assertIn("LLVMFuzzerTestOneInput", proc.stdout)
+
+    def test_entry_point_in_comment_does_not_count(self):
+        self.write_wired_target()
+        self.write("fuzz/sample_fuzz.cc",
+                   "// int LLVMFuzzerTestOneInput(const uint8_t*, size_t)\n"
+                   "int main() { return 0; }\n")
+        self.assert_flags("fuzz-target", self.run_lint())
+
+    def test_unregistered_target_flagged(self):
+        self.write_wired_target()
+        self.write("fuzz/CMakeLists.txt", "# no registrations\n")
+        proc = self.run_lint()
+        self.assert_flags("fuzz-target", proc)
+        self.assertIn("not registered", proc.stdout)
+
+    def test_empty_corpus_flagged(self):
+        self.write_wired_target()
+        os.remove(os.path.join(self.root, "fuzz/corpus/sample_fuzz/seed_00"))
+        proc = self.run_lint()
+        self.assert_flags("fuzz-target", proc)
+        self.assertIn("seed corpus", proc.stdout)
+
+    def test_missing_corpus_dir_flagged(self):
+        self.write(f"fuzz/sample_fuzz.cc", self.ENTRY)
+        self.write("fuzz/CMakeLists.txt",
+                   "moche_add_fuzz_target(sample_fuzz LIBS moche::util)\n")
+        self.assert_flags("fuzz-target", self.run_lint())
+
+    def test_infrastructure_files_are_exempt(self):
+        # provider.h / replay_main.cc do not match *_fuzz.cc and carry no
+        # entry point of their own.
+        self.write("fuzz/replay_main.cc", "int main() { return 0; }\n")
+        self.write("fuzz/provider.h", "// helpers\nint x;\n")
+        self.assert_clean(self.run_lint())
+
+    def test_inline_allow_suppresses(self):
+        self.write("fuzz/sample_fuzz.cc",
+                   "// moche-lint: allow(fuzz-target): scaffold, wired in "
+                   "the next commit\n" + self.ENTRY)
+        self.write("fuzz/CMakeLists.txt", "# nothing yet\n")
+        self.assert_clean(self.run_lint())
+
+
 class ConfigErrorTest(LintFixture):
     def test_allow_without_reason_is_config_error(self):
         self.write_config("allow sort-doubles src/util/w.cc\n")

@@ -193,6 +193,67 @@ TEST(BenchResultSchema, ParserRejectsMalformedJson) {
           .ok());
 }
 
+// Hostile-input hardening: each rejection path added for artifact-store /
+// hand-edited BENCH files, one test per path (the bench_json fuzz target
+// covers the combinatorial space).
+
+std::string RecordWith(const std::string& threads,
+                       const std::string& samples) {
+  return "{\"bench\": \"b\", \"metric\": \"m\", \"value\": 1, "
+         "\"unit\": \"s\", \"threads\": " + threads +
+         ", \"samples\": " + samples + ", \"commit\": \"c\"}";
+}
+
+TEST(BenchResultSchema, RejectsNegativeCounts) {
+  // Casting a negative double straight to size_t is UB; the parser must
+  // reject, not wrap to 2^64-3 (fuzz/corpus/bench_json_fuzz holds the
+  // reproducer that caught this).
+  EXPECT_FALSE(FromJson(RecordWith("-3", "1")).ok());
+  EXPECT_FALSE(FromJson(RecordWith("1", "-1")).ok());
+}
+
+TEST(BenchResultSchema, RejectsFractionalCounts) {
+  EXPECT_FALSE(FromJson(RecordWith("1.5", "1")).ok());
+  EXPECT_FALSE(FromJson(RecordWith("1", "2.000001")).ok());
+  // An integral value written with JSON's float syntax is still integral.
+  EXPECT_TRUE(FromJson(RecordWith("2.0", "5")).ok());
+}
+
+TEST(BenchResultSchema, RejectsCountsBeyondExactDoubleRange) {
+  // Above 2^53 a double cannot represent the count exactly, so it cannot
+  // have round-tripped; 1e300 would also overflow the size_t cast.
+  EXPECT_FALSE(FromJson(RecordWith("1e300", "1")).ok());
+  EXPECT_FALSE(FromJson(RecordWith("9007199254740994", "1")).ok());
+  EXPECT_TRUE(FromJson(RecordWith("9007199254740992", "1")).ok());  // 2^53
+}
+
+TEST(BenchResultSchema, RejectsNestedContainers) {
+  EXPECT_FALSE(FromJson("{\"bench\": \"b\", \"metric\": \"m\", "
+                        "\"value\": {\"nested\": 1}, \"unit\": \"s\", "
+                        "\"threads\": 1, \"samples\": 1, \"commit\": \"c\"}")
+                   .ok());
+  EXPECT_FALSE(FromJson("{\"bench\": \"b\", \"metric\": \"m\", "
+                        "\"value\": [1], \"unit\": \"s\", \"threads\": 1, "
+                        "\"samples\": 1, \"commit\": \"c\"}")
+                   .ok());
+  EXPECT_FALSE(ParseBenchJson("[[]]").ok());
+}
+
+TEST(BenchResultSchema, RejectsDocumentsOverTheByteBudget) {
+  // 8 MiB cap: a runaway artifact must fail fast instead of being parsed
+  // byte by byte.
+  std::string huge = "[";
+  huge.append(9 * 1024 * 1024, ' ');
+  huge += "]";
+  EXPECT_FALSE(ParseBenchJson(huge).ok());
+  EXPECT_FALSE(FromJson(huge).ok());
+  // Just under the cap still parses (whitespace is legal filler).
+  std::string under = "[";
+  under.append(1024, ' ');
+  under += "]";
+  EXPECT_TRUE(ParseBenchJson(under).ok());
+}
+
 TEST(WriteBenchJson, WritesAFileThatParsesBack) {
   const std::string dir = ::testing::TempDir();
   std::vector<BenchResult> results;
