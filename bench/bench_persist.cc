@@ -1,0 +1,200 @@
+// Checkpoint/restore throughput of the persistence subsystem: a
+// DriftMonitor fleet (drift-scenario streams, accumulated event log) is
+// serialized to sharded snapshot files and restored, timed through the
+// shared bench runner.
+//
+// Usage: bench_persist [--streams 32] [--length 1200] [--window 120]
+//                      [--shards 4] [--quick]
+//
+// Reports persist.checkpoint_ms / persist.restore_ms (the headline
+// medians), the checkpoint's on-disk footprint, and two identity checks —
+// the restored monitor re-serializes to byte-identical blobs (the snapshot
+// fixed point) and its event log matches the original (SameEventLogs).
+// Exits non-zero when either identity fails: a perf number for a codec
+// that does not round-trip is meaningless. Emits BENCH_persist.json;
+// --quick (the CI perf-smoke mode) shrinks every dimension.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "persist/monitor_codec.h"
+#include "runner.h"
+#include "stream/drift_monitor.h"
+#include "timeseries/generators.h"
+
+using namespace moche;
+
+namespace {
+
+// Builds a monitor mid-deployment: every scenario stream registered and
+// fully replayed, so the checkpoint carries real windows, re-arm state,
+// and a non-empty event log.
+stream::DriftMonitor BuildLoadedMonitor(
+    const std::vector<ts::DriftScenario>& scenarios, size_t window,
+    size_t batch_ticks) {
+  stream::MonitorOptions options;
+  options.rearm = stream::RearmPolicy::kOncePerExcursion;
+  auto monitor = stream::DriftMonitor::Create(options);
+  if (!monitor.ok()) {
+    std::fprintf(stderr, "monitor: %s\n",
+                 monitor.status().ToString().c_str());
+    std::exit(1);
+  }
+  for (const ts::DriftScenario& scenario : scenarios) {
+    auto index = monitor->AddStream(scenario.name, scenario.reference, window);
+    if (!index.ok()) {
+      std::fprintf(stderr, "AddStream(%s): %s\n", scenario.name.c_str(),
+                   index.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  size_t max_len = 0;
+  for (const ts::DriftScenario& s : scenarios) {
+    max_len = std::max(max_len, s.observations.size());
+  }
+  std::vector<std::vector<double>> batch(scenarios.size());
+  for (size_t t0 = 0; t0 < max_len; t0 += batch_ticks) {
+    for (size_t i = 0; i < scenarios.size(); ++i) {
+      const std::vector<double>& obs = scenarios[i].observations;
+      const size_t begin = std::min(obs.size(), t0);
+      const size_t end = std::min(obs.size(), begin + batch_ticks);
+      batch[i].assign(obs.begin() + static_cast<long>(begin),
+                      obs.begin() + static_cast<long>(end));
+    }
+    const Status status = monitor->PushBatch(batch);
+    if (!status.ok()) {
+      std::fprintf(stderr, "PushBatch: %s\n", status.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  return std::move(monitor).value();
+}
+
+size_t ArgOrDefault(int argc, char** argv, const char* flag, size_t fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      return static_cast<size_t>(std::strtoull(argv[i + 1], nullptr, 10));
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = bench::QuickMode(argc, argv);
+  const size_t streams = ArgOrDefault(argc, argv, "--streams", quick ? 8 : 32);
+  const size_t length = ArgOrDefault(argc, argv, "--length", quick ? 400 : 1200);
+  const size_t window = ArgOrDefault(argc, argv, "--window", quick ? 80 : 120);
+  const uint32_t shards = static_cast<uint32_t>(
+      ArgOrDefault(argc, argv, "--shards", 4));
+
+  const std::vector<ts::DriftScenario> scenarios = ts::MakeDriftScenarioSuite(
+      streams, /*seed=*/20210817, /*reference_size=*/quick ? 200 : 500,
+      length);
+  stream::DriftMonitor monitor =
+      BuildLoadedMonitor(scenarios, window, /*batch_ticks=*/64);
+  std::printf("fleet: %zu streams, %llu observations, %zu events\n",
+              monitor.num_streams(),
+              static_cast<unsigned long long>(monitor.stats().observations),
+              monitor.events().size());
+
+  persist::CheckpointOptions checkpoint_options;
+  checkpoint_options.num_shards = shards;
+  // Scratch checkpoint under the system temp dir (pid-suffixed), not the
+  // working directory — benches must not litter a source checkout.
+  const char* tmp = std::getenv("TMPDIR");
+  const std::string dir = std::string(tmp != nullptr ? tmp : "/tmp") +
+                          "/bench_persist." + std::to_string(getpid()) +
+                          ".ckpt";
+
+  bench::RunnerOptions runner;
+  runner.warmup = 1;
+  runner.repetitions = quick ? 3 : 7;
+
+  const bench::TimingStats checkpoint_stats = bench::Measure(
+      [&] {
+        const Status status =
+            persist::CheckpointMonitor(monitor, dir, checkpoint_options);
+        if (!status.ok()) {
+          std::fprintf(stderr, "checkpoint: %s\n",
+                       status.ToString().c_str());
+          std::exit(1);
+        }
+      },
+      runner);
+
+  const bench::TimingStats restore_stats = bench::Measure(
+      [&] {
+        auto restored = persist::RestoreMonitor(dir);
+        if (!restored.ok()) {
+          std::fprintf(stderr, "restore: %s\n",
+                       restored.status().ToString().c_str());
+          std::exit(1);
+        }
+      },
+      runner);
+
+  // Identity gates: the restored monitor must carry the same event log and
+  // re-serialize to byte-identical blobs (the snapshot fixed point).
+  auto blobs = persist::MonitorCodec::Serialize(monitor, checkpoint_options);
+  auto restored = persist::RestoreMonitor(dir);
+  if (!blobs.ok() || !restored.ok()) {
+    std::fprintf(stderr, "identity setup failed\n");
+    return 1;
+  }
+  const bool events_same =
+      stream::SameEventLogs(monitor.events(), restored->events());
+  auto reblobs =
+      persist::MonitorCodec::Serialize(*restored, checkpoint_options);
+  const bool bytes_same = reblobs.ok() &&
+                          reblobs->manifest == blobs->manifest &&
+                          reblobs->shards == blobs->shards;
+  std::printf("identity: events %s, bytes %s\n",
+              events_same ? "ok" : "MISMATCH",
+              bytes_same ? "ok" : "MISMATCH");
+
+  size_t checkpoint_bytes = blobs->manifest.size();
+  for (const std::string& shard : blobs->shards) {
+    checkpoint_bytes += shard.size();
+  }
+  std::printf("checkpoint: %zu bytes across %u shards\n", checkpoint_bytes,
+              shards);
+  std::printf("checkpoint median %.3f ms, restore median %.3f ms\n",
+              checkpoint_stats.median * 1e3, restore_stats.median * 1e3);
+
+  std::vector<bench::BenchResult> results;
+  bench::AppendRecord(&results, "persist", "persist.checkpoint_ms",
+                      checkpoint_stats.median * 1e3, "ms", 1);
+  bench::AppendRecord(&results, "persist", "persist.restore_ms",
+                      restore_stats.median * 1e3, "ms", 1);
+  bench::AppendTiming(&results, "persist", "persist.checkpoint",
+                      checkpoint_stats, 1);
+  bench::AppendTiming(&results, "persist", "persist.restore", restore_stats,
+                      1);
+  bench::AppendRecord(&results, "persist", "persist.checkpoint.bytes",
+                      static_cast<double>(checkpoint_bytes), "bytes", 1);
+  bench::AppendRecord(&results, "persist", "persist.shards",
+                      static_cast<double>(shards), "count", 1);
+  bench::AppendRecord(&results, "persist", "persist.roundtrip.identical",
+                      events_same && bytes_same ? 1.0 : 0.0, "bool", 1);
+  const Status status = bench::WriteBenchJson("persist", std::move(results));
+  if (!status.ok()) {
+    std::fprintf(stderr, "WriteBenchJson: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  // Remove the scratch checkpoint (file names are the codec's contract).
+  unlink((dir + "/" + persist::kManifestFileName).c_str());
+  for (uint32_t s = 0; s < shards; ++s) {
+    unlink((dir + "/" + persist::ShardFileName(s)).c_str());
+  }
+  rmdir(dir.c_str());
+  return events_same && bytes_same ? 0 : 1;
+}

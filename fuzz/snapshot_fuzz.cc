@@ -1,0 +1,204 @@
+// Differential oracle for the persistence subsystem (src/persist).
+//
+// Mode A (first byte even): a byte-derived DriftMonitor fleet — tied
+// reference alphabets, regime-shifting observation sequences, accumulated
+// events — is serialized, deserialized, and serialized again. The oracle
+// demands the byte fixed point (both serializations identical, manifest
+// and every shard), an event log the restored monitor reproduces exactly
+// (SameEventLogs), matching stream metadata, and — after feeding both
+// monitors one more identical batch — identical continuations: a restore
+// must be indistinguishable from never having stopped.
+//
+// Mode B (first byte odd): the remaining bytes are treated as hostile
+// checkpoint blobs (arbitrary manifest + shards, plus a bit-flipped
+// mutation of a real checkpoint). Deserialize must return a Status —
+// never crash, never UB — and a successful parse must itself round-trip.
+// Under the CI fuzz-smoke sanitizers (address,undefined) this is the
+// "corrupted inputs always fail cleanly" acceptance gate.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fuzz_target.h"
+#include "persist/monitor_codec.h"
+#include "provider.h"
+#include "stream/drift_monitor.h"
+
+namespace {
+
+using moche::persist::CheckpointBlobs;
+using moche::persist::CheckpointOptions;
+using moche::persist::MonitorCodec;
+using moche::persist::RestoreOptions;
+using moche::stream::DriftMonitor;
+using moche::stream::MonitorOptions;
+using moche::stream::RearmPolicy;
+
+bool SameBlobs(const CheckpointBlobs& a, const CheckpointBlobs& b) {
+  return a.manifest == b.manifest && a.shards == b.shards;
+}
+
+// A small fleet with real drift events, driven entirely by the provider.
+DriftMonitor BuildMonitor(moche::fuzz::Provider* in) {
+  MonitorOptions options;
+  options.alpha = in->Alpha();
+  options.rearm = in->Bool() ? RearmPolicy::kOncePerExcursion
+                             : RearmPolicy::kEveryKPushes;
+  options.explain_every_k =
+      options.rearm == RearmPolicy::kEveryKPushes ? in->SizeInRange(1, 5) : 0;
+  options.preference = in->Bool()
+                           ? moche::stream::WindowPreference::kOldestFirst
+                           : moche::stream::WindowPreference::kNewestFirst;
+  auto monitor = DriftMonitor::Create(options);
+  MOCHE_FUZZ_CHECK(monitor.ok(), "Create rejected valid options: %s",
+                   monitor.status().message().c_str());
+
+  const size_t streams = in->SizeInRange(1, 3);
+  const int alphabet = static_cast<int>(in->SizeInRange(2, 8));
+  const size_t shared_refs = in->SizeInRange(1, streams);
+  std::vector<std::vector<double>> references(shared_refs);
+  for (std::vector<double>& reference : references) {
+    in->TiedArray(in->SizeInRange(4, 24), alphabet, &reference);
+  }
+  for (size_t s = 0; s < streams; ++s) {
+    // Some streams share a reference: the shard codec must intern them
+    // back to one PreparedReference on restore.
+    const std::vector<double>& reference =
+        references[in->SizeInRange(0, shared_refs - 1)];
+    auto index = monitor->AddStream("s" + std::to_string(s), reference,
+                                    in->SizeInRange(2, 10));
+    MOCHE_FUZZ_CHECK(index.ok(), "AddStream failed: %s",
+                     index.status().message().c_str());
+  }
+
+  const size_t ticks = in->SizeInRange(0, 40);
+  std::vector<std::vector<double>> batch(streams);
+  bool drifted_regime = false;
+  for (size_t t0 = 0; t0 < ticks;) {
+    const size_t chunk = std::min(in->SizeInRange(1, 8), ticks - t0);
+    for (size_t s = 0; s < streams; ++s) {
+      batch[s].clear();
+      for (size_t t = 0; t < chunk; ++t) {
+        if (in->Byte() % 8 == 0) drifted_regime = !drifted_regime;
+        double v = static_cast<double>(in->IntInRange(0, alphabet));
+        if (drifted_regime) v += static_cast<double>(alphabet) + 1.0;
+        batch[s].push_back(v);
+      }
+    }
+    MOCHE_FUZZ_CHECK(monitor->PushBatch(batch).ok(), "PushBatch failed");
+    t0 += chunk;
+  }
+  return std::move(*monitor);
+}
+
+void RoundTripOracle(moche::fuzz::Provider* in) {
+  DriftMonitor monitor = BuildMonitor(in);
+  CheckpointOptions options;
+  options.num_shards = static_cast<uint32_t>(in->SizeInRange(1, 5));
+
+  auto blobs = MonitorCodec::Serialize(monitor, options);
+  MOCHE_FUZZ_CHECK(blobs.ok(), "Serialize failed: %s",
+                   blobs.status().message().c_str());
+  MOCHE_FUZZ_CHECK(blobs->shards.size() == options.num_shards,
+                   "Serialize produced %zu shards for %u",
+                   blobs->shards.size(), options.num_shards);
+
+  auto restored = MonitorCodec::Deserialize(*blobs, RestoreOptions{});
+  MOCHE_FUZZ_CHECK(restored.ok(), "Deserialize rejected its own bytes: %s",
+                   restored.status().message().c_str());
+
+  // The byte fixed point: serialize(deserialize(bytes)) == bytes.
+  auto again = MonitorCodec::Serialize(*restored, options);
+  MOCHE_FUZZ_CHECK(again.ok(), "re-Serialize failed: %s",
+                   again.status().message().c_str());
+  MOCHE_FUZZ_CHECK(SameBlobs(*blobs, *again),
+                   "serialize -> deserialize -> serialize is not a byte "
+                   "fixed point");
+
+  // Observable state survives: events, stream metadata, cache stats.
+  MOCHE_FUZZ_CHECK(
+      moche::stream::SameEventLogs(monitor.events(), restored->events()),
+      "restored event log differs (%zu vs %zu events)",
+      monitor.events().size(), restored->events().size());
+  MOCHE_FUZZ_CHECK(restored->num_streams() == monitor.num_streams(),
+                   "stream count changed across restore");
+  for (size_t s = 0; s < monitor.num_streams(); ++s) {
+    MOCHE_FUZZ_CHECK(restored->stream_name(s) == monitor.stream_name(s) &&
+                         restored->stream_ticks(s) == monitor.stream_ticks(s) &&
+                         restored->stream_in_excursion(s) ==
+                             monitor.stream_in_excursion(s),
+                     "stream %zu metadata changed across restore", s);
+  }
+  MOCHE_FUZZ_CHECK(
+      restored->cache_stats().entries == monitor.cache_stats().entries,
+      "restore interned %zu references, original had %zu",
+      restored->cache_stats().entries, monitor.cache_stats().entries);
+
+  // Continuation: one more identical batch must produce identical logs —
+  // the restored monitor is indistinguishable from one that never stopped.
+  const size_t chunk = in->SizeInRange(1, 8);
+  std::vector<std::vector<double>> batch(monitor.num_streams());
+  for (size_t s = 0; s < monitor.num_streams(); ++s) {
+    for (size_t t = 0; t < chunk; ++t) {
+      batch[s].push_back(static_cast<double>(in->IntInRange(0, 12)));
+    }
+  }
+  MOCHE_FUZZ_CHECK(monitor.PushBatch(batch).ok(), "original continue failed");
+  MOCHE_FUZZ_CHECK(restored->PushBatch(batch).ok(),
+                   "restored continue failed");
+  MOCHE_FUZZ_CHECK(
+      moche::stream::SameEventLogs(monitor.events(), restored->events()),
+      "continuation diverged after restore");
+}
+
+void HostileBytesOracle(moche::fuzz::Provider* in) {
+  // A bit-flipped real checkpoint: must fail with a Status (or, if the
+  // flip landed nowhere load-bearing, restore something that round-trips).
+  DriftMonitor monitor = BuildMonitor(in);
+  CheckpointOptions options;
+  options.num_shards = static_cast<uint32_t>(in->SizeInRange(1, 3));
+  auto blobs = MonitorCodec::Serialize(monitor, options);
+  MOCHE_FUZZ_CHECK(blobs.ok(), "Serialize failed: %s",
+                   blobs.status().message().c_str());
+  CheckpointBlobs mutated = *blobs;
+  std::string& victim =
+      in->Bool() ? mutated.manifest
+                 : mutated.shards[in->SizeInRange(0, mutated.shards.size() - 1)];
+  if (!victim.empty()) {
+    const size_t pos = in->SizeInRange(0, victim.size() - 1);
+    victim[pos] = static_cast<char>(victim[pos] ^
+                                    static_cast<char>(1u << (in->Byte() % 8)));
+    auto restored = MonitorCodec::Deserialize(mutated, RestoreOptions{});
+    if (restored.ok()) {
+      auto again = MonitorCodec::Serialize(*restored, options);
+      MOCHE_FUZZ_CHECK(again.ok() && SameBlobs(mutated, *again),
+                       "a parse that accepted mutated bytes must round-trip");
+    }
+  }
+
+  // Arbitrary bytes as manifest + shards: Status, never UB.
+  CheckpointBlobs hostile;
+  hostile.manifest = in->String(64);
+  const size_t shards = in->SizeInRange(0, 3);
+  for (size_t s = 0; s < shards; ++s) {
+    hostile.shards.push_back(in->String(64));
+  }
+  auto restored = MonitorCodec::Deserialize(hostile, RestoreOptions{});
+  (void)restored;  // any Status is acceptable; crashing is not
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  moche::fuzz::Provider in(data, size);
+  if (in.Byte() % 2 == 0) {
+    RoundTripOracle(&in);
+  } else {
+    HostileBytesOracle(&in);
+  }
+  return 0;
+}

@@ -31,6 +31,31 @@ Result<PreparedReference> Moche::Prepare(std::vector<double> reference,
   return prepared;
 }
 
+void PreparedReference::SerializeTo(std::string* out) const {
+  bin::AppendDoubleLe(alpha_, out);
+  bin::AppendDoubleArray(sorted_reference_, out);
+}
+
+Result<PreparedReference> PreparedReference::DeserializeFrom(
+    bin::Reader* reader) {
+  double alpha = 0.0;
+  PreparedReference prepared;
+  if (!reader->ReadDoubleLe(&alpha) ||
+      !reader->ReadDoubleArray(&prepared.sorted_reference_)) {
+    return Status::OutOfRange("prepared reference: snapshot truncated");
+  }
+  MOCHE_RETURN_IF_ERROR(ks::ValidateAlpha(alpha));
+  MOCHE_RETURN_IF_ERROR(
+      ks::ValidateSample(prepared.sorted_reference_, "prepared reference"));
+  if (!std::is_sorted(prepared.sorted_reference_.begin(),
+                      prepared.sorted_reference_.end())) {
+    return Status::InvalidArgument(
+        "prepared reference: snapshot sample is not sorted");
+  }
+  prepared.alpha_ = alpha;
+  return prepared;
+}
+
 Result<MocheReport> Moche::ExplainPrepared(
     const PreparedReference& prepared, const std::vector<double>& test,
     const PreferenceList& preference) const {

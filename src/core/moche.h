@@ -37,6 +37,7 @@
 #include "core/preference.h"
 #include "core/size_search.h"
 #include "core/workspace.h"
+#include "util/binary_io.h"
 #include "util/status.h"
 
 namespace moche {
@@ -82,10 +83,24 @@ class PreparedReference {
   }
   double alpha() const { return alpha_; }
 
+  /// Appends the canonical little-endian encoding (alpha, then the sorted
+  /// sample bit-exact; util/binary_io.h) — the snapshot hook of
+  /// src/persist. Deterministic: equal prepared references serialize to
+  /// equal bytes.
+  void SerializeTo(std::string* out) const;
+
+  /// Inverse of SerializeTo over an untrusted buffer. Re-validates
+  /// everything Prepare guarantees — alpha domain, non-empty, all-finite,
+  /// ascending order — so a corrupted snapshot can never mint a
+  /// PreparedReference that breaks the Unchecked hot-path invariants;
+  /// restoring skips only the O(n log n) sort, not the checks.
+  static Result<PreparedReference> DeserializeFrom(bin::Reader* reader);
+
  private:
   friend class Moche;
-  // Only Moche::Prepare may construct one: ExplainPrepared's unchecked hot
-  // path relies on the validate-and-sort invariant Prepare establishes.
+  // Only Moche::Prepare and DeserializeFrom may construct one:
+  // ExplainPrepared's unchecked hot path relies on the validate-and-sort
+  // invariant both establish.
   PreparedReference() = default;
 
   std::vector<double> sorted_reference_;

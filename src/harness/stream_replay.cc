@@ -3,13 +3,15 @@
 #include <algorithm>
 #include <utility>
 
+#include "persist/monitor_codec.h"
 #include "util/string_util.h"
 
 namespace moche {
 namespace harness {
 
-Result<ReplayResult> ReplayDataset(const ts::Dataset& dataset,
-                                   const ReplayOptions& options) {
+namespace {
+
+Status ValidateReplayOptions(const ReplayOptions& options) {
   if (options.reference_size == 0 || options.window_size == 0) {
     return Status::InvalidArgument(
         "reference_size and window_size must be positive");
@@ -17,40 +19,40 @@ Result<ReplayResult> ReplayDataset(const ts::Dataset& dataset,
   if (options.ticks_per_batch == 0) {
     return Status::InvalidArgument("ticks_per_batch must be positive");
   }
+  return Status::OK();
+}
 
-  MOCHE_ASSIGN_OR_RETURN(stream::DriftMonitor monitor,
-                         stream::DriftMonitor::Create(options.monitor));
-
-  ReplayResult result;
-  // streams[i] = the tail of the series backing monitor stream i.
+/// The dataset's series that are long enough to monitor, in dataset order
+/// (the stream order of both the fresh and the resumed replay).
+std::vector<const ts::TimeSeries*> EligibleSeries(const ts::Dataset& dataset,
+                                                  const ReplayOptions& options,
+                                                  size_t* skipped) {
   std::vector<const ts::TimeSeries*> streams;
-  size_t max_tail = 0;
   for (const ts::TimeSeries& series : dataset.series) {
     if (series.length() < options.reference_size + options.window_size) {
-      ++result.series_skipped;
+      ++*skipped;
       continue;
     }
-    const std::vector<double> reference(
-        series.values.begin(),
-        series.values.begin() + static_cast<long>(options.reference_size));
-    MOCHE_ASSIGN_OR_RETURN(
-        size_t index,
-        monitor.AddStream(series.name, reference, options.window_size));
-    (void)index;
     streams.push_back(&series);
-    max_tail = std::max(max_tail, series.length() - options.reference_size);
-    result.stream_names.push_back(series.name);
   }
-  if (streams.empty()) {
-    return Status::InvalidArgument(StrFormat(
-        "no series of '%s' is long enough for reference %zu + window %zu",
-        dataset.name.c_str(), options.reference_size, options.window_size));
-  }
+  return streams;
+}
 
-  // Replay in lockstep batches: tick t delivers series value
-  // reference_size + t to its stream; exhausted streams get empty slots.
+/// Feeds lockstep batches starting at tail offset `t0_start`, writing a
+/// checkpoint every `checkpoint_every` batches when a directory is set.
+/// The batch boundaries depend only on (t0, ticks_per_batch), so a resumed
+/// run slices the identical batches an uninterrupted run would have.
+Status RunReplayLoop(stream::DriftMonitor* monitor,
+                     const std::vector<const ts::TimeSeries*>& streams,
+                     const ReplayOptions& options, size_t t0_start,
+                     size_t max_tail) {
+  const size_t checkpoint_every = options.checkpoint_dir.empty()
+                                      ? 0
+                                      : std::max<size_t>(
+                                            1, options.checkpoint_every_batches);
   std::vector<std::vector<double>> batch(streams.size());
-  for (size_t t0 = 0; t0 < max_tail; t0 += options.ticks_per_batch) {
+  size_t batches_done = 0;
+  for (size_t t0 = t0_start; t0 < max_tail; t0 += options.ticks_per_batch) {
     for (size_t i = 0; i < streams.size(); ++i) {
       const std::vector<double>& values = streams[i]->values;
       const size_t begin =
@@ -60,15 +62,114 @@ Result<ReplayResult> ReplayDataset(const ts::Dataset& dataset,
       batch[i].assign(values.begin() + static_cast<long>(begin),
                       values.begin() + static_cast<long>(end));
     }
-    MOCHE_RETURN_IF_ERROR(monitor.PushBatch(batch));
+    MOCHE_RETURN_IF_ERROR(monitor->PushBatch(batch));
+    ++batches_done;
+    if (checkpoint_every != 0 && batches_done % checkpoint_every == 0) {
+      MOCHE_RETURN_IF_ERROR(
+          persist::CheckpointMonitor(*monitor, options.checkpoint_dir));
+    }
   }
+  return Status::OK();
+}
 
+ReplayResult FinishResult(const stream::DriftMonitor& monitor,
+                          const std::vector<const ts::TimeSeries*>& streams,
+                          size_t skipped) {
+  ReplayResult result;
+  result.series_skipped = skipped;
+  for (const ts::TimeSeries* series : streams) {
+    result.stream_names.push_back(series->name);
+  }
   const stream::DriftMonitor::Stats stats = monitor.stats();
   result.observations = stats.observations;
   result.drift_ticks = stats.drift_ticks;
   result.cache = monitor.cache_stats();
   result.events = monitor.events();
   return result;
+}
+
+size_t MaxTail(const std::vector<const ts::TimeSeries*>& streams,
+               const ReplayOptions& options) {
+  size_t max_tail = 0;
+  for (const ts::TimeSeries* series : streams) {
+    max_tail = std::max(max_tail, series->length() - options.reference_size);
+  }
+  return max_tail;
+}
+
+}  // namespace
+
+Result<ReplayResult> ReplayDataset(const ts::Dataset& dataset,
+                                   const ReplayOptions& options) {
+  MOCHE_RETURN_IF_ERROR(ValidateReplayOptions(options));
+
+  MOCHE_ASSIGN_OR_RETURN(stream::DriftMonitor monitor,
+                         stream::DriftMonitor::Create(options.monitor));
+
+  size_t skipped = 0;
+  const std::vector<const ts::TimeSeries*> streams =
+      EligibleSeries(dataset, options, &skipped);
+  if (streams.empty()) {
+    return Status::InvalidArgument(StrFormat(
+        "no series of '%s' is long enough for reference %zu + window %zu",
+        dataset.name.c_str(), options.reference_size, options.window_size));
+  }
+  for (const ts::TimeSeries* series : streams) {
+    const std::vector<double> reference(
+        series->values.begin(),
+        series->values.begin() + static_cast<long>(options.reference_size));
+    MOCHE_ASSIGN_OR_RETURN(
+        size_t index,
+        monitor.AddStream(series->name, reference, options.window_size));
+    (void)index;
+  }
+
+  MOCHE_RETURN_IF_ERROR(RunReplayLoop(&monitor, streams, options,
+                                      /*t0_start=*/0,
+                                      MaxTail(streams, options)));
+  return FinishResult(monitor, streams, skipped);
+}
+
+Result<ReplayResult> ResumeReplayDataset(const ts::Dataset& dataset,
+                                         const ReplayOptions& options) {
+  MOCHE_RETURN_IF_ERROR(ValidateReplayOptions(options));
+  if (options.checkpoint_dir.empty()) {
+    return Status::InvalidArgument("resume needs a checkpoint_dir");
+  }
+  persist::RestoreOptions restore;
+  restore.num_threads = options.monitor.num_threads;
+  MOCHE_ASSIGN_OR_RETURN(stream::DriftMonitor monitor,
+                         persist::RestoreMonitor(options.checkpoint_dir,
+                                                 restore));
+
+  size_t skipped = 0;
+  const std::vector<const ts::TimeSeries*> streams =
+      EligibleSeries(dataset, options, &skipped);
+  if (monitor.num_streams() != streams.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "checkpoint has %zu streams but dataset '%s' yields %zu",
+        monitor.num_streams(), dataset.name.c_str(), streams.size()));
+  }
+  for (size_t i = 0; i < streams.size(); ++i) {
+    if (monitor.stream_name(i) != streams[i]->name) {
+      return Status::InvalidArgument(StrFormat(
+          "checkpoint stream %zu is '%s' but dataset series %zu is '%s'", i,
+          monitor.stream_name(i).c_str(), i, streams[i]->name.c_str()));
+    }
+  }
+
+  // The checkpoint landed on a lockstep batch boundary, so every stream
+  // that had observations left sits at the same tail offset; exhausted
+  // streams sit lower (their clamped slices were already empty). Resuming
+  // from the maximum reproduces the uninterrupted batch sequence.
+  size_t t0_start = 0;
+  for (size_t i = 0; i < monitor.num_streams(); ++i) {
+    t0_start = std::max(t0_start,
+                        static_cast<size_t>(monitor.stream_ticks(i)));
+  }
+  MOCHE_RETURN_IF_ERROR(RunReplayLoop(&monitor, streams, options, t0_start,
+                                      MaxTail(streams, options)));
+  return FinishResult(monitor, streams, skipped);
 }
 
 }  // namespace harness

@@ -31,6 +31,13 @@ struct ReplayOptions {
   /// Observations fed to every stream per monitor batch. Batching only
   /// changes fan-out granularity, never the event log.
   size_t ticks_per_batch = 64;
+  /// When non-empty, the monitor is checkpointed into this directory
+  /// (persist::CheckpointMonitor) every `checkpoint_every_batches` batches
+  /// — the durable-replay deployment shape: a crashed run resumes from the
+  /// last checkpoint via ResumeReplayDataset instead of replaying from
+  /// tick zero.
+  std::string checkpoint_dir;
+  size_t checkpoint_every_batches = 0;  ///< 0 = only with checkpoint_dir: 1
   stream::MonitorOptions monitor;
 };
 
@@ -52,6 +59,18 @@ struct ReplayResult {
 /// options.monitor.num_threads.
 Result<ReplayResult> ReplayDataset(const ts::Dataset& dataset,
                                    const ReplayOptions& options);
+
+/// Resumes a replay from the checkpoint in options.checkpoint_dir: the
+/// monitor (streams, detector windows, re-arm state, event log) is
+/// restored and fed the dataset observations it had not yet consumed, in
+/// the same lockstep batches ReplayDataset would have produced. The
+/// returned result — including the events recorded before the checkpoint —
+/// is bit-identical (stream::SameEventLogs) to an uninterrupted
+/// ReplayDataset over the same dataset and options. InvalidArgument when
+/// the checkpoint's streams do not match the dataset's eligible series
+/// (a checkpoint restores against the data that produced it).
+Result<ReplayResult> ResumeReplayDataset(const ts::Dataset& dataset,
+                                         const ReplayOptions& options);
 
 }  // namespace harness
 }  // namespace moche

@@ -299,6 +299,57 @@ Status StreamingKs::Push(double value) {
   return Status::OK();
 }
 
+void StreamingKs::SerializeStateTo(std::string* out) const {
+  bin::AppendU64Le(static_cast<uint64_t>(n_), out);
+  bin::AppendU64Le(static_cast<uint64_t>(window_size_), out);
+  bin::AppendDoubleLe(alpha_, out);
+  bin::AppendU64Le(static_cast<uint64_t>(window_count_), out);
+  for (size_t i = 0; i < window_count_; ++i) {
+    bin::AppendDoubleLe(window_[(window_head_ + i) % window_size_], out);
+  }
+}
+
+Result<StreamingKs> StreamingKs::DeserializeState(
+    const std::vector<double>& reference, bin::Reader* reader) {
+  uint64_t n = 0;
+  uint64_t window_size = 0;
+  double alpha = 0.0;
+  uint64_t window_count = 0;
+  if (!reader->ReadU64Le(&n) || !reader->ReadU64Le(&window_size) ||
+      !reader->ReadDoubleLe(&alpha) || !reader->ReadU64Le(&window_count)) {
+    return Status::InvalidArgument(
+        "streaming detector: snapshot truncated in the state header");
+  }
+  if (n != reference.size()) {
+    return Status::InvalidArgument(
+        StrFormat("streaming detector: snapshot was taken over a reference "
+                  "of %llu values, restore got %zu",
+                  static_cast<unsigned long long>(n), reference.size()));
+  }
+  if (window_count > window_size) {
+    return Status::InvalidArgument(StrFormat(
+        "streaming detector: snapshot window holds %llu of %llu values",
+        static_cast<unsigned long long>(window_count),
+        static_cast<unsigned long long>(window_size)));
+  }
+  if (window_count > reader->remaining() / 8) {
+    return Status::InvalidArgument(
+        "streaming detector: snapshot truncated inside the window ring");
+  }
+  // Create re-validates the reference sample, window size, and alpha, then
+  // replaying the ring in arrival order rebuilds the treap (scores are a
+  // pure function of the multisets; priorities only shape the tree).
+  MOCHE_ASSIGN_OR_RETURN(
+      StreamingKs stream,
+      Create(reference, static_cast<size_t>(window_size), alpha));
+  for (uint64_t i = 0; i < window_count; ++i) {
+    double value = 0.0;
+    reader->ReadDoubleLe(&value);  // bounded above; cannot fail
+    MOCHE_RETURN_IF_ERROR(stream.Push(value));
+  }
+  return stream;
+}
+
 std::vector<double> StreamingKs::WindowContents() const {
   std::vector<double> out;
   WindowContentsInto(&out);

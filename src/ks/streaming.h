@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "ks/ks_test.h"
+#include "util/binary_io.h"
 #include "util/status.h"
 
 namespace moche {
@@ -75,6 +76,25 @@ class StreamingKs {
   size_t reference_size() const { return n_; }
   size_t window_size() const { return window_size_; }
   double alpha() const { return alpha_; }
+
+  /// Appends the detector's restorable state in the canonical little-endian
+  /// encoding (util/binary_io.h): reference size, window capacity, alpha
+  /// (bit-exact), and the surviving window observations in arrival order —
+  /// O(w) values. The treap is deliberately NOT serialized: its scores are
+  /// a pure function of the reference multiset and the window contents, so
+  /// DeserializeState rebuilds it deterministically (src/persist's
+  /// snapshot hook; docs/SNAPSHOT.md).
+  void SerializeStateTo(std::string* out) const;
+
+  /// Inverse of SerializeStateTo over an untrusted buffer. `reference`
+  /// must be the same multiset the serialized detector was created over
+  /// (any order — treap priorities affect only tree shape, never the
+  /// statistic); size and alpha are cross-checked against the snapshot and
+  /// every window value is re-validated, so a corrupted snapshot fails
+  /// with a Status instead of poisoning the score arithmetic. The restored
+  /// detector's CurrentOutcome is bit-identical to the serialized one's.
+  static Result<StreamingKs> DeserializeState(
+      const std::vector<double>& reference, bin::Reader* reader);
 
  private:
   struct Node;

@@ -1,0 +1,43 @@
+#include "persist/crc32c.h"
+
+#include <array>
+
+namespace moche {
+namespace persist {
+
+namespace {
+
+// Byte-at-a-time table for the reflected Castagnoli polynomial. Built once
+// at first use; the build is deterministic, so a racing double-build under
+// C++11 static-local semantics is impossible (the standard guarantees a
+// single initialization).
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    constexpr uint32_t kPolyReflected = 0x82F63B78u;
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1u) != 0 ? (crc >> 1) ^ kPolyReflected : crc >> 1;
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t ExtendCrc32c(uint32_t crc, const void* data, size_t size) {
+  const std::array<uint32_t, 256>& table = Table();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace persist
+}  // namespace moche

@@ -34,6 +34,7 @@ bool SameEventLogs(const std::vector<DriftEvent>& a,
 DriftMonitor::DriftMonitor(const MonitorOptions& options)
     : options_(options),
       engine_(options.moche),
+      state_mutex_(std::make_unique<Mutex>()),
       cache_(std::make_unique<PreparedReferenceCache>()) {
   const size_t threads = ResolveThreadCount(options.num_threads);
   if (threads > 1) {
@@ -65,6 +66,7 @@ Result<size_t> DriftMonitor::AddStream(std::string name,
   MOCHE_ASSIGN_OR_RETURN(
       StreamingKs detector,
       StreamingKs::Create(reference, window_size, options_.alpha));
+  MutexLock lock(state_mutex_.get());
   streams_.emplace_back(std::move(name), std::move(detector),
                         std::move(prepared));
   return streams_.size() - 1;
@@ -148,6 +150,11 @@ Status DriftMonitor::PushBatch(
     }
   }
 
+  // Everything past validation mutates monitor state, so it runs under the
+  // state mutex: a concurrent persist::CheckpointMonitor serializes either
+  // the pre-batch or the post-batch state, never a torn one.
+  MutexLock lock(state_mutex_.get());
+
   // Stream i's task writes only slot i; the merge below is therefore
   // independent of which worker ran which stream. The buffers are monitor
   // members: clear() keeps their capacity, so a warmed-up batch that fires
@@ -198,6 +205,8 @@ Status DriftMonitor::PushBatch(
 }
 
 Status DriftMonitor::RecheckWindows(std::vector<KsOutcome>* outcomes) {
+  // Read-only on the streams, but the packing scratch is member state.
+  MutexLock lock(state_mutex_.get());
   outcomes->assign(streams_.size(), KsOutcome{});
   if (worker_scratch_[0] == nullptr) {
     worker_scratch_[0] = std::make_unique<WorkerScratch>();

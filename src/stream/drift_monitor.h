@@ -20,7 +20,12 @@
 // Threading contract: the monitor is driven from one thread (AddStream /
 // PushBatch / events must not race each other); internally PushBatch
 // parallelizes across streams. The Moche engine and the interned
-// PreparedReferences are immutable and shared by all workers.
+// PreparedReferences are immutable and shared by all workers. One
+// exception is carved out for persistence: the mutating entry points take
+// an internal state mutex, and persist::CheckpointMonitor takes the same
+// mutex while it reads, so a checkpoint may run concurrently with the
+// driver thread's PushBatch (it serializes either the pre-batch or the
+// post-batch state, never a torn one).
 //
 // Ownership: the monitor owns its streams, the event log, the
 // prepared-reference cache, a pool of per-worker ExplainWorkspaces, and
@@ -52,10 +57,16 @@
 #include "core/moche.h"
 #include "ks/streaming.h"
 #include "stream/prepared_cache.h"
+#include "util/mutex.h"
 #include "util/parallel.h"
 #include "util/status.h"
 
 namespace moche {
+
+namespace persist {
+class MonitorCodec;  // snapshot serializer (src/persist/monitor_codec.h)
+}  // namespace persist
+
 namespace stream {
 
 /// When to re-fire the explainer while a stream stays above threshold.
@@ -186,6 +197,11 @@ class DriftMonitor {
   const MonitorOptions& options() const { return options_; }
 
  private:
+  // The snapshot codec reads (and, on restore, writes) the private stream
+  // state; persistence lives in src/persist so the monitor itself stays
+  // free of file-format knowledge (docs/SNAPSHOT.md).
+  friend class persist::MonitorCodec;
+
   struct Stream {
     std::string name;
     StreamingKs detector;
@@ -233,6 +249,13 @@ class DriftMonitor {
 
   MonitorOptions options_;
   Moche engine_;
+  // Serializes the mutating entry points against a concurrent
+  // persist::CheckpointMonitor. Deliberately NOT annotated with
+  // MOCHE_GUARDED_BY: the read accessors (events, stream_ticks, ...) are
+  // single-driver by the threading contract and stay lock-free; only the
+  // checkpoint path reads cross-thread, and it takes this mutex.
+  // unique_ptr (like cache_) keeps the monitor movable.
+  mutable std::unique_ptr<Mutex> state_mutex_;
   // unique_ptr: the cache owns a mutex, which would pin the monitor in
   // place; the monitor must stay movable for Result<DriftMonitor>.
   std::unique_ptr<PreparedReferenceCache> cache_;

@@ -1,14 +1,18 @@
 #include "stream/prepared_cache.h"
 
-#include <cstring>
+#include "util/binary_io.h"
 
 namespace moche {
 namespace stream {
 
 namespace {
 
-inline uint64_t Fnv1a(uint64_t hash, uint64_t word) {
-  // 64-bit FNV-1a, one byte at a time over the word.
+// 64-bit FNV-1a over the eight little-endian bytes of `word`, LSB first.
+// The bytes come from shift-and-mask on the integer VALUE, never from
+// reinterpreting host memory, so the digest is identical on big- and
+// little-endian machines: this is FNV-1a over exactly the byte string
+// bin::AppendU64Le would emit for `word`.
+inline uint64_t Fnv1aU64Le(uint64_t hash, uint64_t word) {
   constexpr uint64_t kPrime = 1099511628211ull;
   for (int i = 0; i < 8; ++i) {
     hash ^= (word >> (8 * i)) & 0xFFu;
@@ -17,30 +21,29 @@ inline uint64_t Fnv1a(uint64_t hash, uint64_t word) {
   return hash;
 }
 
-inline uint64_t DoubleBits(double v) {
-  uint64_t bits = 0;
-  static_assert(sizeof(bits) == sizeof(v), "double is not 64-bit");
-  std::memcpy(&bits, &v, sizeof(bits));
-  return bits;
-}
-
 // -0.0 == +0.0, and the cache's exact-match guard compares with
 // operator==, so two references differing only in a zero's sign are the
 // same cache key. Hash the canonical +0.0 for both: hashing raw bits would
 // send them to different buckets and silently duplicate the entry (a miss
 // and a second sort where the guard would have hit).
 inline uint64_t CanonicalDoubleBits(double v) {
-  return DoubleBits(v == 0.0 ? 0.0 : v);
+  return bin::DoubleBits(v == 0.0 ? 0.0 : v);
 }
 
 }  // namespace
 
 uint64_t ReferenceFingerprint(const std::vector<double>& values,
                               double alpha) {
+  // FNV-1a over the canonical byte string
+  //   AppendU64Le(count) AppendDoubleLe(alpha') AppendDoubleLe(v'_0) ...
+  // with ' marking zero-canonicalization — the same encoding the snapshot
+  // layer writes, hashed without materializing the buffer. The
+  // golden-sequence test in tests/stream/prepared_cache_test.cc pins the
+  // digest; persisted shard assignment depends on it never drifting.
   uint64_t hash = 14695981039346656037ull;  // FNV offset basis
-  hash = Fnv1a(hash, values.size());
-  hash = Fnv1a(hash, CanonicalDoubleBits(alpha));
-  for (double v : values) hash = Fnv1a(hash, CanonicalDoubleBits(v));
+  hash = Fnv1aU64Le(hash, static_cast<uint64_t>(values.size()));
+  hash = Fnv1aU64Le(hash, CanonicalDoubleBits(alpha));
+  for (double v : values) hash = Fnv1aU64Le(hash, CanonicalDoubleBits(v));
   return hash;
 }
 
@@ -81,6 +84,52 @@ PreparedReferenceCache::GetOrPrepare(const Moche& engine,
   ++misses_;
   bucket.push_back(Entry{reference, alpha, shared});
   return shared;
+}
+
+Result<std::shared_ptr<const PreparedReference>>
+PreparedReferenceCache::InternRestored(std::vector<double> original,
+                                       double alpha,
+                                       PreparedReference prepared) {
+  // A CRC-clean snapshot can still pair sections wrongly (a hand-spliced
+  // file); cheap consistency checks keep such a splice from planting an
+  // entry whose prepared reference disagrees with its key.
+  if (prepared.alpha() != alpha) {
+    return Status::InvalidArgument(
+        "restored prepared reference alpha does not match its cache key");
+  }
+  if (prepared.sorted_reference().size() != original.size()) {
+    return Status::InvalidArgument(
+        "restored prepared reference size does not match its cache key");
+  }
+  const uint64_t fingerprint = ReferenceFingerprint(original, alpha);
+  MutexLock lock(&mutex_);
+  std::vector<Entry>& bucket = entries_[fingerprint];
+  for (const Entry& entry : bucket) {
+    if (entry.alpha == alpha && entry.original == original) {
+      return entry.prepared;
+    }
+  }
+  auto shared =
+      std::make_shared<const PreparedReference>(std::move(prepared));
+  bucket.push_back(Entry{std::move(original), alpha, shared});
+  return shared;
+}
+
+bool PreparedReferenceCache::FindOriginal(const PreparedReference* prepared,
+                                          std::vector<double>* original,
+                                          double* alpha) const {
+  MutexLock lock(&mutex_);
+  for (const auto& [fingerprint, bucket] : entries_) {
+    (void)fingerprint;
+    for (const Entry& entry : bucket) {
+      if (entry.prepared.get() == prepared) {
+        *original = entry.original;
+        *alpha = entry.alpha;
+        return true;
+      }
+    }
+  }
+  return false;
 }
 
 PreparedReferenceCache::Stats PreparedReferenceCache::stats() const {

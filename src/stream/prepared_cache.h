@@ -34,9 +34,15 @@
 namespace moche {
 namespace stream {
 
-/// 64-bit fingerprint of (values, alpha); FNV-1a over the double bits with
-/// -0.0 canonicalized to +0.0 first, so the fingerprint respects the
-/// operator== equality the cache's exact-match guard uses (-0.0 == +0.0).
+/// 64-bit fingerprint of (values, alpha): FNV-1a over an explicit
+/// canonical byte string — the element count as a little-endian u64, then
+/// alpha, then every value as the little-endian bytes of its IEEE-754 bit
+/// pattern (util/binary_io.h), each with -0.0 canonicalized to +0.0 first
+/// so the fingerprint respects the operator== equality the cache's
+/// exact-match guard uses (-0.0 == +0.0). The byte order is pinned, never
+/// host memory order: snapshot shard assignment (src/persist) keys on this
+/// value, so an x86-64 and an aarch64 build must agree bit-for-bit (a
+/// golden-sequence regression test locks the hash down).
 uint64_t ReferenceFingerprint(const std::vector<double>& values, double alpha);
 
 /// Thread-safe intern table of PreparedReferences.
@@ -58,6 +64,27 @@ class PreparedReferenceCache {
   /// InvalidArgument on an empty/non-finite sample or out-of-domain alpha.
   Result<std::shared_ptr<const PreparedReference>> GetOrPrepare(
       const Moche& engine, const std::vector<double>& reference, double alpha);
+
+  /// Interns an entry rebuilt from a snapshot (src/persist): `prepared`
+  /// was deserialized (already validated and sorted), so no engine and no
+  /// re-sort are involved. If (original, alpha) is already interned the
+  /// existing shared entry is returned and `prepared` is dropped — streams
+  /// restored from different shards still converge on one PreparedReference
+  /// per distinct reference, exactly as live interning would. Restores
+  /// count toward neither hits nor misses. InvalidArgument when `prepared`
+  /// is inconsistent with (original, alpha) — wrong alpha, or a sample that
+  /// is not a permutation-by-size of `original` (a cross-section splice in
+  /// an otherwise CRC-clean snapshot).
+  Result<std::shared_ptr<const PreparedReference>> InternRestored(
+      std::vector<double> original, double alpha, PreparedReference prepared);
+
+  /// Reverse lookup for checkpointing: finds the interned entry whose
+  /// shared PreparedReference is exactly `prepared` (pointer identity) and
+  /// copies out the original unsorted key sequence and alpha. Returns false
+  /// when `prepared` was not interned here. O(entries) — checkpointing is
+  /// off the hot path.
+  bool FindOriginal(const PreparedReference* prepared,
+                    std::vector<double>* original, double* alpha) const;
 
   Stats stats() const;
 

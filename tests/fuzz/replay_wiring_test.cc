@@ -54,13 +54,14 @@ TEST(ReplayWiringTest, FuzzDirectoryExists) {
   EXPECT_TRUE(fs::is_regular_file(kFuzzDir / "fuzz_target.h"));
 }
 
-TEST(ReplayWiringTest, AllEightTargetsPresent) {
+TEST(ReplayWiringTest, AllNineTargetsPresent) {
   const std::vector<std::string> stems = DiscoverTargets();
-  // The PR-8 inventory; growing it is fine, shrinking it is not.
+  // The PR-8 inventory plus PR-9's snapshot codec target; growing it is
+  // fine, shrinking it is not.
   for (const char* required :
        {"ks_statistic_fuzz", "streaming_ks_fuzz", "simd_parity_fuzz",
         "bounds_engine_fuzz", "explain_pipeline_fuzz", "drift_monitor_fuzz",
-        "bench_json_fuzz", "parse_double_fuzz"}) {
+        "bench_json_fuzz", "parse_double_fuzz", "snapshot_fuzz"}) {
     EXPECT_TRUE(std::find(stems.begin(), stems.end(), required) !=
                 stems.end())
         << "missing fuzz target " << required;

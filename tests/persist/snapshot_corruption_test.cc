@@ -1,0 +1,222 @@
+// The corruption matrix: every way a checkpoint's bytes can be wrong must
+// fail with a distinct, descriptive Status — never UB, never a crash,
+// never a partially restored monitor. The CI asan-ubsan leg runs this file
+// under -fsanitize=address,undefined, so any out-of-bounds read or
+// overflow a corrupted length could provoke fails the build even when the
+// Status paths happen to look correct.
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "persist/monitor_codec.h"
+#include "persist/snapshot.h"
+#include "stream/drift_monitor.h"
+#include "timeseries/generators.h"
+
+namespace moche {
+namespace persist {
+namespace {
+
+stream::DriftMonitor BuildLoadedMonitor() {
+  auto monitor = stream::DriftMonitor::Create(stream::MonitorOptions{});
+  EXPECT_TRUE(monitor.ok());
+  const std::vector<ts::DriftScenario> scenarios = ts::MakeDriftScenarioSuite(
+      4, /*seed=*/20210817, /*reference_size=*/60, /*length=*/200);
+  for (const ts::DriftScenario& scenario : scenarios) {
+    EXPECT_TRUE(
+        monitor->AddStream(scenario.name, scenario.reference, 40).ok());
+  }
+  std::vector<std::vector<double>> batch(scenarios.size());
+  size_t max_len = 0;
+  for (const ts::DriftScenario& s : scenarios) {
+    max_len = std::max(max_len, s.observations.size());
+  }
+  for (size_t t0 = 0; t0 < max_len; t0 += 32) {
+    for (size_t i = 0; i < scenarios.size(); ++i) {
+      const std::vector<double>& obs = scenarios[i].observations;
+      const size_t begin = std::min(obs.size(), t0);
+      const size_t end = std::min(obs.size(), begin + 32);
+      batch[i].assign(obs.begin() + static_cast<long>(begin),
+                      obs.begin() + static_cast<long>(end));
+    }
+    EXPECT_TRUE(monitor->PushBatch(batch).ok());
+  }
+  return std::move(*monitor);
+}
+
+CheckpointBlobs MakeBlobs(uint32_t num_shards) {
+  stream::DriftMonitor monitor = BuildLoadedMonitor();
+  CheckpointOptions options;
+  options.num_shards = num_shards;
+  auto blobs = MonitorCodec::Serialize(monitor, options);
+  EXPECT_TRUE(blobs.ok()) << blobs.status().ToString();
+  return *blobs;
+}
+
+/// Walks a snapshot's section frames ([id u32][len u64][payload][crc u32]
+/// after the 12-byte header) and returns the byte offset of each section's
+/// payload (or its frame start when the payload is empty) — the spots a
+/// bit flip is guaranteed to be CRC-protected.
+std::vector<size_t> SectionPayloadOffsets(const std::string& bytes) {
+  std::vector<size_t> offsets;
+  size_t pos = kSnapshotMagicSize + 4;
+  while (pos + 12 <= bytes.size()) {
+    uint64_t length = 0;
+    for (int i = 0; i < 8; ++i) {
+      length |= static_cast<uint64_t>(
+                    static_cast<uint8_t>(bytes[pos + 4 + static_cast<size_t>(i)]))
+                << (8 * i);
+    }
+    offsets.push_back(length > 0 ? pos + 12 : pos);
+    pos += 12 + static_cast<size_t>(length) + 4;
+  }
+  return offsets;
+}
+
+TEST(SnapshotCorruptionTest, EmptyAndHeaderlessInputsAreInvalidArgument) {
+  auto empty = SnapshotReader::Open("", "empty.snap");
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(empty.status().message().find("0 bytes"), std::string::npos);
+
+  // Shorter than magic + version: truncation, not a format mismatch.
+  auto stub = SnapshotReader::Open("MOCHSNA", "stub.snap");
+  ASSERT_FALSE(stub.ok());
+  EXPECT_EQ(stub.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(SnapshotCorruptionTest, WrongMagicIsInvalidArgument) {
+  CheckpointBlobs blobs = MakeBlobs(1);
+  blobs.manifest[0] = 'X';
+  auto restored = MonitorCodec::Deserialize(blobs, RestoreOptions{});
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(restored.status().message().find("magic"), std::string::npos);
+}
+
+TEST(SnapshotCorruptionTest, FutureFormatVersionIsUnimplemented) {
+  CheckpointBlobs blobs = MakeBlobs(1);
+  // The version u32 sits right after the 8-byte magic; declare version+1.
+  blobs.manifest[kSnapshotMagicSize] =
+      static_cast<char>(kSnapshotFormatVersion + 1);
+  auto restored = MonitorCodec::Deserialize(blobs, RestoreOptions{});
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kUnimplemented);
+  EXPECT_NE(restored.status().message().find("newer"), std::string::npos);
+
+  // Same rejection when the future version is in a shard, not the
+  // manifest.
+  CheckpointBlobs shard_blobs = MakeBlobs(2);
+  shard_blobs.shards[1][kSnapshotMagicSize] =
+      static_cast<char>(kSnapshotFormatVersion + 1);
+  restored = MonitorCodec::Deserialize(shard_blobs, RestoreOptions{});
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(SnapshotCorruptionTest, EveryTruncationPointFailsCleanly) {
+  const CheckpointBlobs blobs = MakeBlobs(2);
+  // Every proper prefix of the manifest must be rejected; sampling every
+  // prefix length keeps the loop O(n) states on a small blob.
+  for (size_t len = 0; len < blobs.manifest.size();
+       len += std::max<size_t>(1, blobs.manifest.size() / 97)) {
+    CheckpointBlobs truncated = blobs;
+    truncated.manifest.resize(len);
+    auto restored = MonitorCodec::Deserialize(truncated, RestoreOptions{});
+    EXPECT_FALSE(restored.ok()) << "manifest truncated to " << len;
+  }
+  for (size_t len = 0; len < blobs.shards[0].size();
+       len += std::max<size_t>(1, blobs.shards[0].size() / 97)) {
+    CheckpointBlobs truncated = blobs;
+    truncated.shards[0].resize(len);
+    auto restored = MonitorCodec::Deserialize(truncated, RestoreOptions{});
+    EXPECT_FALSE(restored.ok()) << "shard 0 truncated to " << len;
+  }
+}
+
+TEST(SnapshotCorruptionTest, ZeroLengthShardIsRejected) {
+  CheckpointBlobs blobs = MakeBlobs(3);
+  blobs.shards[2].clear();
+  auto restored = MonitorCodec::Deserialize(blobs, RestoreOptions{});
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(restored.status().message().find("0 bytes"), std::string::npos);
+}
+
+TEST(SnapshotCorruptionTest, MissingOrExtraShardsAreRejected) {
+  const CheckpointBlobs blobs = MakeBlobs(2);
+  CheckpointBlobs missing = blobs;
+  missing.shards.pop_back();
+  EXPECT_FALSE(MonitorCodec::Deserialize(missing, RestoreOptions{}).ok());
+  CheckpointBlobs extra = blobs;
+  extra.shards.push_back(blobs.shards[0]);
+  EXPECT_FALSE(MonitorCodec::Deserialize(extra, RestoreOptions{}).ok());
+  // Swapped shard files: each shard carries its own index, so shard 1's
+  // bytes under shard 0's slot must be caught.
+  CheckpointBlobs swapped = blobs;
+  std::swap(swapped.shards[0], swapped.shards[1]);
+  EXPECT_FALSE(MonitorCodec::Deserialize(swapped, RestoreOptions{}).ok());
+}
+
+TEST(SnapshotCorruptionTest, BitFlipInEverySectionIsCaughtByItsCrc) {
+  const CheckpointBlobs blobs = MakeBlobs(2);
+  const std::vector<const std::string*> files = {
+      &blobs.manifest, &blobs.shards[0], &blobs.shards[1]};
+  for (size_t f = 0; f < files.size(); ++f) {
+    const std::vector<size_t> offsets = SectionPayloadOffsets(*files[f]);
+    ASSERT_FALSE(offsets.empty()) << "file " << f << " has no sections";
+    for (size_t offset : offsets) {
+      CheckpointBlobs flipped = blobs;
+      std::string& victim =
+          f == 0 ? flipped.manifest : flipped.shards[f - 1];
+      victim[offset] = static_cast<char>(victim[offset] ^ 0x01);
+      auto restored = MonitorCodec::Deserialize(flipped, RestoreOptions{});
+      ASSERT_FALSE(restored.ok())
+          << "file " << f << ", flip at byte " << offset;
+      EXPECT_NE(restored.status().message().find("CRC32C"),
+                std::string::npos)
+          << "file " << f << ", flip at byte " << offset << ": "
+          << restored.status().ToString();
+    }
+  }
+}
+
+TEST(SnapshotCorruptionTest, HostileLengthFieldsCannotAllocate) {
+  // A CRC-clean snapshot whose manifest declares absurd counts: the codec
+  // must bound every allocation by the actual bytes available, so this
+  // returns a Status instead of attempting a 2^60-element reserve. The
+  // container is built by hand with a valid CRC per section.
+  std::string manifest;
+  SnapshotWriter writer(&manifest);
+  std::string* payload = writer.BeginSection(1);  // manifest section id
+  bin::AppendU32Le(1, payload);                   // num_shards
+  bin::AppendU64Le(1ull << 60, payload);          // num_streams: hostile
+  bin::AppendU64Le(1ull << 60, payload);          // num_events: hostile
+  bin::AppendU64Le(0, payload);                   // explanations_total
+  bin::AppendDoubleLe(0.05, payload);             // alpha
+  bin::AppendU8(0, payload);                      // rearm
+  bin::AppendU64Le(0, payload);                   // explain_every_k
+  bin::AppendU8(0, payload);                      // preference
+  bin::AppendU8(0, payload);                      // moche bools
+  bin::AppendU8(0, payload);
+  bin::AppendU8(0, payload);
+  writer.EndSection();
+
+  CheckpointBlobs hostile;
+  hostile.manifest = manifest;
+  std::string shard;
+  SnapshotWriter shard_writer(&shard);
+  shard_writer.BeginSection(2);  // truncated shard: header section only
+  shard_writer.EndSection();
+  hostile.shards.push_back(shard);
+  auto restored = MonitorCodec::Deserialize(hostile, RestoreOptions{});
+  EXPECT_FALSE(restored.ok());
+}
+
+}  // namespace
+}  // namespace persist
+}  // namespace moche

@@ -1,0 +1,261 @@
+// Round-trip identity of the snapshot stack, bottom-up: the CRC32C known
+// answer, the sectioned container, the atomic file commit, and the full
+// monitor codec — serialize -> deserialize -> serialize must be a byte
+// fixed point, and a restored monitor must be observably identical to the
+// one that was checkpointed (events, stream state, interned references)
+// and continue identically when fed the remaining observations.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "persist/crc32c.h"
+#include "persist/monitor_codec.h"
+#include "persist/snapshot.h"
+#include "stream/drift_monitor.h"
+#include "timeseries/generators.h"
+
+namespace moche {
+namespace persist {
+namespace {
+
+// A monitor mid-deployment: drift-scenario streams fully replayed in
+// lockstep batches, so the checkpoint carries filled windows, excursion
+// state, and a non-empty event log.
+stream::DriftMonitor BuildLoadedMonitor(size_t streams, size_t batch_ticks) {
+  stream::MonitorOptions options;
+  options.rearm = stream::RearmPolicy::kOncePerExcursion;
+  auto monitor = stream::DriftMonitor::Create(options);
+  EXPECT_TRUE(monitor.ok()) << monitor.status().ToString();
+  const std::vector<ts::DriftScenario> scenarios = ts::MakeDriftScenarioSuite(
+      streams, /*seed=*/20210817, /*reference_size=*/60, /*length=*/200);
+  for (const ts::DriftScenario& scenario : scenarios) {
+    auto index = monitor->AddStream(scenario.name, scenario.reference,
+                                    /*window_size=*/40);
+    EXPECT_TRUE(index.ok()) << index.status().ToString();
+  }
+  size_t max_len = 0;
+  for (const ts::DriftScenario& s : scenarios) {
+    max_len = std::max(max_len, s.observations.size());
+  }
+  std::vector<std::vector<double>> batch(scenarios.size());
+  for (size_t t0 = 0; t0 < max_len; t0 += batch_ticks) {
+    for (size_t i = 0; i < scenarios.size(); ++i) {
+      const std::vector<double>& obs = scenarios[i].observations;
+      const size_t begin = std::min(obs.size(), t0);
+      const size_t end = std::min(obs.size(), begin + batch_ticks);
+      batch[i].assign(obs.begin() + static_cast<long>(begin),
+                      obs.begin() + static_cast<long>(end));
+    }
+    EXPECT_TRUE(monitor->PushBatch(batch).ok());
+  }
+  return std::move(*monitor);
+}
+
+TEST(Crc32cTest, KnownAnswerAndIncrementalExtension) {
+  // The canonical CRC32C check value: "123456789" -> 0xE3069283 (iSCSI,
+  // RFC 3720 appendix; every conforming implementation agrees).
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(Crc32c(""), 0u);
+  // Extension composes: Crc32c(ab) == ExtendCrc32c(Crc32c(a), b).
+  EXPECT_EQ(ExtendCrc32c(Crc32c("12345"), "6789", 4), 0xE3069283u);
+  // Sensitivity: one flipped bit anywhere changes the sum.
+  EXPECT_NE(Crc32c("123456788"), 0xE3069283u);
+}
+
+TEST(SnapshotContainerTest, SectionsRoundTripInOrder) {
+  std::string bytes;
+  SnapshotWriter writer(&bytes);
+  std::string* payload = writer.BeginSection(7);
+  bin::AppendU64Le(0xDEADBEEFull, payload);
+  writer.EndSection();
+  payload = writer.BeginSection(9);  // empty payload is legal
+  writer.EndSection();
+
+  // Header: magic + version, little-endian.
+  ASSERT_GE(bytes.size(), kSnapshotMagicSize + 4);
+  EXPECT_EQ(bytes.substr(0, kSnapshotMagicSize), "MOCHSNAP");
+  EXPECT_EQ(static_cast<uint8_t>(bytes[kSnapshotMagicSize]),
+            kSnapshotFormatVersion);
+
+  auto reader = SnapshotReader::Open(bytes, "test.snap");
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  SnapshotSection section;
+  bool done = false;
+  ASSERT_TRUE(reader->Next(&section, &done).ok());
+  ASSERT_FALSE(done);
+  EXPECT_EQ(section.id, 7u);
+  ASSERT_EQ(section.payload.size(), 8u);
+  bin::Reader payload_reader(section.payload);
+  uint64_t value = 0;
+  ASSERT_TRUE(payload_reader.ReadU64Le(&value));
+  EXPECT_EQ(value, 0xDEADBEEFull);
+  ASSERT_TRUE(reader->Next(&section, &done).ok());
+  ASSERT_FALSE(done);
+  EXPECT_EQ(section.id, 9u);
+  EXPECT_TRUE(section.payload.empty());
+  ASSERT_TRUE(reader->Next(&section, &done).ok());
+  EXPECT_TRUE(done);
+}
+
+TEST(SnapshotContainerTest, AtomicWriteFileCommitsAndLeavesNoTemp) {
+  const std::string path = ::testing::TempDir() + "atomic_write_test.snap";
+  ASSERT_TRUE(AtomicWriteFile(path, "first contents").ok());
+  auto bytes = ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, "first contents");
+  // Overwrite goes through the same tmp+rename commit.
+  ASSERT_TRUE(AtomicWriteFile(path, "second").ok());
+  bytes = ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, "second");
+  // The staging file never survives a successful commit.
+  EXPECT_FALSE(ReadFileToString(path + ".tmp").ok());
+  std::remove(path.c_str());
+}
+
+TEST(MonitorCodecTest, SerializeDeserializeSerializeIsAByteFixedPoint) {
+  stream::DriftMonitor monitor = BuildLoadedMonitor(/*streams=*/6,
+                                                    /*batch_ticks=*/32);
+  ASSERT_FALSE(monitor.events().empty())
+      << "workload produced no drift events; the round-trip would be "
+         "vacuous";
+
+  CheckpointOptions options;
+  options.num_shards = 3;
+  auto blobs = MonitorCodec::Serialize(monitor, options);
+  ASSERT_TRUE(blobs.ok()) << blobs.status().ToString();
+  ASSERT_EQ(blobs->shards.size(), 3u);
+
+  auto restored = MonitorCodec::Deserialize(*blobs, RestoreOptions{});
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  auto again = MonitorCodec::Serialize(*restored, options);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->manifest, blobs->manifest);
+  for (size_t i = 0; i < blobs->shards.size(); ++i) {
+    EXPECT_EQ(again->shards[i], blobs->shards[i]) << "shard " << i;
+  }
+
+  // Observable identity: events (and their FormatEventLog rendering),
+  // stream metadata, interned reference count.
+  EXPECT_TRUE(stream::SameEventLogs(monitor.events(), restored->events()));
+  EXPECT_EQ(FormatEventLog(restored->events()),
+            FormatEventLog(monitor.events()));
+  ASSERT_EQ(restored->num_streams(), monitor.num_streams());
+  for (size_t i = 0; i < monitor.num_streams(); ++i) {
+    EXPECT_EQ(restored->stream_name(i), monitor.stream_name(i));
+    EXPECT_EQ(restored->stream_ticks(i), monitor.stream_ticks(i));
+    EXPECT_EQ(restored->stream_in_excursion(i),
+              monitor.stream_in_excursion(i));
+  }
+  EXPECT_EQ(restored->cache_stats().entries, monitor.cache_stats().entries);
+  const stream::DriftMonitor::Stats original_stats = monitor.stats();
+  const stream::DriftMonitor::Stats restored_stats = restored->stats();
+  EXPECT_EQ(restored_stats.observations, original_stats.observations);
+  EXPECT_EQ(restored_stats.drift_ticks, original_stats.drift_ticks);
+  EXPECT_EQ(restored_stats.explanations, original_stats.explanations);
+}
+
+TEST(MonitorCodecTest, ShardCountChangesBytesButNotTheRestoredState) {
+  stream::DriftMonitor monitor = BuildLoadedMonitor(/*streams=*/4,
+                                                    /*batch_ticks=*/32);
+  for (uint32_t shards : {1u, 2u, 5u}) {
+    CheckpointOptions options;
+    options.num_shards = shards;
+    auto blobs = MonitorCodec::Serialize(monitor, options);
+    ASSERT_TRUE(blobs.ok()) << "shards=" << shards;
+    ASSERT_EQ(blobs->shards.size(), shards);
+    auto restored = MonitorCodec::Deserialize(*blobs, RestoreOptions{});
+    ASSERT_TRUE(restored.ok())
+        << "shards=" << shards << ": " << restored.status().ToString();
+    EXPECT_TRUE(stream::SameEventLogs(monitor.events(), restored->events()))
+        << "shards=" << shards;
+  }
+  CheckpointOptions zero;
+  zero.num_shards = 0;
+  EXPECT_FALSE(MonitorCodec::Serialize(monitor, zero).ok());
+}
+
+TEST(MonitorCodecTest, RestoredMonitorContinuesIdentically) {
+  stream::DriftMonitor monitor = BuildLoadedMonitor(/*streams=*/4,
+                                                    /*batch_ticks=*/32);
+  auto blobs = MonitorCodec::Serialize(monitor, CheckpointOptions{});
+  ASSERT_TRUE(blobs.ok());
+  auto restored = MonitorCodec::Deserialize(*blobs, RestoreOptions{});
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  // Feed both the SAME fresh batches: a shifted regime that forces new
+  // excursions. The logs must stay bit-identical push for push — the
+  // restored detector treaps, re-arm state, and tick counters all have to
+  // agree, not just the recorded history.
+  std::vector<std::vector<double>> batch(monitor.num_streams());
+  for (int round = 0; round < 6; ++round) {
+    for (size_t s = 0; s < monitor.num_streams(); ++s) {
+      batch[s].clear();
+      for (int t = 0; t < 10; ++t) {
+        batch[s].push_back(round < 3 ? 1000.0 + t : 0.5 * t);
+      }
+    }
+    ASSERT_TRUE(monitor.PushBatch(batch).ok());
+    ASSERT_TRUE(restored->PushBatch(batch).ok());
+    ASSERT_TRUE(stream::SameEventLogs(monitor.events(), restored->events()))
+        << "diverged at round " << round;
+  }
+}
+
+TEST(MonitorCodecTest, CheckpointDirectoryRoundTripsThroughDisk) {
+  stream::DriftMonitor monitor = BuildLoadedMonitor(/*streams=*/4,
+                                                    /*batch_ticks=*/32);
+  const std::string dir = ::testing::TempDir() + "roundtrip_ckpt";
+  CheckpointOptions options;
+  options.num_shards = 2;
+  ASSERT_TRUE(CheckpointMonitor(monitor, dir, options).ok());
+
+  // The committed layout: manifest + one file per shard, no temp files.
+  EXPECT_TRUE(ReadFileToString(dir + "/" + kManifestFileName).ok());
+  EXPECT_TRUE(ReadFileToString(dir + "/" + ShardFileName(0)).ok());
+  EXPECT_TRUE(ReadFileToString(dir + "/" + ShardFileName(1)).ok());
+  EXPECT_FALSE(ReadFileToString(dir + "/" + ShardFileName(2)).ok());
+
+  auto restored = RestoreMonitor(dir);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_TRUE(stream::SameEventLogs(monitor.events(), restored->events()));
+
+  // A second checkpoint overwrites in place (the steady-state cadence).
+  ASSERT_TRUE(CheckpointMonitor(monitor, dir, options).ok());
+  restored = RestoreMonitor(dir);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(stream::SameEventLogs(monitor.events(), restored->events()));
+
+  EXPECT_EQ(RestoreMonitor(::testing::TempDir() + "no_such_ckpt")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(MonitorCodecTest, RestoreThreadCountIsAFreeChoice) {
+  stream::DriftMonitor monitor = BuildLoadedMonitor(/*streams=*/4,
+                                                    /*batch_ticks=*/32);
+  auto blobs = MonitorCodec::Serialize(monitor, CheckpointOptions{});
+  ASSERT_TRUE(blobs.ok());
+  RestoreOptions parallel;
+  parallel.num_threads = 4;
+  auto restored = MonitorCodec::Deserialize(*blobs, parallel);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_TRUE(stream::SameEventLogs(monitor.events(), restored->events()));
+  // num_threads is restore-time state, not snapshot state: re-serializing
+  // the parallel restore still reproduces the original bytes.
+  auto again = MonitorCodec::Serialize(*restored, CheckpointOptions{});
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->manifest, blobs->manifest);
+  EXPECT_EQ(again->shards, blobs->shards);
+}
+
+}  // namespace
+}  // namespace persist
+}  // namespace moche

@@ -38,6 +38,22 @@ TEST(ReferenceFingerprintTest, CanonicalizesSignedZero) {
             ReferenceFingerprint({0.0, 1.0, 2.5}, 0.05));
 }
 
+// Golden-sequence regression: the fingerprint is a cross-platform wire
+// contract — snapshot shard assignment (src/persist/monitor_codec.cc) keys
+// on `fingerprint % num_shards`, so the hash of a fixed sequence must
+// never drift across builds, hosts, or byte orders. The constants pin the
+// documented derivation: FNV-1a (offset 14695981039346656037, prime
+// 1099511628211) over count:u64le, canonical alpha:f64le, values:f64le
+// with -0.0 canonicalized to +0.0. If this test fails, the change broke
+// every existing checkpoint's shard layout — that needs a snapshot format
+// version bump, not a test update.
+TEST(ReferenceFingerprintTest, GoldenSequencesPinTheWireHash) {
+  const std::vector<double> golden{1.0, 2.5, -3.0, -0.0, 1e300, 0.125};
+  EXPECT_EQ(ReferenceFingerprint(golden, 0.05), 0x14114b19bbb53b30ull);
+  EXPECT_EQ(ReferenceFingerprint({}, 0.05), 0xe72227bb1035cd54ull);
+  EXPECT_EQ(ReferenceFingerprint({42.0}, 1.9999), 0xf546d57958226be7ull);
+}
+
 TEST(PreparedReferenceCacheTest, SignedZeroReferencesShareOneEntry) {
   Moche engine;
   PreparedReferenceCache cache;
@@ -104,6 +120,76 @@ TEST(PreparedReferenceCacheTest, PropagatesPrepareErrors) {
   EXPECT_FALSE(cache.GetOrPrepare(engine, {1.0, NAN}, 0.05).ok());
   EXPECT_FALSE(cache.GetOrPrepare(engine, {1.0, 2.0}, 0.0).ok());
   EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(PreparedReferenceCacheTest, InternRestoredConvergesOnOneEntry) {
+  Moche engine;
+  const std::vector<double> ref{5.0, 1.0, 3.0, 2.0, 4.0};
+  auto prepared = engine.Prepare(ref, 0.05);
+  ASSERT_TRUE(prepared.ok());
+
+  // Fresh cache (a restore into an empty monitor): the restored entry is
+  // interned as-is, without touching the hit/miss counters.
+  PreparedReferenceCache cache;
+  auto restored = cache.InternRestored(ref, 0.05, *prepared);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ((*restored)->sorted_reference(),
+            (std::vector<double>{1.0, 2.0, 3.0, 4.0, 5.0}));
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+
+  // A second shard restoring the same (original, alpha) converges on the
+  // already-interned object.
+  auto prepared2 = engine.Prepare(ref, 0.05);
+  ASSERT_TRUE(prepared2.ok());
+  auto again = cache.InternRestored(ref, 0.05, *prepared2);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->get(), restored->get());
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(PreparedReferenceCacheTest, InternRestoredRejectsInconsistentSplices) {
+  Moche engine;
+  PreparedReferenceCache cache;
+  const std::vector<double> ref{1.0, 2.0, 3.0};
+  auto prepared = engine.Prepare(ref, 0.05);
+  ASSERT_TRUE(prepared.ok());
+
+  // A CRC-clean snapshot could still pair a prepared sample with the wrong
+  // original (a cross-section splice); the consistency checks catch it.
+  auto wrong_alpha = cache.InternRestored(ref, 0.01, *prepared);
+  EXPECT_FALSE(wrong_alpha.ok());
+  auto wrong_size = cache.InternRestored({1.0, 2.0}, 0.05, *prepared);
+  EXPECT_FALSE(wrong_size.ok());
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(PreparedReferenceCacheTest, FindOriginalRecoversTheUnsortedKey) {
+  Moche engine;
+  PreparedReferenceCache cache;
+  const std::vector<double> ref_a{5.0, 1.0, 3.0};  // deliberately unsorted
+  const std::vector<double> ref_b{9.0, 8.0, 7.0};
+  auto a = cache.GetOrPrepare(engine, ref_a, 0.05);
+  auto b = cache.GetOrPrepare(engine, ref_b, 0.01);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+
+  std::vector<double> original;
+  double alpha = 0.0;
+  ASSERT_TRUE(cache.FindOriginal(a->get(), &original, &alpha));
+  EXPECT_EQ(original, ref_a);  // the raw sequence, not the sorted one
+  EXPECT_EQ(alpha, 0.05);
+  ASSERT_TRUE(cache.FindOriginal(b->get(), &original, &alpha));
+  EXPECT_EQ(original, ref_b);
+  EXPECT_EQ(alpha, 0.01);
+
+  // Pointer identity, not value equality: an equal reference prepared
+  // outside the cache is not interned here.
+  auto foreign = engine.Prepare(ref_a, 0.05);
+  ASSERT_TRUE(foreign.ok());
+  EXPECT_FALSE(cache.FindOriginal(&*foreign, &original, &alpha));
 }
 
 TEST(PreparedReferenceCacheTest, ConcurrentGetOrPrepareIsSafe) {

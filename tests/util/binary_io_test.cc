@@ -1,0 +1,161 @@
+// The canonical little-endian codec under src/util/binary_io.h: exact
+// byte layouts (the snapshot format's wire contract), bit-exact double
+// round-trips including the adversarial corners, and the Reader's
+// untrusted-input discipline — every bounds violation returns false with
+// the cursor unmoved and the output untouched.
+
+#include "util/binary_io.h"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace moche {
+namespace bin {
+namespace {
+
+TEST(BinaryIoTest, IntegerLayoutsAreLittleEndian) {
+  std::string out;
+  AppendU8(0xAB, &out);
+  AppendU32Le(0x01020304u, &out);
+  AppendU64Le(0x1122334455667788ull, &out);
+  const std::string expected{
+      '\xAB',                                            // u8
+      '\x04', '\x03', '\x02', '\x01',                    // u32, LSB first
+      '\x88', '\x77', '\x66', '\x55',                    // u64, LSB first
+      '\x44', '\x33', '\x22', '\x11'};
+  EXPECT_EQ(out, expected);
+
+  Reader reader(out);
+  uint8_t u8 = 0;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  ASSERT_TRUE(reader.ReadU8(&u8));
+  ASSERT_TRUE(reader.ReadU32Le(&u32));
+  ASSERT_TRUE(reader.ReadU64Le(&u64));
+  EXPECT_EQ(u8, 0xAB);
+  EXPECT_EQ(u32, 0x01020304u);
+  EXPECT_EQ(u64, 0x1122334455667788ull);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(BinaryIoTest, DoublesRoundTripBitExactly) {
+  const std::vector<double> corners = {
+      0.0,
+      -0.0,
+      1.0,
+      -1.0,
+      std::numeric_limits<double>::denorm_min(),
+      -std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::min(),
+      std::numeric_limits<double>::max(),
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::quiet_NaN(),
+      0.1,  // not representable exactly: the decimal-text trap
+  };
+  std::string out;
+  for (double v : corners) AppendDoubleLe(v, &out);
+  Reader reader(out);
+  for (double v : corners) {
+    double got = 12345.0;
+    ASSERT_TRUE(reader.ReadDoubleLe(&got));
+    EXPECT_EQ(DoubleBits(got), DoubleBits(v))
+        << "bit pattern changed for " << v;
+  }
+  // -0.0 and +0.0 compare equal but must stay distinct on the wire.
+  EXPECT_NE(DoubleBits(0.0), DoubleBits(-0.0));
+}
+
+TEST(BinaryIoTest, DoubleWireFormatIsTheLittleEndianBitPattern) {
+  std::string out;
+  AppendDoubleLe(1.0, &out);  // bits 0x3FF0000000000000
+  const std::string expected{'\x00', '\x00', '\x00', '\x00',
+                             '\x00', '\x00', '\xF0', '\x3F'};
+  EXPECT_EQ(out, expected);
+}
+
+TEST(BinaryIoTest, StringsAndArraysRoundTrip) {
+  std::string out;
+  AppendString("", &out);
+  AppendString(std::string_view("nul\0byte", 8), &out);
+  AppendDoubleArray({}, &out);
+  AppendDoubleArray({-0.0, 3.5, -2.25}, &out);
+
+  Reader reader(out);
+  std::string s;
+  ASSERT_TRUE(reader.ReadString(&s));
+  EXPECT_TRUE(s.empty());
+  ASSERT_TRUE(reader.ReadString(&s));
+  EXPECT_EQ(s, std::string_view("nul\0byte", 8));
+  std::vector<double> values{1.0};
+  ASSERT_TRUE(reader.ReadDoubleArray(&values));
+  EXPECT_TRUE(values.empty());
+  ASSERT_TRUE(reader.ReadDoubleArray(&values));
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_EQ(DoubleBits(values[0]), DoubleBits(-0.0));
+  EXPECT_EQ(values[1], 3.5);
+  EXPECT_EQ(values[2], -2.25);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(BinaryIoTest, ReaderRejectsShortBuffersWithoutMovingTheCursor) {
+  const std::string three{'\x01', '\x02', '\x03'};
+  Reader reader(three);
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  double d = 0.0;
+  EXPECT_FALSE(reader.ReadU32Le(&u32));
+  EXPECT_FALSE(reader.ReadU64Le(&u64));
+  EXPECT_FALSE(reader.ReadDoubleLe(&d));
+  EXPECT_EQ(reader.pos(), 0u);
+  EXPECT_EQ(reader.remaining(), 3u);
+  uint8_t u8 = 0;
+  ASSERT_TRUE(reader.ReadU8(&u8));
+  EXPECT_EQ(u8, 0x01);
+  EXPECT_EQ(reader.pos(), 1u);
+}
+
+TEST(BinaryIoTest, CorruptedLengthPrefixesRejectBeforeAllocating) {
+  // A string claiming 2^60 bytes in a 12-byte buffer: must fail cleanly
+  // with the cursor reset, not attempt the allocation.
+  std::string out;
+  AppendU64Le(1ull << 60, &out);
+  out.append("abcd");
+  {
+    Reader reader(out);
+    std::string s = "sentinel";
+    EXPECT_FALSE(reader.ReadString(&s));
+    EXPECT_EQ(s, "sentinel");
+    EXPECT_EQ(reader.pos(), 0u);
+  }
+  {
+    // Same hostile count as a double-array prefix.
+    Reader reader(out);
+    std::vector<double> values{7.0};
+    EXPECT_FALSE(reader.ReadDoubleArray(&values));
+    EXPECT_EQ(values.size(), 1u);
+    EXPECT_EQ(reader.pos(), 0u);
+  }
+}
+
+TEST(BinaryIoTest, ReadBytesAndSkipBoundsCheck) {
+  const std::string buf = "abcdef";
+  Reader reader(buf);
+  std::string_view view;
+  EXPECT_FALSE(reader.ReadBytes(7, &view));
+  ASSERT_TRUE(reader.ReadBytes(3, &view));
+  EXPECT_EQ(view, "abc");
+  EXPECT_FALSE(reader.Skip(4));
+  ASSERT_TRUE(reader.Skip(3));
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+}  // namespace
+}  // namespace bin
+}  // namespace moche
