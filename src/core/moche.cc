@@ -213,6 +213,90 @@ Status Moche::EvaluateBatchPrepared(const PreparedReference& prepared,
   return Status::OK();
 }
 
+Result<sketch::SketchTriage> Moche::TriageSketched(
+    const sketch::SketchedReference& sketched,
+    const std::vector<double>& test) const {
+  ExplainWorkspace workspace;
+  sketch::SketchTriage triage;
+  MOCHE_RETURN_IF_ERROR(
+      TriageSketchedInto(sketched, test, &workspace, &triage));
+  return triage;
+}
+
+Status Moche::TriageSketchedInto(const sketch::SketchedReference& sketched,
+                                 const std::vector<double>& test,
+                                 ExplainWorkspace* workspace,
+                                 sketch::SketchTriage* triage) const {
+  MOCHE_RETURN_IF_ERROR(ks::ValidateSample(test, "test set"));
+  std::vector<double>& test_sorted = workspace->test_sorted_;
+  test_sorted.assign(test.begin(), test.end());
+  std::sort(test_sorted.begin(), test_sorted.end());
+  *triage = sketched.Classify(sketched.StatisticAgainstSorted(test_sorted),
+                              test_sorted.size());
+  return Status::OK();
+}
+
+Status Moche::EvaluateBatchSketched(
+    const sketch::SketchedReference& sketched, const WindowBatch& batch,
+    ExplainWorkspace* workspace,
+    std::vector<sketch::SketchTriage>* triages) const {
+  if (batch.count == 0) {
+    triages->clear();
+    return Status::OK();
+  }
+  if (batch.width == 0) {
+    return Status::InvalidArgument("batch windows must be non-empty");
+  }
+  if (batch.data == nullptr) {
+    return Status::InvalidArgument("batch data is null");
+  }
+  // Same flat finiteness scan as EvaluateBatchPrepared: one kernel call
+  // over count * width doubles keeps the SIMD lanes full.
+  if (!simd::ActiveKernels().all_finite(batch.data,
+                                        batch.count * batch.width)) {
+    return Status::InvalidArgument("test window contains a non-finite value");
+  }
+  triages->resize(batch.count);
+  ExplainWorkspace& ws = *workspace;
+  for (size_t w = 0; w < batch.count; ++w) {
+    const double* window = batch.data + w * batch.width;
+    std::vector<double>& test_sorted = ws.test_sorted_;
+    test_sorted.assign(window, window + batch.width);
+    std::sort(test_sorted.begin(), test_sorted.end());
+    // Classify recomputes the threshold per window, but from cheap scalar
+    // arithmetic on identical (n, m, alpha) — bit-identical across the
+    // batch, so no behavior depends on hoisting it.
+    (*triages)[w] = sketched.Classify(
+        sketched.StatisticAgainstSorted(test_sorted), batch.width);
+  }
+  return Status::OK();
+}
+
+Result<MocheReport> Moche::ExplainSketched(
+    const sketch::SketchedReference& sketched,
+    const PreparedReference& exact, const std::vector<double>& test,
+    const PreferenceList& preference, sketch::SketchTriage* triage) const {
+  if (exact.sorted_reference().size() != sketched.count() ||
+      exact.alpha() != sketched.alpha()) {
+    return Status::InvalidArgument(
+        "sketched and exact references disagree on sample size or alpha; "
+        "ExplainSketched needs both built over the same reference");
+  }
+  ExplainWorkspace workspace;
+  sketch::SketchTriage local;
+  MOCHE_RETURN_IF_ERROR(
+      TriageSketchedInto(sketched, test, &workspace, &local));
+  if (triage != nullptr) *triage = local;
+  if (local.verdict == sketch::TriageVerdict::kCertainPass) {
+    return Status::AlreadyPasses(
+        "certified by the sketched reference: R and T pass the KS test");
+  }
+  MocheReport report;
+  MOCHE_RETURN_IF_ERROR(
+      ExplainPreparedInto(exact, test, preference, &workspace, &report));
+  return report;
+}
+
 Result<SizeSearchResult> Moche::FindExplanationSize(
     const std::vector<double>& reference, const std::vector<double>& test,
     double alpha) const {

@@ -37,6 +37,7 @@
 #include "core/preference.h"
 #include "core/size_search.h"
 #include "core/workspace.h"
+#include "sketch/sketched_reference.h"
 #include "util/binary_io.h"
 #include "util/status.h"
 
@@ -210,6 +211,52 @@ class Moche {
                                const WindowBatch& batch,
                                ExplainWorkspace* workspace,
                                std::vector<KsOutcome>* outcomes) const;
+
+  /// Certified three-way KS triage of one test window against a sketched
+  /// reference (sketch/sketched_reference.h): computes the exact weighted
+  /// sweep statistic D_sketch against the sketch summary, brackets the
+  /// true two-sample D in [D_sketch - eps, D_sketch + eps], and compares
+  /// the bracket to the KS threshold. kCertainPass / kCertainFail verdicts
+  /// are *certified*: the exact ks::Run decision on (R, T) is guaranteed
+  /// to agree; kUncertain means only the exact path can decide. Costs
+  /// O(m log m + summary) — independent of the reference size n.
+  Result<sketch::SketchTriage> TriageSketched(
+      const sketch::SketchedReference& sketched,
+      const std::vector<double>& test) const;
+
+  /// Zero-allocation-once-warm variant of TriageSketched: the test window
+  /// is sorted into `workspace` and the verdict written to `*triage`
+  /// (meaningful only when the returned Status is OK). The stream
+  /// monitor's sketched mode runs this per push.
+  Status TriageSketchedInto(const sketch::SketchedReference& sketched,
+                            const std::vector<double>& test,
+                            ExplainWorkspace* workspace,
+                            sketch::SketchTriage* triage) const;
+
+  /// Batched triage: as EvaluateBatchPrepared but against the sketch,
+  /// writing (*triages)[w] for window w. One flat SIMD finiteness pass,
+  /// one hoisted threshold, zero allocation once `workspace` and
+  /// `triages` are warm.
+  Status EvaluateBatchSketched(const sketch::SketchedReference& sketched,
+                               const WindowBatch& batch,
+                               ExplainWorkspace* workspace,
+                               std::vector<sketch::SketchTriage>* triages)
+      const;
+
+  /// Sketch-gated explanation: triages first and short-circuits a
+  /// certified pass to AlreadyPasses WITHOUT touching the exact reference
+  /// — the common healthy-window case never pays O(n). Certified fails
+  /// and uncertain verdicts fall through to the exact ExplainPrepared
+  /// path on `exact`, which must be prepared over the same reference
+  /// sample and alpha the sketch summarizes (checked by count and alpha;
+  /// InvalidArgument on mismatch). When `triage` is non-null the verdict
+  /// is copied out either way. Reports on the fallthrough path are
+  /// bit-identical to ExplainPrepared.
+  Result<MocheReport> ExplainSketched(
+      const sketch::SketchedReference& sketched,
+      const PreparedReference& exact, const std::vector<double>& test,
+      const PreferenceList& preference,
+      sketch::SketchTriage* triage = nullptr) const;
 
   const MocheOptions& options() const { return options_; }
 

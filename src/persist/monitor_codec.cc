@@ -5,11 +5,14 @@
 #include <cerrno>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <utility>
 
 #include "persist/snapshot.h"
+#include "sketch/sketched_reference.h"
 #include "util/binary_io.h"
 #include "util/mutex.h"
+#include "util/simd.h"
 #include "util/string_util.h"
 
 namespace moche {
@@ -21,6 +24,7 @@ using stream::DriftEvent;
 using stream::DriftMonitor;
 using stream::MonitorOptions;
 using stream::RearmPolicy;
+using stream::ReferenceMode;
 using stream::WindowPreference;
 
 // Section ids (docs/SNAPSHOT.md). Values are part of the on-disk format:
@@ -168,6 +172,10 @@ void AppendManifest(const Manifest& manifest, std::string* out) {
   bin::AppendU8(o.moche.use_lower_bound ? 1 : 0, out);
   bin::AppendU8(o.moche.incremental_partial_check ? 1 : 0, out);
   bin::AppendU8(o.moche.validate_result ? 1 : 0, out);
+  // Format v2 fields (docs/SNAPSHOT.md); version-1 manifests end above.
+  bin::AppendU8(static_cast<uint8_t>(o.reference_mode), out);
+  bin::AppendU64Le(static_cast<uint64_t>(o.sketch_k), out);
+  bin::AppendU64Le(static_cast<uint64_t>(o.cache_capacity), out);
 }
 
 Status ParseManifest(std::string_view bytes, Manifest* out) {
@@ -195,6 +203,24 @@ Status ParseManifest(std::string_view bytes, Manifest* out) {
     return Status::OutOfRange(
         StrFormat("%s: manifest section truncated", what.c_str()));
   }
+  if (reader.version() >= 2) {
+    uint8_t mode = 0;
+    uint64_t sketch_k = 0;
+    uint64_t cache_capacity = 0;
+    if (!r.ReadU8(&mode) || !r.ReadU64Le(&sketch_k) ||
+        !r.ReadU64Le(&cache_capacity)) {
+      return Status::OutOfRange(
+          StrFormat("%s: manifest section truncated", what.c_str()));
+    }
+    if (mode > static_cast<uint8_t>(ReferenceMode::kSketched)) {
+      return Status::InvalidArgument(
+          StrFormat("%s: %u is not a reference mode", what.c_str(), mode));
+    }
+    out->options.reference_mode = static_cast<ReferenceMode>(mode);
+    out->options.sketch_k = static_cast<size_t>(sketch_k);
+    out->options.cache_capacity = static_cast<size_t>(cache_capacity);
+  }
+  // A version-1 manifest simply ends here; the defaults (kExact) stand.
   if (!r.AtEnd()) {
     return Status::InvalidArgument(
         StrFormat("%s: manifest section has trailing bytes", what.c_str()));
@@ -229,18 +255,25 @@ Status ParseManifest(std::string_view bytes, Manifest* out) {
 // A stream parsed out of a shard, waiting for its global slot.
 struct RestoredStream {
   std::string name;
-  StreamingKs detector;
+  std::optional<StreamingKs> detector;  // engaged exactly in kExact mode
   std::shared_ptr<const PreparedReference> prepared;
+  std::shared_ptr<const sketch::SketchedReference> sketched;  // kSketched
+  std::vector<double> ring;  // kSketched window contents, oldest first
+  uint64_t window = 0;       // kSketched ring capacity
   uint64_t ticks = 0;
   bool in_excursion = false;
   uint64_t pushes_since_explained = 0;
   uint64_t drift_ticks = 0;
+  uint64_t triage_certified_pass = 0;
+  uint64_t triage_certified_fail = 0;
+  uint64_t triage_fallbacks = 0;
 };
 
 // One interned reference of a shard's reference table.
 struct RestoredReference {
   std::vector<double> original;
   std::shared_ptr<const PreparedReference> prepared;
+  std::shared_ptr<const sketch::SketchedReference> sketched;  // kSketched
 };
 
 Status ExpectSection(SnapshotReader* reader, uint32_t id, const char* name,
@@ -310,6 +343,22 @@ Status ParseShard(const std::string& bytes, uint32_t shard_index,
       MOCHE_ASSIGN_OR_RETURN(
           ref.prepared,
           cache->InternRestored(ref.original, alpha, std::move(prepared)));
+      if (reader.version() >= 2 &&
+          manifest.options.reference_mode == ReferenceMode::kSketched) {
+        MOCHE_ASSIGN_OR_RETURN(sketch::SketchedReference sketched,
+                               sketch::SketchedReference::DeserializeFrom(&r));
+        if (sketched.sketch_capacity() != manifest.options.sketch_k) {
+          return Status::InvalidArgument(StrFormat(
+              "%s: reference %llu sketch capacity %zu does not match the "
+              "manifest's sketch_k %zu",
+              what.c_str(), static_cast<unsigned long long>(i),
+              sketched.sketch_capacity(), manifest.options.sketch_k));
+        }
+        MOCHE_ASSIGN_OR_RETURN(
+            ref.sketched,
+            cache->InternRestoredSketched(ref.original, alpha,
+                                          std::move(sketched)));
+      }
       refs.push_back(std::move(ref));
     }
     if (!r.AtEnd()) {
@@ -361,12 +410,58 @@ Status ParseShard(const std::string& bytes, uint32_t shard_index,
             static_cast<unsigned long long>(ref_index), refs.size()));
       }
       const RestoredReference& ref = refs[static_cast<size_t>(ref_index)];
-      MOCHE_ASSIGN_OR_RETURN(
-          StreamingKs detector,
-          StreamingKs::DeserializeState(ref.original, &r));
-      auto restored = std::make_unique<RestoredStream>(RestoredStream{
-          std::move(name), std::move(detector), ref.prepared, ticks,
-          in_excursion != 0, pushes, drift_ticks});
+      auto restored = std::make_unique<RestoredStream>();
+      restored->name = std::move(name);
+      restored->prepared = ref.prepared;
+      restored->ticks = ticks;
+      restored->in_excursion = in_excursion != 0;
+      restored->pushes_since_explained = pushes;
+      restored->drift_ticks = drift_ticks;
+      if (reader.version() >= 2) {
+        if (!r.ReadU64Le(&restored->triage_certified_pass) ||
+            !r.ReadU64Le(&restored->triage_certified_fail) ||
+            !r.ReadU64Le(&restored->triage_fallbacks)) {
+          return Status::OutOfRange(StrFormat(
+              "%s: stream table truncated in entry %llu", what.c_str(),
+              static_cast<unsigned long long>(i)));
+        }
+      }
+      if (manifest.options.reference_mode == ReferenceMode::kSketched) {
+        // A v1 *shard* carries no summaries; pairing one with a v2
+        // kSketched manifest is a cross-file splice, not a valid restore.
+        if (ref.sketched == nullptr) {
+          return Status::InvalidArgument(StrFormat(
+              "%s: version-%u shard has no sketch summaries for a sketched "
+              "manifest",
+              what.c_str(), reader.version()));
+        }
+        if (!r.ReadU64Le(&restored->window) ||
+            !r.ReadDoubleArray(&restored->ring)) {
+          return Status::OutOfRange(StrFormat(
+              "%s: stream table truncated in entry %llu", what.c_str(),
+              static_cast<unsigned long long>(i)));
+        }
+        if (restored->window == 0 ||
+            restored->ring.size() > restored->window) {
+          return Status::InvalidArgument(StrFormat(
+              "%s: stream %llu window ring holds %zu of capacity %llu",
+              what.c_str(), static_cast<unsigned long long>(index),
+              restored->ring.size(),
+              static_cast<unsigned long long>(restored->window)));
+        }
+        if (!simd::ActiveKernels().all_finite(restored->ring.data(),
+                                              restored->ring.size())) {
+          return Status::InvalidArgument(StrFormat(
+              "%s: stream %llu window ring has non-finite values",
+              what.c_str(), static_cast<unsigned long long>(index)));
+        }
+        restored->sketched = ref.sketched;
+      } else {
+        MOCHE_ASSIGN_OR_RETURN(
+            StreamingKs detector,
+            StreamingKs::DeserializeState(ref.original, &r));
+        restored->detector.emplace(std::move(detector));
+      }
       (*stream_slots)[static_cast<size_t>(index)] = std::move(restored);
     }
     if (!r.AtEnd()) {
@@ -489,17 +584,24 @@ Result<CheckpointBlobs> MonitorCodec::Serialize(
       ref_of[i] = r;
     }
 
+    const bool sketched_mode =
+        monitor.options_.reference_mode == ReferenceMode::kSketched;
+
     payload = writer.BeginSection(kSectionReferences);
     bin::AppendU64Le(static_cast<uint64_t>(ref_exemplar.size()), payload);
     for (size_t exemplar : ref_exemplar) {
       bin::AppendDoubleArray(originals[exemplar], payload);
       bin::AppendDoubleLe(alphas[exemplar], payload);
       monitor.streams_[exemplar].prepared->SerializeTo(payload);
+      if (sketched_mode) {
+        monitor.streams_[exemplar].sketched->SerializeTo(payload);
+      }
     }
     writer.EndSection();
 
     payload = writer.BeginSection(kSectionStreams);
     bin::AppendU64Le(static_cast<uint64_t>(members.size()), payload);
+    std::vector<double> window_scratch;
     for (size_t i : members) {
       const auto& st = monitor.streams_[i];
       bin::AppendU64Le(static_cast<uint64_t>(i), payload);
@@ -509,7 +611,18 @@ Result<CheckpointBlobs> MonitorCodec::Serialize(
       bin::AppendU8(st.in_excursion ? 1 : 0, payload);
       bin::AppendU64Le(st.pushes_since_explained, payload);
       bin::AppendU64Le(st.drift_ticks, payload);
-      st.detector.SerializeStateTo(payload);
+      bin::AppendU64Le(st.triage_certified_pass, payload);
+      bin::AppendU64Le(st.triage_certified_fail, payload);
+      bin::AppendU64Le(st.triage_fallbacks, payload);
+      if (sketched_mode) {
+        // Oldest-first window contents: the restore rebuilds the ring with
+        // head 0, which re-serializes to exactly these bytes (fixed point).
+        st.WindowContentsInto(&window_scratch);
+        bin::AppendU64Le(static_cast<uint64_t>(st.window), payload);
+        bin::AppendDoubleArray(window_scratch, payload);
+      } else {
+        st.detector->SerializeStateTo(payload);
+      }
     }
     writer.EndSection();
 
@@ -604,14 +717,28 @@ Result<DriftMonitor> MonitorCodec::Deserialize(const CheckpointBlobs& blobs,
 
   monitor.streams_.reserve(stream_slots.size());
   for (std::unique_ptr<RestoredStream>& slot : stream_slots) {
-    monitor.streams_.emplace_back(std::move(slot->name),
-                                  std::move(slot->detector),
-                                  std::move(slot->prepared));
-    DriftMonitor::Stream& st = monitor.streams_.back();
+    DriftMonitor::Stream st;
+    st.name = std::move(slot->name);
+    st.detector = std::move(slot->detector);
+    st.prepared = std::move(slot->prepared);
+    st.sketched = std::move(slot->sketched);
+    st.window = static_cast<size_t>(slot->window);
+    if (st.window != 0) {
+      // Rebuild the ring at head 0 (oldest first). reserve() restores the
+      // full-capacity invariant AddStream establishes, so a not-yet-full
+      // ring keeps filling without reallocating.
+      st.ring = std::move(slot->ring);
+      st.ring.reserve(st.window);
+      st.ring_head = 0;
+    }
     st.ticks = slot->ticks;
     st.in_excursion = slot->in_excursion;
     st.pushes_since_explained = slot->pushes_since_explained;
     st.drift_ticks = slot->drift_ticks;
+    st.triage_certified_pass = slot->triage_certified_pass;
+    st.triage_certified_fail = slot->triage_certified_fail;
+    st.triage_fallbacks = slot->triage_fallbacks;
+    monitor.streams_.push_back(std::move(st));
   }
   monitor.events_ = std::move(events);
   monitor.explanations_total_ = manifest.explanations_total;

@@ -70,6 +70,7 @@ Result<SnapshotReader> SnapshotReader::Open(std::string_view bytes,
         "(%u)",
         reader.what_.c_str(), version, kSnapshotFormatVersion));
   }
+  reader.version_ = version;
   return reader;
 }
 

@@ -51,7 +51,16 @@ inline constexpr size_t kSnapshotMagicSize = 8;
 /// Bump on any layout change; readers refuse newer versions with
 /// Unimplemented (forward compatibility is out of scope — an operator
 /// restores with the build that wrote the snapshot, or newer).
-inline constexpr uint32_t kSnapshotFormatVersion = 1;
+///
+/// History:
+///   1  initial layout (manifest, shard header, references, streams,
+///      events).
+///   2  sketched reference mode: the manifest gains reference_mode /
+///      sketch_k / cache_capacity, stream records gain the triage
+///      counters plus a mode-dependent window payload, and sketched
+///      reference-table entries append the KLL summary (docs/SKETCH.md).
+///      Version-1 snapshots still restore (as kExact monitors).
+inline constexpr uint32_t kSnapshotFormatVersion = 2;
 
 /// Appends the magic + format version, then frames caller-built section
 /// payloads. Typical use:
@@ -103,12 +112,18 @@ class SnapshotReader {
 
   const std::string& what() const { return what_; }
 
+  /// The format version declared by the file header (validated <=
+  /// kSnapshotFormatVersion by Open). Parsers gate version-dependent
+  /// payload layouts on this.
+  uint32_t version() const { return version_; }
+
  private:
   SnapshotReader(std::string_view bytes, std::string what)
       : reader_(bytes), what_(std::move(what)) {}
 
   bin::Reader reader_;
   std::string what_;
+  uint32_t version_ = 0;
 };
 
 /// Writes `bytes` to "<path>.tmp", fsyncs, and renames onto `path` (the

@@ -1,0 +1,179 @@
+// KllSketch: a dependency-free KLL-style mergeable quantile sketch with a
+// deterministic, per-instance *certified* rank-error bound.
+//
+// The sketch keeps a stack of levels; an item retained at level i stands
+// for 2^i original observations (its weight). Updates land in level 0;
+// when a level reaches the compaction capacity k its items are sorted and
+// every other one — even or odd positions, chosen by a seeded coin — is
+// promoted to the next level with doubled weight. The estimated rank of x,
+// EstimateRank(x) = sum of the weights of retained items <= x, therefore
+// answers ECDF queries from O(k log(n/k)) memory instead of the O(n) an
+// exact sorted sample costs.
+//
+// Certified bound. One compaction of an even slice at weight w changes the
+// weighted count of items <= x by at most w, for EVERY query point x
+// simultaneously: the slice contributes w*r before (r of its items are
+// <= x, they are contiguous after the sort) and 2w*floor(r/2) or
+// 2w*ceil(r/2) after. rank_error_bound() accumulates exactly one w per
+// compaction, so
+//
+//   | EstimateRank(x) - TrueRank(x) | <= rank_error_bound()   for all x,
+//
+// an exact integer invariant, not a probabilistic tail bound. This is why
+// the levels use a UNIFORM capacity k rather than classic KLL's
+// geometrically shrinking low-level capacities: tiny low levels would make
+// the deterministic bound useless (~n/8) even though the high-probability
+// bound stays fine. With uniform k the bound is ~ n * log2(n/k) / k; the
+// derivation, parameter guidance, and the triage bracket built on top live
+// in docs/SKETCH.md.
+//
+// Determinism (the project's seeded-rng rule): the compaction coins come
+// from a SplitMix64 stream seeded by KllOptions::seed, so the sketch state
+// — and every byte SerializeTo emits — is a pure function of the insertion
+// sequence, the merge order, and the options. The compaction *count* (and
+// hence rank_error_bound) depends only on (n, k), never on values or
+// coins, which is what makes the epsilon-monotonicity-in-k tests exact.
+//
+// Input convention: Update requires a finite value — callers validate
+// (ks::ValidateSample up front, per the NaN conventions in
+// docs/ARCHITECTURE.md) so compaction never sorts a NaN. DeserializeFrom
+// re-validates everything, including finiteness, against hostile bytes.
+//
+// Ownership & thread-safety: a KllSketch is mutable single-writer state —
+// build or merge it from one thread, then share it freely once no more
+// updates happen (all query entry points are const). SketchedReference
+// (sketched_reference.h) is the immutable shared form the rest of the
+// stack uses.
+
+#ifndef MOCHE_SKETCH_KLL_SKETCH_H_
+#define MOCHE_SKETCH_KLL_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/binary_io.h"
+#include "util/status.h"
+
+namespace moche {
+namespace sketch {
+
+struct KllOptions {
+  /// Per-level compaction buffer capacity k. Larger k = more memory, a
+  /// tighter certified bound (epsilon ~ log2(n/k)/k). Must lie in
+  /// [kMinCapacity, kMaxCapacity].
+  size_t capacity = 1024;
+
+  /// Seed of the SplitMix64 compaction-coin stream. Any value is valid;
+  /// the default reproduces the committed benchmarks and golden tests.
+  uint64_t seed = 0x6d6f636865736b31ull;  // "mochesk1"
+};
+
+class KllSketch {
+ public:
+  static constexpr size_t kMinCapacity = 8;
+  static constexpr size_t kMaxCapacity = size_t{1} << 20;
+  /// Hard ceiling on the level stack: weights are 2^i, so 64 levels cover
+  /// every representable count. DeserializeFrom rejects anything deeper.
+  static constexpr size_t kMaxLevels = 64;
+
+  /// Validates the options. The empty sketch (count() == 0) is valid;
+  /// SketchedReference::Build is where non-emptiness is required.
+  static Result<KllSketch> Create(const KllOptions& options = {});
+
+  /// Inserts one observation. Precondition: std::isfinite(value) — callers
+  /// validate (see the file header); a NaN here would poison the
+  /// compaction sort.
+  void Update(double value);
+
+  /// Folds `other` into this sketch. Requires equal capacities (the
+  /// certified-bound bookkeeping is per-capacity); the seeds may differ —
+  /// the surviving coin stream is this sketch's. count() adds exactly and
+  /// rank_error_bound() adds plus any merge-triggered compactions, so the
+  /// merged bound certifies the union. Self-merge doubles the sketch.
+  Status Merge(const KllSketch& other);
+
+  /// Exact number of observations folded in (weight is conserved by
+  /// compaction, so this equals the total retained weight).
+  uint64_t count() const { return count_; }
+
+  /// The certified uniform rank-error bound (see the file header).
+  uint64_t rank_error_bound() const { return error_bound_; }
+
+  /// rank_error_bound() / count() — the certified uniform ECDF error.
+  /// 0 for an empty sketch.
+  double epsilon() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(error_bound_) /
+                             static_cast<double>(count_);
+  }
+
+  size_t capacity() const { return capacity_; }
+  uint64_t seed() const { return seed_; }
+
+  /// Estimated number of observations <= x; within rank_error_bound() of
+  /// the true count for every finite x.
+  uint64_t EstimateRank(double x) const;
+
+  /// Smallest retained value whose cumulative weight reaches phi * count().
+  /// InvalidArgument outside phi in [0, 1] or on an empty sketch.
+  Result<double> EstimateQuantile(double phi) const;
+
+  /// Retained items across all levels (the memory the sketch actually
+  /// holds, <= capacity * levels).
+  size_t RetainedItems() const;
+
+  /// Heap bytes retained by the level buffers (capacities, not sizes).
+  size_t FootprintBytes() const;
+
+  /// The sorted flattened summary: strictly ascending unique retained
+  /// values in *values, with (*cumulative_weights)[i] = total weight of
+  /// retained items <= (*values)[i] (so it ends at count()). This is the
+  /// form the weighted KS sweep consumes (sketched_reference.h).
+  void FlattenTo(std::vector<double>* values,
+                 std::vector<double>* cumulative_weights) const;
+
+  /// Appends the canonical little-endian encoding (docs/SKETCH.md has the
+  /// layout table). Deterministic: equal sketches serialize to equal
+  /// bytes, and serialize -> deserialize -> serialize is a byte fixed
+  /// point (the sketch_fuzz oracle).
+  void SerializeTo(std::string* out) const;
+
+  /// Inverse of SerializeTo over an untrusted buffer. Re-validates every
+  /// invariant — capacity domain, level depth, per-level sizes below
+  /// capacity, all-finite items, and that the retained weight sums exactly
+  /// to the recorded count — so corrupted bytes yield a Status, never a
+  /// sketch that breaks the certified-bound contract structurally.
+  static Result<KllSketch> DeserializeFrom(bin::Reader* reader);
+
+ private:
+  // SketchedReference holds a KllSketch member behind its own
+  // validate-on-construction entry points.
+  friend class SketchedReference;
+
+  KllSketch() = default;
+
+  /// Sorts level `i`, keeps the minimum as a same-weight leftover when the
+  /// size is odd, promotes every other remaining item to level i + 1, and
+  /// charges 2^i to the error bound.
+  void CompactLevel(size_t i);
+  /// Cascades compactions upward from `i` until every level is below
+  /// capacity again.
+  void CompactFrom(size_t i);
+  bool NextCoin();
+
+  size_t capacity_ = 0;
+  uint64_t seed_ = 0;
+  uint64_t coin_state_ = 0;
+  uint64_t count_ = 0;
+  uint64_t error_bound_ = 0;
+  // levels_[i] holds items of weight 2^i, unsorted (compaction sorts in
+  // place; queries scan).
+  std::vector<std::vector<double>> levels_;
+};
+
+}  // namespace sketch
+}  // namespace moche
+
+#endif  // MOCHE_SKETCH_KLL_SKETCH_H_

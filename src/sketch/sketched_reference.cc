@@ -1,0 +1,112 @@
+#include "sketch/sketched_reference.h"
+
+#include <utility>
+
+#include "ks/ks_test.h"
+
+namespace moche {
+namespace sketch {
+
+Result<SketchedReference> SketchedReference::Build(KllSketch sketch,
+                                                   double alpha) {
+  MOCHE_RETURN_IF_ERROR(ks::ValidateAlpha(alpha));
+  if (sketch.count() == 0) {
+    return Status::InvalidArgument(
+        "cannot build a sketched reference from an empty sketch");
+  }
+  SketchedReference reference;
+  reference.sketch_ = std::move(sketch);
+  reference.alpha_ = alpha;
+  reference.sketch_.FlattenTo(&reference.values_,
+                              &reference.cumulative_weights_);
+  return reference;
+}
+
+Result<SketchedReference> SketchedReference::FromSample(
+    const std::vector<double>& sample, double alpha,
+    const KllOptions& options) {
+  MOCHE_RETURN_IF_ERROR(ks::ValidateSample(sample, "reference set"));
+  MOCHE_ASSIGN_OR_RETURN(KllSketch sketch, KllSketch::Create(options));
+  for (double v : sample) sketch.Update(v);
+  return Build(std::move(sketch), alpha);
+}
+
+double SketchedReference::StatisticAgainstSorted(
+    const std::vector<double>& test_sorted) const {
+  // Merged sweep over the union grid, mirroring ks::StatisticSorted: both
+  // step functions are constant between grid points, so the sup is
+  // attained immediately after some grid point's jump. values_ is
+  // strictly ascending (ties merged at flatten time); the test side may
+  // repeat.
+  const double n = static_cast<double>(count());
+  const double m = static_cast<double>(test_sorted.size());
+  size_t i = 0;
+  size_t j = 0;
+  double d = 0.0;
+  while (i < values_.size() || j < test_sorted.size()) {
+    double x;
+    if (i < values_.size() &&
+        (j >= test_sorted.size() || values_[i] <= test_sorted[j])) {
+      x = values_[i];
+    } else {
+      x = test_sorted[j];
+    }
+    if (i < values_.size() && values_[i] == x) ++i;
+    while (j < test_sorted.size() && test_sorted[j] == x) ++j;
+    const double g = (i > 0 ? cumulative_weights_[i - 1] : 0.0) / n;
+    const double ft = static_cast<double>(j) / m;
+    const double diff = g > ft ? g - ft : ft - g;
+    if (diff > d) d = diff;
+  }
+  return d;
+}
+
+SketchTriage SketchedReference::Classify(double statistic, size_t m) const {
+  SketchTriage triage;
+  triage.statistic = statistic;
+  triage.epsilon = epsilon();
+  triage.n = static_cast<size_t>(count());
+  triage.m = m;
+  triage.threshold =
+      ks::internal::ThresholdUnchecked(alpha_, triage.n, triage.m);
+  const double lower = statistic - triage.epsilon;
+  const double upper = statistic + triage.epsilon;
+  triage.lower = lower > 0.0 ? lower : 0.0;
+  triage.upper = upper < 1.0 ? upper : 1.0;
+  // The exact decision is reject iff D > p. Certifying needs the whole
+  // bracket on one side of p with kTriageMargin to spare; the margin only
+  // widens the kUncertain band (see sketched_reference.h).
+  if (triage.lower > triage.threshold + kTriageMargin) {
+    triage.verdict = TriageVerdict::kCertainFail;
+  } else if (triage.upper + kTriageMargin <= triage.threshold) {
+    triage.verdict = TriageVerdict::kCertainPass;
+  } else {
+    triage.verdict = TriageVerdict::kUncertain;
+  }
+  return triage;
+}
+
+size_t SketchedReference::FootprintBytes() const {
+  return sketch_.FootprintBytes() +
+         (values_.capacity() + cumulative_weights_.capacity()) *
+             sizeof(double);
+}
+
+void SketchedReference::SerializeTo(std::string* out) const {
+  bin::AppendDoubleLe(alpha_, out);
+  sketch_.SerializeTo(out);
+}
+
+Result<SketchedReference> SketchedReference::DeserializeFrom(
+    bin::Reader* reader) {
+  double alpha = 0.0;
+  if (!reader->ReadDoubleLe(&alpha)) {
+    return Status::OutOfRange("sketched reference: snapshot truncated");
+  }
+  MOCHE_ASSIGN_OR_RETURN(KllSketch sketch,
+                         KllSketch::DeserializeFrom(reader));
+  return Build(std::move(sketch), alpha);
+}
+
+}  // namespace sketch
+}  // namespace moche

@@ -31,11 +31,41 @@ bool SameEventLogs(const std::vector<DriftEvent>& a,
   return true;
 }
 
+void DriftMonitor::Stream::WindowContentsInto(
+    std::vector<double>* out) const {
+  if (detector.has_value()) {
+    detector->WindowContentsInto(out);
+    return;
+  }
+  out->clear();
+  out->reserve(window);
+  if (ring.size() < window) {
+    out->insert(out->end(), ring.begin(), ring.end());
+    return;
+  }
+  // Full ring: oldest lives at ring_head.
+  out->insert(out->end(),
+              ring.begin() + static_cast<ptrdiff_t>(ring_head), ring.end());
+  out->insert(out->end(), ring.begin(),
+              ring.begin() + static_cast<ptrdiff_t>(ring_head));
+}
+
+void DriftMonitor::Stream::PushRing(double v) {
+  if (ring.size() < window) {
+    // Filling phase; AddStream reserved full capacity, so no reallocation.
+    ring.push_back(v);
+    return;
+  }
+  ring[ring_head] = v;
+  ring_head = (ring_head + 1) % window;
+}
+
 DriftMonitor::DriftMonitor(const MonitorOptions& options)
     : options_(options),
       engine_(options.moche),
       state_mutex_(std::make_unique<Mutex>()),
-      cache_(std::make_unique<PreparedReferenceCache>()) {
+      cache_(std::make_unique<PreparedReferenceCache>(
+          PreparedReferenceCache::Options{options.cache_capacity})) {
   const size_t threads = ResolveThreadCount(options.num_threads);
   if (threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options.num_threads);
@@ -52,38 +82,67 @@ Result<DriftMonitor> DriftMonitor::Create(const MonitorOptions& options) {
     return Status::InvalidArgument(
         "kEveryKPushes needs explain_every_k >= 1");
   }
+  if (options.reference_mode == ReferenceMode::kSketched &&
+      (options.sketch_k < sketch::KllSketch::kMinCapacity ||
+       options.sketch_k > sketch::KllSketch::kMaxCapacity)) {
+    return Status::InvalidArgument(
+        StrFormat("sketch_k %zu outside [%zu, %zu]", options.sketch_k,
+                  sketch::KllSketch::kMinCapacity,
+                  sketch::KllSketch::kMaxCapacity));
+  }
   return DriftMonitor(options);
 }
 
 Result<size_t> DriftMonitor::AddStream(std::string name,
                                        const std::vector<double>& reference,
                                        size_t window_size) {
-  // Prepare first (validates the sample and interns the sorted reference),
-  // then build the detector over the same sample.
+  // Prepare first (validates the sample and interns the sorted reference).
+  // Both modes keep the exact interned form: sketched streams fall back to
+  // it for uncertain windows and every explanation runs against it.
   MOCHE_ASSIGN_OR_RETURN(
       std::shared_ptr<const PreparedReference> prepared,
       cache_->GetOrPrepare(engine_, reference, options_.alpha));
-  MOCHE_ASSIGN_OR_RETURN(
-      StreamingKs detector,
-      StreamingKs::Create(reference, window_size, options_.alpha));
+  Stream stream;
+  stream.name = std::move(name);
+  stream.prepared = std::move(prepared);
+  if (options_.reference_mode == ReferenceMode::kSketched) {
+    if (window_size == 0) {
+      return Status::InvalidArgument("window_size must be >= 1");
+    }
+    sketch::KllOptions kll;
+    kll.capacity = options_.sketch_k;
+    MOCHE_ASSIGN_OR_RETURN(
+        stream.sketched,
+        cache_->GetOrSketch(reference, options_.alpha, kll));
+    stream.window = window_size;
+    stream.ring.reserve(window_size);
+  } else {
+    MOCHE_ASSIGN_OR_RETURN(
+        StreamingKs detector,
+        StreamingKs::Create(reference, window_size, options_.alpha));
+    stream.detector.emplace(std::move(detector));
+  }
   MutexLock lock(state_mutex_.get());
-  streams_.emplace_back(std::move(name), std::move(detector),
-                        std::move(prepared));
+  streams_.push_back(std::move(stream));
   return streams_.size() - 1;
+}
+
+DriftMonitor::WorkerScratch& DriftMonitor::ScratchFor(size_t worker) {
+  if (worker_scratch_[worker] == nullptr) {
+    worker_scratch_[worker] = std::make_unique<WorkerScratch>();
+  }
+  return *worker_scratch_[worker];
 }
 
 DriftEvent DriftMonitor::Explain(size_t worker, size_t i,
                                  const KsOutcome& outcome) {
-  if (worker_scratch_[worker] == nullptr) {
-    worker_scratch_[worker] = std::make_unique<WorkerScratch>();
-  }
-  WorkerScratch& scratch = *worker_scratch_[worker];
+  WorkerScratch& scratch = ScratchFor(worker);
   Stream& s = streams_[i];
   DriftEvent event;
   event.stream = i;
   event.tick = s.ticks;
   event.outcome = outcome;
-  s.detector.WindowContentsInto(&scratch.window);
+  s.WindowContentsInto(&scratch.window);
   IdentityPreferenceInto(scratch.window.size(), &scratch.pref);
   if (options_.preference == WindowPreference::kNewestFirst) {
     std::reverse(scratch.pref.begin(), scratch.pref.end());
@@ -97,17 +156,91 @@ DriftEvent DriftMonitor::Explain(size_t worker, size_t i,
   return event;
 }
 
+Status DriftMonitor::ExactWindowOutcome(const Stream& s,
+                                        WorkerScratch* scratch,
+                                        KsOutcome* outcome) {
+  WindowBatch batch;
+  batch.data = scratch->window.data();
+  batch.count = 1;
+  batch.width = scratch->window.size();
+  MOCHE_RETURN_IF_ERROR(engine_.EvaluateBatchPrepared(
+      *s.prepared, batch, &scratch->workspace, &scratch->outcomes));
+  *outcome = scratch->outcomes[0];
+  return Status::OK();
+}
+
+Status DriftMonitor::DrainStreamSketched(size_t worker, size_t i,
+                                         const std::vector<double>& values,
+                                         std::vector<DriftEvent>* out) {
+  Stream& s = streams_[i];
+  WorkerScratch& scratch = ScratchFor(worker);
+  for (double v : values) {
+    s.PushRing(v);
+    ++s.ticks;
+    if (!s.WindowFull()) continue;
+    s.WindowContentsInto(&scratch.window);
+    sketch::SketchTriage triage;
+    MOCHE_RETURN_IF_ERROR(engine_.TriageSketchedInto(
+        *s.sketched, scratch.window, &scratch.workspace, &triage));
+    bool reject = false;
+    bool have_outcome = false;
+    KsOutcome outcome;
+    switch (triage.verdict) {
+      case sketch::TriageVerdict::kCertainPass:
+        ++s.triage_certified_pass;
+        break;
+      case sketch::TriageVerdict::kCertainFail:
+        ++s.triage_certified_fail;
+        reject = true;
+        // The exact outcome is computed lazily below, only if this push
+        // actually fires an explanation.
+        break;
+      case sketch::TriageVerdict::kUncertain:
+        ++s.triage_fallbacks;
+        MOCHE_RETURN_IF_ERROR(ExactWindowOutcome(s, &scratch, &outcome));
+        have_outcome = true;
+        reject = outcome.reject;
+        break;
+    }
+    if (!reject) {
+      s.in_excursion = false;
+      continue;
+    }
+    ++s.drift_ticks;
+    bool fire = false;
+    if (!s.in_excursion) {
+      s.in_excursion = true;
+      fire = true;
+    } else if (options_.rearm == RearmPolicy::kEveryKPushes) {
+      fire = s.pushes_since_explained + 1 >= options_.explain_every_k;
+    }
+    if (fire) {
+      if (!have_outcome) {
+        MOCHE_RETURN_IF_ERROR(ExactWindowOutcome(s, &scratch, &outcome));
+      }
+      out->push_back(Explain(worker, i, outcome));
+      s.pushes_since_explained = 0;
+    } else {
+      ++s.pushes_since_explained;
+    }
+  }
+  return Status::OK();
+}
+
 Status DriftMonitor::DrainStream(size_t worker, size_t i,
                                  const std::vector<double>& values,
                                  std::vector<DriftEvent>* out) {
   Stream& s = streams_[i];
+  if (s.sketched != nullptr) {
+    return DrainStreamSketched(worker, i, values, out);
+  }
   for (double v : values) {
-    MOCHE_RETURN_IF_ERROR(s.detector.Push(v));
+    MOCHE_RETURN_IF_ERROR(s.detector->Push(v));
     ++s.ticks;
-    if (!s.detector.WindowFull()) continue;
+    if (!s.detector->WindowFull()) continue;
     // Validated at construction; the window is full — CurrentOutcome
     // cannot fail.
-    auto outcome = s.detector.CurrentOutcome();
+    auto outcome = s.detector->CurrentOutcome();
     if (!outcome.ok()) return outcome.status();
     if (!outcome->reject) {
       s.in_excursion = false;
@@ -208,28 +341,25 @@ Status DriftMonitor::RecheckWindows(std::vector<KsOutcome>* outcomes) {
   // Read-only on the streams, but the packing scratch is member state.
   MutexLock lock(state_mutex_.get());
   outcomes->assign(streams_.size(), KsOutcome{});
-  if (worker_scratch_[0] == nullptr) {
-    worker_scratch_[0] = std::make_unique<WorkerScratch>();
-  }
-  WorkerScratch& scratch = *worker_scratch_[0];
+  WorkerScratch& scratch = ScratchFor(0);
   recheck_done_.assign(streams_.size(), 0);
   for (size_t i = 0; i < streams_.size(); ++i) {
-    if (recheck_done_[i] || !streams_[i].detector.WindowFull()) continue;
+    if (recheck_done_[i] || !streams_[i].WindowFull()) continue;
     // Group every not-yet-handled stream sharing this stream's interned
     // reference and window width, packing their windows contiguously so
     // the whole group goes through one batched call.
     const PreparedReference* prepared = streams_[i].prepared.get();
-    const size_t width = streams_[i].detector.window_size();
+    const size_t width = streams_[i].window_size();
     recheck_members_.clear();
     recheck_buffer_.clear();
     for (size_t j = i; j < streams_.size(); ++j) {
       Stream& s = streams_[j];
       if (recheck_done_[j] || s.prepared.get() != prepared ||
-          !s.detector.WindowFull() || s.detector.window_size() != width) {
+          !s.WindowFull() || s.window_size() != width) {
         continue;
       }
       recheck_done_[j] = 1;
-      s.detector.WindowContentsInto(&scratch.window);
+      s.WindowContentsInto(&scratch.window);
       recheck_buffer_.insert(recheck_buffer_.end(), scratch.window.begin(),
                              scratch.window.end());
       recheck_members_.push_back(j);
@@ -259,6 +389,9 @@ DriftMonitor::Stats DriftMonitor::stats() const {
   for (const Stream& stream : streams_) {
     s.observations += stream.ticks;
     s.drift_ticks += stream.drift_ticks;
+    s.triage_certified_pass += stream.triage_certified_pass;
+    s.triage_certified_fail += stream.triage_certified_fail;
+    s.triage_fallbacks += stream.triage_fallbacks;
   }
   s.explanations = explanations_total_;
   for (const std::unique_ptr<WorkerScratch>& scratch : worker_scratch_) {

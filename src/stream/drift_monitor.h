@@ -10,6 +10,27 @@
 // the threshold yields one event (kOncePerExcursion) or one every k pushes
 // (kEveryKPushes) instead of thousands of duplicates.
 //
+// Reference modes (MonitorOptions::reference_mode): in the default kExact
+// mode every stream owns a StreamingKs detector, which copies the full
+// reference into a per-stream order-statistic treap — O(n) memory per
+// stream, O(log(n+m)) per push. kSketched replaces the per-stream copy
+// with one shared KLL summary of the reference (sketch::SketchedReference,
+// O(sketch_k * log(n/sketch_k)) memory per *fleet*): each stream keeps
+// only its window ring, and every full-window push is triaged through
+// Moche::TriageSketchedInto. Certified verdicts settle the push on the
+// summary alone; only the uncertain band (and windows that actually fire
+// an explanation) fall back to the interned exact reference, which the
+// fleet still shares once for fallback and for ExplainPrepared. The
+// trade: a sketched push re-sorts its window (O(w log w) against the
+// summary) instead of the detector's incremental O(log), so kSketched is
+// the memory knob for fleets of thousands of streams over giant
+// references, not a latency upgrade. Detection semantics are recompute
+// semantics — each full window is judged like ks::RunSorted on its
+// snapshot, matching RecheckWindows; a treap detector in kExact mode can
+// disagree within ~1e-9 of the decision boundary (see
+// fuzz/streaming_ks_fuzz.cc), so cross-mode event logs are equal on
+// well-separated data but not bit-contractual.
+//
 // Determinism contract: stream i's events are produced by stream i's task
 // alone and merged in stream order after every batch, so the event log is
 // bit-identical to the sequential (num_threads = 1) run at any thread
@@ -51,11 +72,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/moche.h"
 #include "ks/streaming.h"
+#include "sketch/sketched_reference.h"
 #include "stream/prepared_cache.h"
 #include "util/mutex.h"
 #include "util/parallel.h"
@@ -87,6 +110,18 @@ enum class WindowPreference {
   kNewestFirst,  ///< reversed — prefer the most recent observations
 };
 
+/// How streams hold their reference for detection (see the file header).
+enum class ReferenceMode {
+  /// Per-stream StreamingKs detector over a private copy of the reference:
+  /// O(n) memory per stream, O(log(n+m)) per push. The default.
+  kExact,
+  /// One shared KLL summary per distinct reference: O(sketch_k log(n/k))
+  /// per fleet. Certified triage on the summary; exact fallback (via the
+  /// still-interned PreparedReference) only for uncertain windows and for
+  /// the windows that fire an explanation.
+  kSketched,
+};
+
 struct MonitorOptions {
   double alpha = 0.05;
   RearmPolicy rearm = RearmPolicy::kOncePerExcursion;
@@ -96,6 +131,15 @@ struct MonitorOptions {
   /// hardware core. The event log is identical for every value.
   size_t num_threads = 1;
   WindowPreference preference = WindowPreference::kOldestFirst;
+  /// Per-stream reference memory knob (see ReferenceMode).
+  ReferenceMode reference_mode = ReferenceMode::kExact;
+  /// KLL compactor capacity under kSketched: the memory/uncertainty dial.
+  /// Rank error eps ~ log2(n/k)/k, so larger k means fewer exact
+  /// fallbacks and more bytes (sketch::KllOptions::capacity domain).
+  size_t sketch_k = 1024;
+  /// PreparedReferenceCache entry bound: 0 = unbounded (default); nonzero
+  /// enables LRU eviction of unpinned entries (multi-tenant churn).
+  size_t cache_capacity = 0;
   /// Engine knobs for the per-event explanations.
   MocheOptions moche;
 };
@@ -132,6 +176,12 @@ class DriftMonitor {
     /// Total heap bytes retained by the workspace pool. Workspace buffers
     /// never shrink, so this is also the pool's high-water mark.
     size_t workspace_bytes = 0;
+    /// kSketched triage tallies (all zero in kExact mode): full-window
+    /// pushes settled by a certified verdict on the summary alone, and
+    /// pushes whose uncertain bracket forced an exact recompute.
+    uint64_t triage_certified_pass = 0;
+    uint64_t triage_certified_fail = 0;
+    uint64_t triage_fallbacks = 0;
   };
 
   /// Validates options (alpha domain, explain_every_k under kEveryKPushes).
@@ -140,10 +190,13 @@ class DriftMonitor {
   DriftMonitor(DriftMonitor&&) noexcept = default;
   DriftMonitor& operator=(DriftMonitor&&) noexcept = default;
 
-  /// Registers a stream: a StreamingKs over `reference` with the given
-  /// window capacity, bound to the interned PreparedReference for
-  /// (reference, options.alpha). Returns the stream index. Streams sharing
-  /// a reference sort/validate it once (see PreparedReferenceCache).
+  /// Registers a stream with the given window capacity, bound to the
+  /// interned PreparedReference for (reference, options.alpha). In kExact
+  /// mode the stream also builds a StreamingKs over its own reference
+  /// copy; in kSketched mode it instead shares the interned KLL summary
+  /// (built once per distinct reference at capacity sketch_k) and holds
+  /// only a window ring. Returns the stream index. Streams sharing a
+  /// reference sort/validate/sketch it once (see PreparedReferenceCache).
   Result<size_t> AddStream(std::string name,
                            const std::vector<double>& reference,
                            size_t window_size);
@@ -204,17 +257,39 @@ class DriftMonitor {
 
   struct Stream {
     std::string name;
-    StreamingKs detector;
+    /// Engaged exactly in kExact mode; sketched streams keep the ring
+    /// below instead of a per-stream reference copy.
+    std::optional<StreamingKs> detector;
     std::shared_ptr<const PreparedReference> prepared;
+    /// Engaged exactly in kSketched mode (shared per distinct reference).
+    std::shared_ptr<const sketch::SketchedReference> sketched;
+    /// kSketched window ring: capacity `window` doubles, filled by
+    /// push_back until full, then overwritten in place with `ring_head`
+    /// marking the oldest slot (= the next overwrite target).
+    std::vector<double> ring;
+    size_t ring_head = 0;
+    size_t window = 0;              // ring capacity (0 in kExact mode)
     uint64_t ticks = 0;             // observations pushed so far
     bool in_excursion = false;      // window currently above threshold
     uint64_t pushes_since_explained = 0;
     uint64_t drift_ticks = 0;
-    Stream(std::string name, StreamingKs detector,
-           std::shared_ptr<const PreparedReference> prepared)
-        : name(std::move(name)),
-          detector(std::move(detector)),
-          prepared(std::move(prepared)) {}
+    // kSketched triage tallies; mutated only by the owning stream's task.
+    uint64_t triage_certified_pass = 0;
+    uint64_t triage_certified_fail = 0;
+    uint64_t triage_fallbacks = 0;
+
+    size_t window_size() const {
+      return detector.has_value() ? detector->window_size() : window;
+    }
+    bool WindowFull() const {
+      return detector.has_value() ? detector->WindowFull()
+                                  : ring.size() == window;
+    }
+    /// Copies the current window, oldest observation first, into *out
+    /// (allocation-free once out's capacity is warm). Both modes.
+    void WindowContentsInto(std::vector<double>* out) const;
+    /// kSketched only: admits one observation into the ring.
+    void PushRing(double v);
   };
 
   /// One worker thread's reusable explanation scratch: the MOCHE workspace
@@ -225,11 +300,15 @@ class DriftMonitor {
     ExplainWorkspace workspace;
     std::vector<double> window;
     PreferenceList pref;
+    /// One-slot landing pad for the sketched path's exact fallback
+    /// (EvaluateBatchPrepared writes its outcomes here).
+    std::vector<KsOutcome> outcomes;
 
     size_t FootprintBytes() const {
       return workspace.FootprintBytes() +
              window.capacity() * sizeof(double) +
-             pref.capacity() * sizeof(size_t);
+             pref.capacity() * sizeof(size_t) +
+             outcomes.capacity() * sizeof(KsOutcome);
     }
   };
 
@@ -238,10 +317,25 @@ class DriftMonitor {
   /// Feeds `values` to stream i sequentially, appending events to `out`,
   /// explaining through `worker`'s scratch. Returns the first push failure
   /// (impossible after PushBatch's up-front validation short of an
-  /// internal bug).
+  /// internal bug). Dispatches per the stream's mode.
   Status DrainStream(size_t worker, size_t i,
                      const std::vector<double>& values,
                      std::vector<DriftEvent>* out);
+
+  /// kSketched drain: ring push, certified triage on the shared summary,
+  /// exact fallback only for uncertain windows and firing events.
+  Status DrainStreamSketched(size_t worker, size_t i,
+                             const std::vector<double>& values,
+                             std::vector<DriftEvent>* out);
+
+  /// Lazily creates (then returns) worker `worker`'s scratch slot.
+  WorkerScratch& ScratchFor(size_t worker);
+
+  /// Exact KS outcome for the window currently held in scratch.window,
+  /// against stream `s`'s interned PreparedReference (one-window
+  /// EvaluateBatchPrepared; allocation-free once warm).
+  Status ExactWindowOutcome(const Stream& s, WorkerScratch* scratch,
+                            KsOutcome* outcome);
 
   /// Runs ExplainPreparedInto on stream i's current window, inside
   /// `worker`'s scratch.

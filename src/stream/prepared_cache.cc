@@ -1,6 +1,9 @@
 #include "stream/prepared_cache.h"
 
+#include <utility>
+
 #include "util/binary_io.h"
+#include "util/string_util.h"
 
 namespace moche {
 namespace stream {
@@ -47,6 +50,76 @@ uint64_t ReferenceFingerprint(const std::vector<double>& values,
   return hash;
 }
 
+PreparedReferenceCache::Entry* PreparedReferenceCache::FindEntryLocked(
+    uint64_t fingerprint, const std::vector<double>& reference,
+    double alpha) {
+  auto it = entries_.find(fingerprint);
+  if (it == entries_.end()) return nullptr;
+  for (Entry& entry : it->second) {
+    if (entry.alpha == alpha && entry.original == reference) {
+      entry.last_used = ++use_clock_;
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+PreparedReferenceCache::Entry* PreparedReferenceCache::InsertEntryLocked(
+    uint64_t fingerprint, std::vector<double> reference, double alpha) {
+  EvictIfOverCapacityLocked();
+  std::vector<Entry>& bucket = entries_[fingerprint];
+  bucket.push_back(Entry{});
+  Entry& entry = bucket.back();
+  entry.original = std::move(reference);
+  entry.alpha = alpha;
+  entry.last_used = ++use_clock_;
+  return &entry;
+}
+
+size_t PreparedReferenceCache::CountEntriesLocked() const {
+  size_t count = 0;
+  for (const auto& [fingerprint, bucket] : entries_) {
+    (void)fingerprint;
+    count += bucket.size();
+  }
+  return count;
+}
+
+void PreparedReferenceCache::EvictIfOverCapacityLocked() {
+  if (options_.capacity == 0) return;
+  // Called before an insert: evict until the newcomer fits. Unpinned means
+  // the cache's shared_ptrs are the last owners — dropping the entry frees
+  // the reference, it cannot strand a live stream. O(entries) per scan is
+  // fine: eviction only runs on interning, never on the push hot path.
+  while (CountEntriesLocked() >= options_.capacity) {
+    std::unordered_map<uint64_t, std::vector<Entry>>::iterator victim_bucket =
+        entries_.end();
+    size_t victim_index = 0;
+    uint64_t victim_stamp = 0;
+    bool found = false;
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      for (size_t i = 0; i < it->second.size(); ++i) {
+        const Entry& entry = it->second[i];
+        const bool pinned =
+            (entry.prepared != nullptr && entry.prepared.use_count() > 1) ||
+            (entry.sketched != nullptr && entry.sketched.use_count() > 1);
+        if (pinned) continue;
+        if (!found || entry.last_used < victim_stamp) {
+          victim_bucket = it;
+          victim_index = i;
+          victim_stamp = entry.last_used;
+          found = true;
+        }
+      }
+    }
+    if (!found) return;  // everything pinned: allow over-capacity
+    victim_bucket->second.erase(victim_bucket->second.begin() +
+                                static_cast<ptrdiff_t>(victim_index));
+    if (victim_bucket->second.empty()) entries_.erase(victim_bucket);
+    ++evictions_;
+  }
+}
+
 Result<std::shared_ptr<const PreparedReference>>
 PreparedReferenceCache::GetOrPrepare(const Moche& engine,
                                      const std::vector<double>& reference,
@@ -54,14 +127,10 @@ PreparedReferenceCache::GetOrPrepare(const Moche& engine,
   const uint64_t fingerprint = ReferenceFingerprint(reference, alpha);
   {
     MutexLock lock(&mutex_);
-    auto it = entries_.find(fingerprint);
-    if (it != entries_.end()) {
-      for (const Entry& entry : it->second) {
-        if (entry.alpha == alpha && entry.original == reference) {
-          ++hits_;
-          return entry.prepared;
-        }
-      }
+    Entry* entry = FindEntryLocked(fingerprint, reference, alpha);
+    if (entry != nullptr && entry->prepared != nullptr) {
+      ++hits_;
+      return entry->prepared;
     }
   }
 
@@ -74,15 +143,68 @@ PreparedReferenceCache::GetOrPrepare(const Moche& engine,
       std::move(prepared).value());
 
   MutexLock lock(&mutex_);
-  std::vector<Entry>& bucket = entries_[fingerprint];
-  for (const Entry& entry : bucket) {
-    if (entry.alpha == alpha && entry.original == reference) {
+  Entry* entry = FindEntryLocked(fingerprint, reference, alpha);
+  if (entry != nullptr) {
+    if (entry->prepared != nullptr) {
       ++hits_;
-      return entry.prepared;
+      return entry->prepared;
     }
+    // The entry exists with only a sketch (GetOrSketch came first): attach
+    // the exact form to the same entry.
+    ++misses_;
+    entry->prepared = shared;
+    return shared;
   }
   ++misses_;
-  bucket.push_back(Entry{reference, alpha, shared});
+  InsertEntryLocked(fingerprint, reference, alpha)->prepared = shared;
+  return shared;
+}
+
+Result<std::shared_ptr<const sketch::SketchedReference>>
+PreparedReferenceCache::GetOrSketch(const std::vector<double>& reference,
+                                    double alpha,
+                                    const sketch::KllOptions& options) {
+  const uint64_t fingerprint = ReferenceFingerprint(reference, alpha);
+  {
+    MutexLock lock(&mutex_);
+    Entry* entry = FindEntryLocked(fingerprint, reference, alpha);
+    if (entry != nullptr && entry->sketched != nullptr) {
+      if (entry->sketched->sketch_capacity() != options.capacity) {
+        return Status::InvalidArgument(StrFormat(
+            "reference already interned with sketch capacity %zu, not %zu",
+            entry->sketched->sketch_capacity(), options.capacity));
+      }
+      ++hits_;
+      return entry->sketched;
+    }
+  }
+
+  // Build outside the lock (one O(n) pass over the sample), same rationale
+  // and same benign race as GetOrPrepare.
+  auto built = sketch::SketchedReference::FromSample(reference, alpha,
+                                                     options);
+  if (!built.ok()) return built.status();
+  auto shared = std::make_shared<const sketch::SketchedReference>(
+      std::move(built).value());
+
+  MutexLock lock(&mutex_);
+  Entry* entry = FindEntryLocked(fingerprint, reference, alpha);
+  if (entry != nullptr) {
+    if (entry->sketched != nullptr) {
+      if (entry->sketched->sketch_capacity() != options.capacity) {
+        return Status::InvalidArgument(StrFormat(
+            "reference already interned with sketch capacity %zu, not %zu",
+            entry->sketched->sketch_capacity(), options.capacity));
+      }
+      ++hits_;
+      return entry->sketched;
+    }
+    ++misses_;
+    entry->sketched = shared;
+    return shared;
+  }
+  ++misses_;
+  InsertEntryLocked(fingerprint, reference, alpha)->sketched = shared;
   return shared;
 }
 
@@ -103,16 +225,51 @@ PreparedReferenceCache::InternRestored(std::vector<double> original,
   }
   const uint64_t fingerprint = ReferenceFingerprint(original, alpha);
   MutexLock lock(&mutex_);
-  std::vector<Entry>& bucket = entries_[fingerprint];
-  for (const Entry& entry : bucket) {
-    if (entry.alpha == alpha && entry.original == original) {
-      return entry.prepared;
-    }
+  Entry* entry = FindEntryLocked(fingerprint, original, alpha);
+  if (entry != nullptr) {
+    if (entry->prepared != nullptr) return entry->prepared;
+    entry->prepared =
+        std::make_shared<const PreparedReference>(std::move(prepared));
+    return entry->prepared;
   }
-  auto shared =
+  entry = InsertEntryLocked(fingerprint, std::move(original), alpha);
+  entry->prepared =
       std::make_shared<const PreparedReference>(std::move(prepared));
-  bucket.push_back(Entry{std::move(original), alpha, shared});
-  return shared;
+  return entry->prepared;
+}
+
+Result<std::shared_ptr<const sketch::SketchedReference>>
+PreparedReferenceCache::InternRestoredSketched(
+    std::vector<double> original, double alpha,
+    sketch::SketchedReference sketched) {
+  if (sketched.alpha() != alpha) {
+    return Status::InvalidArgument(
+        "restored sketched reference alpha does not match its cache key");
+  }
+  if (sketched.count() != original.size()) {
+    return Status::InvalidArgument(
+        "restored sketched reference count does not match its cache key");
+  }
+  const uint64_t fingerprint = ReferenceFingerprint(original, alpha);
+  MutexLock lock(&mutex_);
+  Entry* entry = FindEntryLocked(fingerprint, original, alpha);
+  if (entry != nullptr) {
+    if (entry->sketched != nullptr) {
+      if (entry->sketched->sketch_capacity() != sketched.sketch_capacity()) {
+        return Status::InvalidArgument(
+            "restored sketched reference capacity disagrees with the "
+            "interned summary for the same key");
+      }
+      return entry->sketched;
+    }
+    entry->sketched = std::make_shared<const sketch::SketchedReference>(
+        std::move(sketched));
+    return entry->sketched;
+  }
+  entry = InsertEntryLocked(fingerprint, std::move(original), alpha);
+  entry->sketched = std::make_shared<const sketch::SketchedReference>(
+      std::move(sketched));
+  return entry->sketched;
 }
 
 bool PreparedReferenceCache::FindOriginal(const PreparedReference* prepared,
@@ -138,9 +295,22 @@ PreparedReferenceCache::Stats PreparedReferenceCache::stats() const {
   for (const auto& [fingerprint, bucket] : entries_) {
     (void)fingerprint;
     s.entries += bucket.size();
+    for (const Entry& entry : bucket) {
+      s.resident_bytes += entry.original.capacity() * sizeof(double);
+      if (entry.prepared != nullptr) {
+        s.resident_bytes += sizeof(PreparedReference) +
+                            entry.prepared->sorted_reference().capacity() *
+                                sizeof(double);
+      }
+      if (entry.sketched != nullptr) {
+        s.resident_bytes += sizeof(sketch::SketchedReference) +
+                            entry.sketched->FootprintBytes();
+      }
+    }
   }
   s.hits = hits_;
   s.misses = misses_;
+  s.evictions = evictions_;
   return s;
 }
 

@@ -1,4 +1,4 @@
-// Interning cache for Moche prepared references.
+// Interning cache for Moche reference representations (exact + sketched).
 //
 // A fleet of drift detectors typically shares a handful of reference
 // samples (one per metric, per model version, ...). Moche::Prepare
@@ -6,17 +6,28 @@
 // thousands of streams over one reference should pay that cost once. The
 // cache keys entries by a fingerprint of the raw observation sequence plus
 // alpha and hands out shared_ptrs to one immutable PreparedReference per
-// distinct (reference, alpha).
+// distinct (reference, alpha). The same entry can additionally intern the
+// reference's KLL summary (sketch::SketchedReference) for the monitor's
+// sketched mode — built lazily by GetOrSketch, one summary per entry.
 //
 // Keying is by the byte-identical value sequence: two permutations of the
 // same sample intern separately (fingerprinting must not sort — that is
 // the cost being amortized). A fingerprint collision is resolved by an
 // exact comparison against the stored sequence, never by trusting the hash.
 //
+// Capacity: by default the intern table grows without bound (monitors hold
+// a few distinct references for their whole lifetime). Multi-tenant churn
+// is different — references come and go with tenants — so Options::
+// capacity bounds the entry count with LRU eviction of *unpinned* entries
+// only: an entry whose prepared or sketched reference is still shared
+// outside the cache is live state and is never evicted (the table may
+// exceed capacity while everything is pinned). stats() reports evictions
+// and the resident heap bytes.
+//
 // Ownership & thread-safety: the cache owns its entries and shares the
-// prepared references out via shared_ptr-to-const; all internal state is
-// guarded by one Mutex, so GetOrPrepare/stats are safe from any thread
-// (see the class comment).
+// references out via shared_ptr-to-const; all internal state is guarded by
+// one Mutex, so every entry point is safe from any thread (see the class
+// comment).
 
 #ifndef MOCHE_STREAM_PREPARED_CACHE_H_
 #define MOCHE_STREAM_PREPARED_CACHE_H_
@@ -27,6 +38,7 @@
 #include <vector>
 
 #include "core/moche.h"
+#include "sketch/sketched_reference.h"
 #include "util/mutex.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
@@ -45,25 +57,51 @@ namespace stream {
 /// golden-sequence regression test locks the hash down).
 uint64_t ReferenceFingerprint(const std::vector<double>& values, double alpha);
 
-/// Thread-safe intern table of PreparedReferences.
+/// Thread-safe intern table of reference representations.
 ///
-/// GetOrPrepare may be called concurrently; the PreparedReferences it
-/// returns are immutable and safe to share across threads (see
-/// Moche::ExplainPrepared). The cache never evicts — monitors hold a few
-/// distinct references for their whole lifetime.
+/// GetOrPrepare/GetOrSketch may be called concurrently; the references
+/// they return are immutable and safe to share across threads (see
+/// Moche::ExplainPrepared / TriageSketched).
 class PreparedReferenceCache {
  public:
+  struct Options {
+    /// Maximum interned entries; 0 = unbounded (the historical behavior).
+    /// When an insert pushes the table past the bound, least-recently-used
+    /// entries that are unpinned (no shared_ptr alive outside the cache)
+    /// are evicted until the bound holds or only pinned entries remain.
+    size_t capacity = 0;
+  };
+
   struct Stats {
     size_t entries = 0;
     size_t hits = 0;
     size_t misses = 0;
+    /// Entries dropped by the LRU bound so far.
+    size_t evictions = 0;
+    /// Heap bytes retained by the interned entries (key sequences, sorted
+    /// samples, sketch summaries).
+    size_t resident_bytes = 0;
   };
+
+  PreparedReferenceCache() = default;
+  explicit PreparedReferenceCache(Options options) : options_(options) {}
 
   /// Returns the interned PreparedReference for (reference, alpha),
   /// preparing (validate + sort) only on the first sight of the sequence.
   /// InvalidArgument on an empty/non-finite sample or out-of-domain alpha.
   Result<std::shared_ptr<const PreparedReference>> GetOrPrepare(
       const Moche& engine, const std::vector<double>& reference, double alpha);
+
+  /// Returns the interned KLL summary for (reference, alpha), building it
+  /// (validate + sketch + flatten) only on the first sight. The summary
+  /// shares the entry of GetOrPrepare's exact form, so a monitor holding
+  /// both pays one key sequence. One summary is kept per entry: asking
+  /// with a different sketch capacity than the interned one is an
+  /// InvalidArgument (a monitor has one sketch_k; mixed-k fleets should
+  /// use separate caches).
+  Result<std::shared_ptr<const sketch::SketchedReference>> GetOrSketch(
+      const std::vector<double>& reference, double alpha,
+      const sketch::KllOptions& options);
 
   /// Interns an entry rebuilt from a snapshot (src/persist): `prepared`
   /// was deserialized (already validated and sorted), so no engine and no
@@ -77,6 +115,15 @@ class PreparedReferenceCache {
   /// an otherwise CRC-clean snapshot).
   Result<std::shared_ptr<const PreparedReference>> InternRestored(
       std::vector<double> original, double alpha, PreparedReference prepared);
+
+  /// Sketched counterpart of InternRestored: interns a deserialized KLL
+  /// summary under (original, alpha). InvalidArgument when the summary is
+  /// inconsistent with its key — wrong alpha, a count that does not match
+  /// the key sequence's size, or a capacity disagreeing with an already
+  /// interned summary for the same key.
+  Result<std::shared_ptr<const sketch::SketchedReference>>
+  InternRestoredSketched(std::vector<double> original, double alpha,
+                         sketch::SketchedReference sketched);
 
   /// Reverse lookup for checkpointing: finds the interned entry whose
   /// shared PreparedReference is exactly `prepared` (pointer identity) and
@@ -92,15 +139,35 @@ class PreparedReferenceCache {
   struct Entry {
     std::vector<double> original;  // the unsorted key sequence
     double alpha = 0.0;
-    std::shared_ptr<const PreparedReference> prepared;
+    std::shared_ptr<const PreparedReference> prepared;          // may be null
+    std::shared_ptr<const sketch::SketchedReference> sketched;  // may be null
+    uint64_t last_used = 0;  // LRU stamp (monotone use counter)
   };
 
+  /// Finds the bucket entry matching (alpha, reference) exactly, stamping
+  /// it as used. Null when absent.
+  Entry* FindEntryLocked(uint64_t fingerprint,
+                         const std::vector<double>& reference, double alpha)
+      MOCHE_REQUIRES(mutex_);
+
+  /// Inserts a fresh entry for (reference, alpha) and applies the LRU
+  /// bound. Returns the inserted entry (valid until the next mutation).
+  Entry* InsertEntryLocked(uint64_t fingerprint,
+                           std::vector<double> reference, double alpha)
+      MOCHE_REQUIRES(mutex_);
+
+  void EvictIfOverCapacityLocked() MOCHE_REQUIRES(mutex_);
+  size_t CountEntriesLocked() const MOCHE_REQUIRES(mutex_);
+
+  Options options_;
   mutable Mutex mutex_;
   // Keyed by fingerprint; each bucket holds the exact-compare candidates.
   std::unordered_map<uint64_t, std::vector<Entry>> entries_
       MOCHE_GUARDED_BY(mutex_);
   size_t hits_ MOCHE_GUARDED_BY(mutex_) = 0;
   size_t misses_ MOCHE_GUARDED_BY(mutex_) = 0;
+  size_t evictions_ MOCHE_GUARDED_BY(mutex_) = 0;
+  uint64_t use_clock_ MOCHE_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace stream

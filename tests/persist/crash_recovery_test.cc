@@ -51,8 +51,10 @@ std::vector<ts::DriftScenario> Workload() {
                                     kReferenceSize, kLength);
 }
 
-stream::DriftMonitor MakeMonitor(const std::vector<ts::DriftScenario>& suite) {
-  auto monitor = stream::DriftMonitor::Create(stream::MonitorOptions{});
+stream::DriftMonitor MakeMonitor(
+    const std::vector<ts::DriftScenario>& suite,
+    stream::MonitorOptions options = stream::MonitorOptions{}) {
+  auto monitor = stream::DriftMonitor::Create(options);
   EXPECT_TRUE(monitor.ok());
   for (const ts::DriftScenario& scenario : suite) {
     EXPECT_TRUE(
@@ -87,9 +89,10 @@ size_t MaxTail(const std::vector<ts::DriftScenario>& suite) {
 /// The child's half of the kill test. Never returns: loops feeding batches
 /// until SIGKILL arrives (or _exits non-zero on any internal failure,
 /// which the parent's waitpid check converts into a test failure).
-[[noreturn]] void RunChildUntilKilled(const std::string& dir, int ready_fd) {
+[[noreturn]] void RunChildUntilKilled(const std::string& dir, int ready_fd,
+                                      const stream::MonitorOptions& options) {
   const std::vector<ts::DriftScenario> suite = Workload();
-  stream::DriftMonitor monitor = MakeMonitor(suite);
+  stream::DriftMonitor monitor = MakeMonitor(suite, options);
   size_t t0 = 0;
   for (size_t batch = 0; batch < kCheckpointAfterBatches;
        ++batch, t0 += kBatchTicks) {
@@ -109,12 +112,17 @@ size_t MaxTail(const std::vector<ts::DriftScenario>& suite) {
   }
 }
 
-TEST(CrashRecoveryTest, SigkilledRunResumesToAByteIdenticalEventLog) {
+/// The full kill-recover-diff cycle for one monitor configuration. Both
+/// reference modes must honor the same guarantee: what the committed
+/// checkpoint captured, plus the remaining batches, reproduces the
+/// uninterrupted event log byte for byte.
+void RunSigkillRecoveryScenario(const stream::MonitorOptions& options,
+                                const std::string& dir) {
   const std::vector<ts::DriftScenario> suite = Workload();
   const size_t max_tail = MaxTail(suite);
 
   // The uninterrupted reference run.
-  stream::DriftMonitor reference = MakeMonitor(suite);
+  stream::DriftMonitor reference = MakeMonitor(suite, options);
   for (size_t t0 = 0; t0 < max_tail; t0 += kBatchTicks) {
     ASSERT_TRUE(reference.PushBatch(BatchAt(suite, t0)).ok());
   }
@@ -122,14 +130,13 @@ TEST(CrashRecoveryTest, SigkilledRunResumesToAByteIdenticalEventLog) {
   ASSERT_FALSE(reference.events().empty())
       << "workload produced no events; the recovery check would be vacuous";
 
-  const std::string dir = ::testing::TempDir() + "crash_recovery_ckpt";
   int pipe_fds[2];
   ASSERT_EQ(pipe(pipe_fds), 0);
   const pid_t child = fork();
   ASSERT_GE(child, 0);
   if (child == 0) {
     close(pipe_fds[0]);
-    RunChildUntilKilled(dir, pipe_fds[1]);  // never returns
+    RunChildUntilKilled(dir, pipe_fds[1], options);  // never returns
   }
   close(pipe_fds[1]);
 
@@ -149,6 +156,7 @@ TEST(CrashRecoveryTest, SigkilledRunResumesToAByteIdenticalEventLog) {
   // Restore and resume from the batch boundary the checkpoint captured.
   auto restored = RestoreMonitor(dir);
   ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_EQ(restored->options().reference_mode, options.reference_mode);
   ASSERT_EQ(restored->stream_ticks(0),
             kCheckpointAfterBatches * kBatchTicks);
   for (size_t t0 = kCheckpointAfterBatches * kBatchTicks; t0 < max_tail;
@@ -157,6 +165,21 @@ TEST(CrashRecoveryTest, SigkilledRunResumesToAByteIdenticalEventLog) {
   }
   EXPECT_EQ(FormatEventLog(restored->events()), reference_log);
   EXPECT_TRUE(stream::SameEventLogs(reference.events(), restored->events()));
+}
+
+TEST(CrashRecoveryTest, SigkilledRunResumesToAByteIdenticalEventLog) {
+  RunSigkillRecoveryScenario(stream::MonitorOptions{},
+                             ::testing::TempDir() + "crash_recovery_ckpt");
+}
+
+TEST(CrashRecoveryTest, SigkilledSketchedFleetResumesIdentically) {
+  // The sketched fleet persists ring windows + KLL summaries instead of
+  // detector treaps; the recovery guarantee is the same.
+  stream::MonitorOptions options;
+  options.reference_mode = stream::ReferenceMode::kSketched;
+  options.sketch_k = 128;
+  RunSigkillRecoveryScenario(
+      options, ::testing::TempDir() + "crash_recovery_sketched_ckpt");
 }
 
 // The same guarantee through the harness layer, without a crash: a replay

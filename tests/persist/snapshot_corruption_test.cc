@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "persist/crc32c.h"
 #include "persist/monitor_codec.h"
 #include "persist/snapshot.h"
 #include "stream/drift_monitor.h"
@@ -21,8 +22,9 @@ namespace moche {
 namespace persist {
 namespace {
 
-stream::DriftMonitor BuildLoadedMonitor() {
-  auto monitor = stream::DriftMonitor::Create(stream::MonitorOptions{});
+stream::DriftMonitor BuildLoadedMonitor(
+    stream::MonitorOptions options = stream::MonitorOptions{}) {
+  auto monitor = stream::DriftMonitor::Create(options);
   EXPECT_TRUE(monitor.ok());
   const std::vector<ts::DriftScenario> scenarios = ts::MakeDriftScenarioSuite(
       4, /*seed=*/20210817, /*reference_size=*/60, /*length=*/200);
@@ -48,13 +50,22 @@ stream::DriftMonitor BuildLoadedMonitor() {
   return std::move(*monitor);
 }
 
-CheckpointBlobs MakeBlobs(uint32_t num_shards) {
-  stream::DriftMonitor monitor = BuildLoadedMonitor();
+CheckpointBlobs MakeBlobs(
+    uint32_t num_shards,
+    stream::MonitorOptions monitor_options = stream::MonitorOptions{}) {
+  stream::DriftMonitor monitor = BuildLoadedMonitor(monitor_options);
   CheckpointOptions options;
   options.num_shards = num_shards;
   auto blobs = MonitorCodec::Serialize(monitor, options);
   EXPECT_TRUE(blobs.ok()) << blobs.status().ToString();
   return *blobs;
+}
+
+stream::MonitorOptions SketchedOptions(size_t sketch_k) {
+  stream::MonitorOptions options;
+  options.reference_mode = stream::ReferenceMode::kSketched;
+  options.sketch_k = sketch_k;
+  return options;
 }
 
 /// Walks a snapshot's section frames ([id u32][len u64][payload][crc u32]
@@ -204,6 +215,9 @@ TEST(SnapshotCorruptionTest, HostileLengthFieldsCannotAllocate) {
   bin::AppendU8(0, payload);                      // moche bools
   bin::AppendU8(0, payload);
   bin::AppendU8(0, payload);
+  bin::AppendU8(0, payload);                      // v2: reference_mode
+  bin::AppendU64Le(1024, payload);                // v2: sketch_k
+  bin::AppendU64Le(0, payload);                   // v2: cache_capacity
   writer.EndSection();
 
   CheckpointBlobs hostile;
@@ -215,6 +229,123 @@ TEST(SnapshotCorruptionTest, HostileLengthFieldsCannotAllocate) {
   hostile.shards.push_back(shard);
   auto restored = MonitorCodec::Deserialize(hostile, RestoreOptions{});
   EXPECT_FALSE(restored.ok());
+}
+
+TEST(SnapshotCorruptionTest, BadReferenceModeByteIsRejected) {
+  // A CRC-clean manifest declaring reference mode 7: the enum range check
+  // must fire before any shard is touched.
+  std::string manifest;
+  SnapshotWriter writer(&manifest);
+  std::string* payload = writer.BeginSection(1);
+  bin::AppendU32Le(1, payload);           // num_shards
+  bin::AppendU64Le(0, payload);           // num_streams
+  bin::AppendU64Le(0, payload);           // num_events
+  bin::AppendU64Le(0, payload);           // explanations_total
+  bin::AppendDoubleLe(0.05, payload);     // alpha
+  bin::AppendU8(0, payload);              // rearm
+  bin::AppendU64Le(0, payload);           // explain_every_k
+  bin::AppendU8(0, payload);              // preference
+  bin::AppendU8(0, payload);              // moche bools
+  bin::AppendU8(0, payload);
+  bin::AppendU8(0, payload);
+  bin::AppendU8(7, payload);              // v2: not a reference mode
+  bin::AppendU64Le(1024, payload);        // v2: sketch_k
+  bin::AppendU64Le(0, payload);           // v2: cache_capacity
+  writer.EndSection();
+
+  CheckpointBlobs blobs = MakeBlobs(1);
+  blobs.manifest = manifest;
+  auto restored = MonitorCodec::Deserialize(blobs, RestoreOptions{});
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(restored.status().message().find("not a reference mode"),
+            std::string::npos);
+}
+
+TEST(SnapshotCorruptionTest, SketchCapacityDisagreeingWithManifestIsCaught) {
+  // Two CRC-clean checkpoints of the same workload at different sketch
+  // capacities; splicing one's manifest onto the other's shards pairs a
+  // manifest sketch_k with KLL summaries of the wrong capacity.
+  const CheckpointBlobs k64 = MakeBlobs(2, SketchedOptions(64));
+  const CheckpointBlobs k128 = MakeBlobs(2, SketchedOptions(128));
+  CheckpointBlobs spliced;
+  spliced.manifest = k128.manifest;
+  spliced.shards = k64.shards;
+  auto restored = MonitorCodec::Deserialize(spliced, RestoreOptions{});
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SnapshotCorruptionTest, SketchedManifestOverExactShardsIsRejected) {
+  // A sketched manifest spliced onto exact-mode shards: the shard's
+  // reference table carries no KLL summaries, so the restore must fail
+  // cleanly instead of building streams with neither detector nor sketch.
+  const CheckpointBlobs exact = MakeBlobs(1);
+  const CheckpointBlobs sketched = MakeBlobs(1, SketchedOptions(128));
+  CheckpointBlobs spliced;
+  spliced.manifest = sketched.manifest;
+  spliced.shards = exact.shards;
+  EXPECT_FALSE(MonitorCodec::Deserialize(spliced, RestoreOptions{}).ok());
+  // The reverse splice (exact manifest, sketched shards) must also fail:
+  // the shard carries sketch summaries the manifest says cannot exist.
+  CheckpointBlobs reverse;
+  reverse.manifest = exact.manifest;
+  reverse.shards = sketched.shards;
+  EXPECT_FALSE(MonitorCodec::Deserialize(reverse, RestoreOptions{}).ok());
+}
+
+TEST(SnapshotCorruptionTest, EveryTruncationPointOnSketchedShardsFails) {
+  // Same sweep as the exact-mode truncation test, over the v2 sketched
+  // payloads (KLL summaries, ring windows, triage counters).
+  const CheckpointBlobs blobs = MakeBlobs(2, SketchedOptions(64));
+  for (size_t len = 0; len < blobs.shards[0].size();
+       len += std::max<size_t>(1, blobs.shards[0].size() / 97)) {
+    CheckpointBlobs truncated = blobs;
+    truncated.shards[0].resize(len);
+    auto restored = MonitorCodec::Deserialize(truncated, RestoreOptions{});
+    EXPECT_FALSE(restored.ok()) << "sketched shard 0 truncated to " << len;
+  }
+}
+
+TEST(SnapshotCorruptionTest, Version1ManifestRestoresWithExactDefaults) {
+  // Forward compatibility with pre-v2 checkpoints: a version-1 manifest
+  // ends right after the moche bools, and the reference-mode fields
+  // default to kExact. Rebuild the real manifest as v1 — same payload
+  // minus the 17-byte v2 tail, version stamp 1, CRC recomputed — and the
+  // restore must succeed against the unmodified (exact-mode) shards.
+  const CheckpointBlobs blobs = MakeBlobs(1);
+
+  // Parse the one manifest section out of the v2 container.
+  const std::string& v2 = blobs.manifest;
+  ASSERT_GE(v2.size(), kSnapshotMagicSize + 4 + 12);
+  size_t pos = kSnapshotMagicSize + 4;
+  uint64_t length = 0;
+  for (int i = 0; i < 8; ++i) {
+    length |= static_cast<uint64_t>(
+                  static_cast<uint8_t>(v2[pos + 4 + static_cast<size_t>(i)]))
+              << (8 * i);
+  }
+  ASSERT_GE(length, 17u);
+  const std::string v2_payload = v2.substr(pos + 12, length);
+
+  std::string v1;
+  v1.append(kSnapshotMagic, kSnapshotMagicSize);
+  bin::AppendU32Le(1, &v1);  // format version 1
+  std::string framed;
+  bin::AppendU32Le(1, &framed);  // manifest section id
+  bin::AppendU64Le(length - 17, &framed);
+  framed.append(v2_payload.substr(0, v2_payload.size() - 17));
+  v1.append(framed);
+  bin::AppendU32Le(Crc32c(framed), &v1);
+
+  CheckpointBlobs aged = blobs;
+  aged.manifest = v1;
+  auto restored = MonitorCodec::Deserialize(aged, RestoreOptions{});
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->options().reference_mode,
+            stream::ReferenceMode::kExact);
+  stream::DriftMonitor monitor = BuildLoadedMonitor();
+  EXPECT_TRUE(stream::SameEventLogs(monitor.events(), restored->events()));
 }
 
 }  // namespace

@@ -26,8 +26,9 @@ namespace {
 // A monitor mid-deployment: drift-scenario streams fully replayed in
 // lockstep batches, so the checkpoint carries filled windows, excursion
 // state, and a non-empty event log.
-stream::DriftMonitor BuildLoadedMonitor(size_t streams, size_t batch_ticks) {
-  stream::MonitorOptions options;
+stream::DriftMonitor BuildLoadedMonitor(
+    size_t streams, size_t batch_ticks,
+    stream::MonitorOptions options = stream::MonitorOptions{}) {
   options.rearm = stream::RearmPolicy::kOncePerExcursion;
   auto monitor = stream::DriftMonitor::Create(options);
   EXPECT_TRUE(monitor.ok()) << monitor.status().ToString();
@@ -236,6 +237,62 @@ TEST(MonitorCodecTest, CheckpointDirectoryRoundTripsThroughDisk) {
                 .status()
                 .code(),
             StatusCode::kNotFound);
+}
+
+TEST(MonitorCodecTest, SketchedFleetRoundTripIsAByteFixedPoint) {
+  // The v2 payload paths: manifest reference-mode fields, per-reference KLL
+  // summaries, ring-buffer stream records, and triage counters must all
+  // survive serialize -> deserialize -> serialize bit for bit.
+  stream::MonitorOptions options;
+  options.reference_mode = stream::ReferenceMode::kSketched;
+  options.sketch_k = 128;
+  options.cache_capacity = 16;
+  stream::DriftMonitor monitor =
+      BuildLoadedMonitor(/*streams=*/6, /*batch_ticks=*/32, options);
+  ASSERT_FALSE(monitor.events().empty());
+  const stream::DriftMonitor::Stats before = monitor.stats();
+  ASSERT_GT(before.triage_certified_pass + before.triage_certified_fail +
+                before.triage_fallbacks,
+            0u);
+
+  CheckpointOptions checkpoint;
+  checkpoint.num_shards = 3;
+  auto blobs = MonitorCodec::Serialize(monitor, checkpoint);
+  ASSERT_TRUE(blobs.ok()) << blobs.status().ToString();
+  auto restored = MonitorCodec::Deserialize(*blobs, RestoreOptions{});
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  auto again = MonitorCodec::Serialize(*restored, checkpoint);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->manifest, blobs->manifest);
+  for (size_t i = 0; i < blobs->shards.size(); ++i) {
+    EXPECT_EQ(again->shards[i], blobs->shards[i]) << "shard " << i;
+  }
+
+  // The restored fleet is still sketched (mode is snapshot state) and its
+  // triage history survived.
+  EXPECT_EQ(restored->options().reference_mode,
+            stream::ReferenceMode::kSketched);
+  EXPECT_EQ(restored->options().sketch_k, options.sketch_k);
+  const stream::DriftMonitor::Stats after = restored->stats();
+  EXPECT_EQ(after.triage_certified_pass, before.triage_certified_pass);
+  EXPECT_EQ(after.triage_certified_fail, before.triage_certified_fail);
+  EXPECT_EQ(after.triage_fallbacks, before.triage_fallbacks);
+  EXPECT_TRUE(stream::SameEventLogs(monitor.events(), restored->events()));
+
+  // And it continues identically: same fresh batches, bit-identical logs.
+  std::vector<std::vector<double>> batch(monitor.num_streams());
+  for (int round = 0; round < 6; ++round) {
+    for (size_t s = 0; s < monitor.num_streams(); ++s) {
+      batch[s].clear();
+      for (int t = 0; t < 10; ++t) {
+        batch[s].push_back(round < 3 ? 1000.0 + t : 0.5 * t);
+      }
+    }
+    ASSERT_TRUE(monitor.PushBatch(batch).ok());
+    ASSERT_TRUE(restored->PushBatch(batch).ok());
+    ASSERT_TRUE(stream::SameEventLogs(monitor.events(), restored->events()))
+        << "diverged at round " << round;
+  }
 }
 
 TEST(MonitorCodecTest, RestoreThreadCountIsAFreeChoice) {

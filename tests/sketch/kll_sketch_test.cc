@@ -1,0 +1,314 @@
+// Property tests for the certified KLL sketch (src/sketch/kll_sketch.h).
+//
+// The load-bearing property is the *certified* rank bound: for every query
+// point x, |EstimateRank(x) - TrueRank(x)| <= rank_error_bound(), as an
+// exact integer invariant. Everything the triage path certifies
+// (tests/sketch/triage_test.cc) reduces to this, so the oracle here is an
+// exact sorted copy of the inserted sample, probed at every sample value,
+// at midpoints between neighbors, and beyond both extremes.
+
+#include "sketch/kll_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/binary_io.h"
+#include "util/rng.h"
+
+namespace moche {
+namespace sketch {
+namespace {
+
+KllSketch MakeSketch(size_t capacity, uint64_t seed = KllOptions{}.seed) {
+  KllOptions options;
+  options.capacity = capacity;
+  options.seed = seed;
+  auto sketch = KllSketch::Create(options);
+  EXPECT_TRUE(sketch.ok()) << sketch.status().message();
+  return std::move(*sketch);
+}
+
+uint64_t TrueRank(const std::vector<double>& sorted, double x) {
+  return static_cast<uint64_t>(
+      std::upper_bound(sorted.begin(), sorted.end(), x) - sorted.begin());
+}
+
+// Probe points that exercise every step of both ECDFs: each sample value,
+// midpoints between distinct neighbors, and points beyond both extremes.
+std::vector<double> ProbePoints(const std::vector<double>& sorted) {
+  std::vector<double> probes;
+  probes.reserve(2 * sorted.size() + 2);
+  probes.push_back(sorted.front() - 1.0);
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    probes.push_back(sorted[i]);
+    if (i + 1 < sorted.size() && sorted[i] < sorted[i + 1]) {
+      probes.push_back(sorted[i] + (sorted[i + 1] - sorted[i]) / 2.0);
+    }
+  }
+  probes.push_back(sorted.back() + 1.0);
+  return probes;
+}
+
+void ExpectCertifiedBoundHolds(const KllSketch& sketch,
+                               std::vector<double> sample) {
+  ASSERT_EQ(sketch.count(), sample.size());
+  std::sort(sample.begin(), sample.end());
+  for (double x : ProbePoints(sample)) {
+    const uint64_t estimated = sketch.EstimateRank(x);
+    const uint64_t truth = TrueRank(sample, x);
+    const uint64_t gap =
+        estimated > truth ? estimated - truth : truth - estimated;
+    ASSERT_LE(gap, sketch.rank_error_bound())
+        << "rank bound violated at x=" << x << " (estimated " << estimated
+        << ", true " << truth << ")";
+  }
+}
+
+TEST(KllSketchTest, BelowCapacityIsExact) {
+  KllSketch sketch = MakeSketch(64);
+  std::vector<double> sample;
+  Rng rng(7);
+  for (int i = 0; i < 63; ++i) sample.push_back(rng.Uniform(-5.0, 5.0));
+  for (double v : sample) sketch.Update(v);
+  EXPECT_EQ(sketch.rank_error_bound(), 0u);
+  EXPECT_EQ(sketch.epsilon(), 0.0);
+  ExpectCertifiedBoundHolds(sketch, sample);
+}
+
+TEST(KllSketchTest, CertifiedRankBoundHoldsAcrossDistributions) {
+  Rng rng(11);
+  const size_t n = 6000;
+  const size_t k = 32;  // small capacity: many compactions, tight test
+  for (int dist = 0; dist < 3; ++dist) {
+    KllSketch sketch = MakeSketch(k);
+    std::vector<double> sample;
+    sample.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      double v = 0.0;
+      switch (dist) {
+        case 0:
+          v = rng.Uniform(0.0, 1.0);
+          break;
+        case 1:
+          v = rng.Normal(0.0, 3.0);
+          break;
+        default:
+          // Heavy ties: discrete alphabet of 8 values.
+          v = static_cast<double>(rng.Integer(0, 7));
+          break;
+      }
+      sample.push_back(v);
+      sketch.Update(v);
+    }
+    EXPECT_GT(sketch.rank_error_bound(), 0u);
+    ExpectCertifiedBoundHolds(sketch, std::move(sample));
+  }
+}
+
+// The compaction count — and hence the certified bound — is a pure
+// function of (count, capacity): values and coin seeds decide WHICH items
+// survive, never HOW MANY compactions happen. This is what makes the
+// epsilon-monotonicity test below exact rather than statistical.
+TEST(KllSketchTest, ErrorBoundDependsOnlyOnCountAndCapacity) {
+  Rng rng(13);
+  KllSketch a = MakeSketch(16, /*seed=*/1);
+  KllSketch b = MakeSketch(16, /*seed=*/99);
+  for (int i = 0; i < 5000; ++i) {
+    a.Update(rng.Uniform(0.0, 1.0));
+    b.Update(rng.Normal(10.0, 2.0));
+  }
+  EXPECT_EQ(a.rank_error_bound(), b.rank_error_bound());
+  EXPECT_EQ(a.epsilon(), b.epsilon());
+}
+
+TEST(KllSketchTest, EpsilonIsMonotoneNonIncreasingInCapacity) {
+  Rng rng(17);
+  std::vector<double> sample;
+  for (int i = 0; i < 20000; ++i) sample.push_back(rng.Normal(0.0, 1.0));
+  double previous = 2.0;  // epsilon is always < 2
+  for (size_t k = KllSketch::kMinCapacity; k <= 512; k *= 2) {
+    KllSketch sketch = MakeSketch(k);
+    for (double v : sample) sketch.Update(v);
+    EXPECT_LE(sketch.epsilon(), previous) << "capacity " << k;
+    previous = sketch.epsilon();
+  }
+  // And with enough capacity the sketch is exact again.
+  KllSketch big = MakeSketch(32768);
+  for (double v : sample) big.Update(v);
+  EXPECT_EQ(big.epsilon(), 0.0);
+}
+
+TEST(KllSketchTest, MergeAddsCountsAndCertifiesTheUnion) {
+  Rng rng(19);
+  std::vector<double> all;
+  std::vector<KllSketch> parts;
+  for (int p = 0; p < 3; ++p) {
+    KllSketch part = MakeSketch(32, /*seed=*/100 + static_cast<uint64_t>(p));
+    const size_t n = 1000 + static_cast<size_t>(p) * 700;
+    for (size_t i = 0; i < n; ++i) {
+      const double v = rng.Normal(static_cast<double>(p), 1.5);
+      all.push_back(v);
+      part.Update(v);
+    }
+    parts.push_back(std::move(part));
+  }
+
+  // Left-to-right association.
+  KllSketch left = MakeSketch(32);
+  for (const KllSketch& part : parts) {
+    ASSERT_TRUE(left.Merge(part).ok());
+  }
+  EXPECT_EQ(left.count(), all.size());
+  ExpectCertifiedBoundHolds(left, all);
+
+  // Right-to-left association: byte-level equality is NOT claimed (the
+  // coin streams interleave differently), but the certified bound must
+  // hold under every association order.
+  KllSketch right = MakeSketch(32);
+  for (size_t p = parts.size(); p > 0; --p) {
+    ASSERT_TRUE(right.Merge(parts[p - 1]).ok());
+  }
+  EXPECT_EQ(right.count(), all.size());
+  ExpectCertifiedBoundHolds(right, all);
+
+  // Self-merge doubles the sketch (the documented copy-first semantics).
+  KllSketch self = MakeSketch(32);
+  for (int i = 0; i < 100; ++i) self.Update(static_cast<double>(i));
+  ASSERT_TRUE(self.Merge(self).ok());
+  EXPECT_EQ(self.count(), 200u);
+
+  // Capacity mismatch is a contract violation, not a silent widening.
+  KllSketch other = MakeSketch(64);
+  EXPECT_FALSE(left.Merge(other).ok());
+}
+
+TEST(KllSketchTest, SerializeRoundTripIsAByteFixedPoint) {
+  Rng rng(23);
+  KllSketch sketch = MakeSketch(16);
+  for (int i = 0; i < 3000; ++i) sketch.Update(rng.Uniform(-1.0, 1.0));
+
+  std::string bytes;
+  sketch.SerializeTo(&bytes);
+  bin::Reader reader(bytes);
+  auto restored = KllSketch::DeserializeFrom(&reader);
+  ASSERT_TRUE(restored.ok()) << restored.status().message();
+  EXPECT_TRUE(reader.AtEnd());
+
+  std::string again;
+  restored->SerializeTo(&again);
+  EXPECT_EQ(bytes, again);
+
+  EXPECT_EQ(restored->count(), sketch.count());
+  EXPECT_EQ(restored->rank_error_bound(), sketch.rank_error_bound());
+  for (double x : {-2.0, -0.5, 0.0, 0.25, 0.9, 2.0}) {
+    EXPECT_EQ(restored->EstimateRank(x), sketch.EstimateRank(x));
+  }
+
+  // A restored sketch keeps updating from the serialized coin state: the
+  // same further updates must give the same bytes as never serializing.
+  KllSketch continued = std::move(*restored);
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.Uniform(-1.0, 1.0);
+    sketch.Update(v);
+    continued.Update(v);
+  }
+  std::string a;
+  std::string b;
+  sketch.SerializeTo(&a);
+  continued.SerializeTo(&b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(KllSketchTest, DeserializeRejectsStructurallyBrokenBytes) {
+  KllSketch sketch = MakeSketch(16);
+  for (int i = 0; i < 300; ++i) sketch.Update(static_cast<double>(i % 7));
+  std::string bytes;
+  sketch.SerializeTo(&bytes);
+
+  {  // Truncation at every prefix either fails or consumes a valid prefix
+     // of the exact original length (it must never read past the buffer).
+    for (size_t cut = 0; cut < bytes.size(); ++cut) {
+      bin::Reader r(std::string_view(bytes).substr(0, cut));
+      auto broken = KllSketch::DeserializeFrom(&r);
+      EXPECT_FALSE(broken.ok()) << "prefix length " << cut;
+    }
+  }
+  {  // Capacity outside the domain.
+    std::string mutated = bytes;
+    mutated[0] = 0;  // capacity u64le -> 0
+    bin::Reader r(mutated);
+    EXPECT_FALSE(KllSketch::DeserializeFrom(&r).ok());
+  }
+  {  // Weight-conservation violation: bump the recorded count.
+    std::string mutated = bytes;
+    // Layout: capacity, seed, coin_state, count (docs/SKETCH.md).
+    mutated[24] = static_cast<char>(mutated[24] ^ 1);
+    bin::Reader r(mutated);
+    EXPECT_FALSE(KllSketch::DeserializeFrom(&r).ok());
+  }
+}
+
+TEST(KllSketchTest, QuantilesTrackTheCertifiedRank) {
+  Rng rng(29);
+  KllSketch sketch = MakeSketch(64);
+  std::vector<double> sample;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.Uniform(0.0, 100.0);
+    sample.push_back(v);
+    sketch.Update(v);
+  }
+  std::sort(sample.begin(), sample.end());
+  for (double phi : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+    auto q = sketch.EstimateQuantile(phi);
+    ASSERT_TRUE(q.ok()) << q.status().message();
+    // The returned value's true rank is within the certified bound of the
+    // requested mass (both ranks are counts; compare in observations).
+    const double target = phi * static_cast<double>(sketch.count());
+    const double true_rank =
+        static_cast<double>(TrueRank(sample, *q));
+    EXPECT_LE(std::abs(true_rank - target),
+              static_cast<double>(sketch.rank_error_bound()) + 1.0)
+        << "phi=" << phi;
+  }
+  EXPECT_FALSE(sketch.EstimateQuantile(-0.1).ok());
+  EXPECT_FALSE(sketch.EstimateQuantile(1.5).ok());
+  KllSketch empty = MakeSketch(16);
+  EXPECT_FALSE(empty.EstimateQuantile(0.5).ok());
+}
+
+TEST(KllSketchTest, FlattenConservesWeightAndOrders) {
+  Rng rng(31);
+  KllSketch sketch = MakeSketch(16);
+  for (int i = 0; i < 4000; ++i) {
+    sketch.Update(static_cast<double>(rng.Integer(0, 20)));  // many ties
+  }
+  std::vector<double> values;
+  std::vector<double> weights;
+  sketch.FlattenTo(&values, &weights);
+  ASSERT_FALSE(values.empty());
+  ASSERT_EQ(values.size(), weights.size());
+  for (size_t i = 1; i < values.size(); ++i) {
+    EXPECT_LT(values[i - 1], values[i]);  // strictly ascending, ties merged
+    EXPECT_LE(weights[i - 1], weights[i]);
+  }
+  EXPECT_EQ(weights.back(), static_cast<double>(sketch.count()));
+}
+
+TEST(KllSketchTest, CreateValidatesCapacity) {
+  KllOptions options;
+  options.capacity = KllSketch::kMinCapacity - 1;
+  EXPECT_FALSE(KllSketch::Create(options).ok());
+  options.capacity = KllSketch::kMaxCapacity + 1;
+  EXPECT_FALSE(KllSketch::Create(options).ok());
+  options.capacity = KllSketch::kMinCapacity;
+  EXPECT_TRUE(KllSketch::Create(options).ok());
+}
+
+}  // namespace
+}  // namespace sketch
+}  // namespace moche

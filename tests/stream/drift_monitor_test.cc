@@ -307,6 +307,122 @@ TEST(DriftMonitorTest, RecheckWindowsOnEmptyMonitorIsOk) {
   EXPECT_TRUE(outcomes.empty());
 }
 
+TEST(SketchedMonitorTest, CreateValidatesSketchK) {
+  MonitorOptions options;
+  options.reference_mode = ReferenceMode::kSketched;
+  options.sketch_k = 4;  // below sketch::KllSketch::kMinCapacity
+  EXPECT_FALSE(DriftMonitor::Create(options).ok());
+  options.sketch_k = (size_t{1} << 21);  // above kMaxCapacity
+  EXPECT_FALSE(DriftMonitor::Create(options).ok());
+  options.sketch_k = 128;
+  EXPECT_TRUE(DriftMonitor::Create(options).ok());
+  // An exact-mode monitor never reads sketch_k; a nonsense value is inert.
+  options.reference_mode = ReferenceMode::kExact;
+  options.sketch_k = 4;
+  EXPECT_TRUE(DriftMonitor::Create(options).ok());
+}
+
+TEST(SketchedMonitorTest, DetectsAndExplainsInjectedDrift) {
+  const size_t window = 60;
+  MonitorOptions options;
+  options.alpha = 0.01;
+  options.reference_mode = ReferenceMode::kSketched;
+  options.sketch_k = 128;
+  Fixture f = MakeFixture(options, 1, window);
+  const ts::DriftScenario& sc = f.scenarios.front();
+  ASSERT_EQ(sc.kind, ts::DriftKind::kMeanShift);
+  Replay(&f, 32);
+
+  // Same scenario-level contract as the exact-mode monitor: the injected
+  // mean shift fires one event inside the transition window, and the
+  // counterfactual explanation holds.
+  ASSERT_FALSE(f.monitor.events().empty());
+  const DriftEvent& event = f.monitor.events().front();
+  EXPECT_EQ(event.stream, 0u);
+  EXPECT_GT(event.tick, sc.drift_begin);
+  EXPECT_LE(event.tick, sc.drift_begin + window);
+  EXPECT_TRUE(event.outcome.reject);
+  ASSERT_TRUE(event.explain_status.ok());
+  EXPECT_GT(event.report.k, 0u);
+  EXPECT_FALSE(event.report.after.reject);
+
+  // Every full window went through the triage exactly once, and the
+  // healthy pre-drift stretch produced certified passes (the cheap path).
+  const auto stats = f.monitor.stats();
+  const uint64_t full_windows =
+      f.monitor.stream_ticks(0) - window + 1;
+  EXPECT_EQ(stats.triage_certified_pass + stats.triage_certified_fail +
+                stats.triage_fallbacks,
+            full_windows);
+  EXPECT_GT(stats.triage_certified_pass, 0u);
+  EXPECT_GT(stats.triage_certified_fail, 0u);
+}
+
+TEST(SketchedMonitorTest, RecheckWindowsMatchesRunSorted) {
+  // Detection in sketched mode is defined by recompute semantics, so the
+  // read-only RecheckWindows oracle must still be exactly ks::RunSorted on
+  // each full ring — the sketch only triages which windows pay for it.
+  MonitorOptions options;
+  options.reference_mode = ReferenceMode::kSketched;
+  options.sketch_k = 64;
+  auto monitor = DriftMonitor::Create(options);
+  ASSERT_TRUE(monitor.ok());
+  Rng rng(kSeed);
+  std::vector<double> ref;
+  for (int i = 0; i < 200; ++i) ref.push_back(rng.Normal(0, 1));
+  ASSERT_TRUE(monitor->AddStream("full", ref, 40).ok());
+  ASSERT_TRUE(monitor->AddStream("late", ref, 40).ok());  // never fills
+
+  std::vector<double> pushed;
+  for (int t = 0; t < 55; ++t) {
+    std::vector<std::vector<double>> batch(2);
+    batch[0] = {rng.Normal(0.5, 1.0)};
+    pushed.push_back(batch[0][0]);
+    if (t < 10) batch[1] = {rng.Normal(0, 1)};
+    ASSERT_TRUE(monitor->PushBatch(batch).ok());
+  }
+
+  std::vector<KsOutcome> outcomes;
+  ASSERT_TRUE(monitor->RecheckWindows(&outcomes).ok());
+  ASSERT_EQ(outcomes.size(), 2u);
+  std::vector<double> sorted_ref = ref;
+  std::sort(sorted_ref.begin(), sorted_ref.end());
+  std::vector<double> window(pushed.end() - 40, pushed.end());
+  std::sort(window.begin(), window.end());
+  auto solo = ks::RunSorted(sorted_ref, window, monitor->options().alpha);
+  ASSERT_TRUE(solo.ok());
+  EXPECT_EQ(outcomes[0].statistic, solo->statistic);
+  EXPECT_EQ(outcomes[0].reject, solo->reject);
+  EXPECT_EQ(outcomes[0].n, solo->n);
+  // The non-full stream is skipped (impossible n == 0), as in exact mode.
+  EXPECT_EQ(outcomes[1].n, 0u);
+}
+
+TEST(SketchedMonitorTest, PinnedReferencesIgnoreTheCacheBound) {
+  // Live streams pin their cache entries, so a bound tighter than the
+  // number of distinct references must not strand a stream: the table goes
+  // over capacity instead of evicting.
+  MonitorOptions options;
+  options.reference_mode = ReferenceMode::kSketched;
+  options.sketch_k = 64;
+  options.cache_capacity = 1;
+  auto monitor = DriftMonitor::Create(options);
+  ASSERT_TRUE(monitor.ok());
+  Rng rng(kSeed);
+  for (int s = 0; s < 3; ++s) {
+    std::vector<double> ref;
+    for (int i = 0; i < 100; ++i) {
+      ref.push_back(rng.Normal(static_cast<double>(s), 1.0));
+    }
+    ASSERT_TRUE(
+        monitor->AddStream("s" + std::to_string(s), ref, 20).ok());
+  }
+  const auto cache = monitor->cache_stats();
+  EXPECT_EQ(cache.entries, 3u);
+  EXPECT_EQ(cache.evictions, 0u);
+  EXPECT_GT(cache.resident_bytes, 0u);
+}
+
 TEST(SameEventLogsTest, DiscriminatesFields) {
   DriftEvent a;
   a.stream = 1;

@@ -192,6 +192,130 @@ TEST(PreparedReferenceCacheTest, FindOriginalRecoversTheUnsortedKey) {
   EXPECT_FALSE(cache.FindOriginal(&*foreign, &original, &alpha));
 }
 
+TEST(PreparedReferenceCacheTest, BoundedCacheEvictsLeastRecentlyUsed) {
+  Moche engine;
+  PreparedReferenceCache cache{PreparedReferenceCache::Options{2}};
+  const std::vector<double> ref_a{1.0, 2.0, 3.0};
+  const std::vector<double> ref_b{4.0, 5.0, 6.0};
+  const std::vector<double> ref_c{7.0, 8.0, 9.0};
+
+  // Intern A and B, dropping the returned shared_ptrs so both entries are
+  // unpinned (the cache holds the last reference).
+  ASSERT_TRUE(cache.GetOrPrepare(engine, ref_a, 0.05).ok());
+  ASSERT_TRUE(cache.GetOrPrepare(engine, ref_b, 0.05).ok());
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+
+  // Touch A so B becomes the least recently used entry...
+  ASSERT_TRUE(cache.GetOrPrepare(engine, ref_a, 0.05).ok());
+  // ...then a third intern must evict B, not A.
+  ASSERT_TRUE(cache.GetOrPrepare(engine, ref_c, 0.05).ok());
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+
+  // A survived (hit); B was dropped (miss + re-prepare).
+  const size_t hits_before = stats.hits;
+  const size_t misses_before = stats.misses;
+  ASSERT_TRUE(cache.GetOrPrepare(engine, ref_a, 0.05).ok());
+  EXPECT_EQ(cache.stats().hits, hits_before + 1);
+  ASSERT_TRUE(cache.GetOrPrepare(engine, ref_b, 0.05).ok());
+  EXPECT_EQ(cache.stats().misses, misses_before + 1);
+}
+
+TEST(PreparedReferenceCacheTest, PinnedEntriesAreNeverEvicted) {
+  Moche engine;
+  PreparedReferenceCache cache{PreparedReferenceCache::Options{1}};
+  const std::vector<double> ref_a{1.0, 2.0, 3.0};
+  const std::vector<double> ref_b{4.0, 5.0, 6.0};
+
+  // Hold the shared_ptr: the entry is live state outside the cache.
+  auto pinned = cache.GetOrPrepare(engine, ref_a, 0.05);
+  ASSERT_TRUE(pinned.ok());
+  // Interning B cannot evict the pinned A: the table goes over capacity
+  // instead of stranding a live reference.
+  ASSERT_TRUE(cache.GetOrPrepare(engine, ref_b, 0.05).ok());
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+
+  // The pinned entry still resolves to the same object.
+  auto again = cache.GetOrPrepare(engine, ref_a, 0.05);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->get(), pinned->get());
+
+  // Once released, the LRU bound applies again on the next intern.
+  *pinned = nullptr;
+  *again = nullptr;
+  ASSERT_TRUE(cache.GetOrPrepare(engine, {7.0, 8.0, 9.0}, 0.05).ok());
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_GE(cache.stats().evictions, 1u);
+}
+
+TEST(PreparedReferenceCacheTest, SketchSharesTheEntryOfTheExactForm) {
+  Moche engine;
+  PreparedReferenceCache cache;
+  const std::vector<double> ref{5.0, 1.0, 3.0, 2.0, 4.0};
+  sketch::KllOptions kll;
+  kll.capacity = 64;
+
+  auto prepared = cache.GetOrPrepare(engine, ref, 0.05);
+  ASSERT_TRUE(prepared.ok());
+  auto sketched = cache.GetOrSketch(ref, 0.05, kll);
+  ASSERT_TRUE(sketched.ok()) << sketched.status().message();
+  // One entry carries both representations.
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ((*sketched)->count(), ref.size());
+
+  // The summary is interned: a second ask is a hit on the same object.
+  auto again = cache.GetOrSketch(ref, 0.05, kll);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->get(), sketched->get());
+
+  // One summary per entry: a different capacity for the same key is a
+  // configuration error, not a second summary.
+  kll.capacity = 128;
+  EXPECT_FALSE(cache.GetOrSketch(ref, 0.05, kll).ok());
+
+  // resident_bytes accounts for the key sequence, the sorted sample, and
+  // the sketch summary.
+  EXPECT_GT(cache.stats().resident_bytes,
+            2 * ref.size() * sizeof(double));
+}
+
+TEST(PreparedReferenceCacheTest, InternRestoredSketchedChecksConsistency) {
+  PreparedReferenceCache cache;
+  std::vector<double> ref{5.0, 1.0, 3.0, 2.0, 4.0};
+  sketch::KllOptions kll;
+  kll.capacity = 32;
+  auto built = sketch::SketchedReference::FromSample(ref, 0.05, kll);
+  ASSERT_TRUE(built.ok());
+
+  // Splice guards: a summary whose alpha or count disagrees with its cache
+  // key is rejected before it can shadow the real reference.
+  auto wrong_alpha = cache.InternRestoredSketched(ref, 0.01, *built);
+  EXPECT_FALSE(wrong_alpha.ok());
+  auto wrong_size =
+      cache.InternRestoredSketched({1.0, 2.0}, 0.05, *built);
+  EXPECT_FALSE(wrong_size.ok());
+  EXPECT_EQ(cache.stats().entries, 0u);
+
+  auto interned = cache.InternRestoredSketched(ref, 0.05, *built);
+  ASSERT_TRUE(interned.ok()) << interned.status().message();
+  EXPECT_EQ(cache.stats().entries, 1u);
+
+  // A second shard restoring the same key converges on the interned object.
+  auto converged = cache.InternRestoredSketched(ref, 0.05, *built);
+  ASSERT_TRUE(converged.ok());
+  EXPECT_EQ(converged->get(), interned->get());
+  EXPECT_EQ(cache.stats().entries, 1u);
+
+  // ...unless its capacity disagrees with what is already interned.
+  kll.capacity = 64;
+  auto other = sketch::SketchedReference::FromSample(ref, 0.05, kll);
+  ASSERT_TRUE(other.ok());
+  EXPECT_FALSE(cache.InternRestoredSketched(ref, 0.05, *other).ok());
+}
+
 TEST(PreparedReferenceCacheTest, ConcurrentGetOrPrepareIsSafe) {
   Moche engine;
   PreparedReferenceCache cache;
